@@ -1,0 +1,28 @@
+"""ABL1 — crosstalk-coefficient source ablation.
+
+Compares the calibrated analytic kernel, the finite-volume extraction (the
+paper's COMSOL-equivalent path) and the lumped thermal network: all three
+must deliver nearest-neighbour alpha values in the same regime and an attack
+that succeeds, demonstrating that the headline result does not hinge on one
+particular thermal model.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_alpha_source_ablation
+
+
+def test_bench_ablation_alpha_source(benchmark):
+    result = run_once(benchmark, run_alpha_source_ablation)
+    print("\n" + result.to_table())
+
+    by_source = {row["source"]: row for row in result.rows}
+    assert set(by_source) == {"analytic", "finite_volume", "thermal_network"}
+    for row in by_source.values():
+        assert row["flipped"], f"attack must succeed with the {row['source']} alpha source"
+        assert 0.02 <= row["alpha_nearest_neighbour"] <= 0.5
+    # All sources agree on the order of magnitude of the pulse count.
+    pulses = [float(row["pulses_to_flip"]) for row in by_source.values()]
+    assert max(pulses) / min(pulses) < 100.0

@@ -1,0 +1,25 @@
+"""ABL3 — write-scheme ablation: V/2 (paper) versus V/3 (mitigation).
+
+The V/3 scheme reduces the half-select stress from V/2 to V/3; because the
+switching kinetics are strongly field-dependent, the attack must become at
+least an order of magnitude more expensive.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_bias_scheme_ablation
+
+
+def test_bench_ablation_bias_scheme(benchmark):
+    result = run_once(benchmark, run_bias_scheme_ablation)
+    print("\n" + result.to_table())
+
+    by_scheme = {row["scheme"]: row for row in result.rows}
+    assert by_scheme["v_half"]["flipped"]
+    v_half = float(by_scheme["v_half"]["pulses_to_flip"])
+    v_third = float(by_scheme["v_third"]["pulses_to_flip"])
+    assert v_third > 10.0 * v_half, (
+        f"V/3 biasing should slow the attack by >10x (got {v_third / v_half:.1f}x)"
+    )

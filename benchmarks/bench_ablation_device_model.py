@@ -1,0 +1,29 @@
+"""ABL2 — device-model ablation: thermally accelerated VCM vs linear ion drift.
+
+The NeuroHammer mechanism requires temperature-dependent switching kinetics.
+Driving the same victim stress into the temperature-agnostic linear-ion-drift
+baseline shows no crosstalk-induced acceleration, confirming the attack is a
+thermal effect and not an artefact of the half-select voltage alone.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_device_model_ablation
+
+
+def test_bench_ablation_device_model(benchmark):
+    result = run_once(benchmark, run_device_model_ablation)
+    print("\n" + result.to_table())
+
+    by_model = {row["model"]: row for row in result.rows}
+    vcm = by_model["jart_vcm"]
+    drift = by_model["linear_ion_drift"]
+
+    # The VCM model is strongly accelerated by the crosstalk temperature...
+    assert vcm["thermal_acceleration"] > 50.0
+    assert vcm["pulses_with_crosstalk"] < vcm["pulses_without_crosstalk"]
+    # ...while the drift baseline does not care about temperature at all.
+    assert drift["thermal_acceleration"] == 1.0
+    assert drift["pulses_with_crosstalk"] == drift["pulses_without_crosstalk"]

@@ -1,0 +1,49 @@
+"""FIG2A — temperature map of the 5x5 crossbar while hammering the centre cell.
+
+Regenerates the paper's Fig. 2a with the circuit-level electro-thermal
+snapshot (default path) and checks the headline numbers: the aggressor sits
+several hundred kelvin above ambient and the same-line neighbours receive
+roughly a tenth of that rise, exactly the operating regime the paper reports
+(947 K aggressor, 373-394 K same-line neighbours at 300 K ambient).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import FIG2A_PAPER_REFERENCE, run_fig2a
+from repro.utils import matrix_heatmap
+
+
+def test_bench_fig2a_circuit(benchmark):
+    outcome = run_once(benchmark, run_fig2a, method="circuit")
+    print("\nFig. 2a temperature map (circuit-level, K):")
+    print(matrix_heatmap(outcome.temperature_map_k))
+    print(f"aggressor: {outcome.aggressor_temperature_k:.0f} K "
+          f"(paper: {FIG2A_PAPER_REFERENCE['aggressor_k']:.0f} K)")
+    print(f"same-line neighbours: {outcome.same_line_neighbour_k:.0f} K "
+          f"(paper: {FIG2A_PAPER_REFERENCE['same_line_neighbour_min_k']:.0f}-"
+          f"{FIG2A_PAPER_REFERENCE['same_line_neighbour_max_k']:.0f} K)")
+
+    assert 800.0 <= outcome.aggressor_temperature_k <= 1100.0
+    assert 340.0 <= outcome.same_line_neighbour_k <= 420.0
+    assert outcome.same_line_neighbour_k > outcome.diagonal_neighbour_k > outcome.ambient_temperature_k
+    # The map must be symmetric about the aggressor for a centre-cell attack.
+    temperature_map = outcome.temperature_map_k
+    assert abs(temperature_map[2, 1] - temperature_map[2, 3]) < 5.0
+    assert abs(temperature_map[1, 2] - temperature_map[3, 2]) < 5.0
+
+
+def test_bench_fig2a_thermal_network(benchmark):
+    outcome = run_once(benchmark, run_fig2a, method="network")
+    print("\nFig. 2a temperature map (thermal resistance network, K):")
+    print(matrix_heatmap(outcome.temperature_map_k))
+    assert outcome.aggressor_temperature_k > outcome.same_line_neighbour_k > outcome.ambient_temperature_k
+
+
+def test_bench_fig2a_finite_volume(benchmark):
+    outcome = run_once(benchmark, run_fig2a, method="fdm")
+    print("\nFig. 2a temperature map (finite-volume solver, K):")
+    print(matrix_heatmap(outcome.temperature_map_k))
+    assert outcome.aggressor_temperature_k > 600.0
+    assert outcome.same_line_neighbour_k > outcome.ambient_temperature_k + 20.0

@@ -1,0 +1,29 @@
+"""FIG3A — pulses-to-bit-flip versus hammer pulse length (10-100 ns).
+
+Regenerates the paper's Fig. 3a series.  The absolute counts depend on the
+calibration, but the shape must hold: the pulse count decreases
+monotonically with the pulse length and spans roughly one decade between
+10 ns and 100 ns (paper: ~10^4 down to ~10^3).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import decades_spanned, monotonically_decreasing, run_fig3a
+
+
+def test_bench_fig3a_pulse_length_sweep(benchmark):
+    result = run_once(benchmark, run_fig3a)
+    print("\n" + result.to_table())
+    print()
+    print(result.to_chart("pulse_length_ns", "pulses_to_flip", title="Fig. 3a: pulses to flip"))
+
+    pulses = [float(v) for v in result.column("pulses_to_flip")]
+    assert all(result.column("flipped")), "every operating point of Fig. 3a must flip"
+    assert monotonically_decreasing(pulses, tolerance=0.05)
+    span = decades_spanned(pulses)
+    assert 0.6 <= span <= 1.6, f"Fig. 3a should span about one decade, got {span:.2f}"
+    # Same order of magnitude as the paper at the end points.
+    assert 3_000 <= pulses[0] <= 100_000       # 10 ns
+    assert 300 <= pulses[-1] <= 30_000          # 100 ns

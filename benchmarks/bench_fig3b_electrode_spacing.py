@@ -1,0 +1,41 @@
+"""FIG3B — pulses-to-bit-flip versus electrode spacing (10/50/90 nm).
+
+Regenerates the paper's Fig. 3b: denser crossbars couple more strongly and
+need fewer pulses; longer pulses always need fewer pulses.  The paper spans
+roughly two decades between 10 nm and 90 nm.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import decades_spanned, monotonically_increasing, run_fig3b
+
+
+def test_bench_fig3b_electrode_spacing_sweep(benchmark):
+    result = run_once(benchmark, run_fig3b)
+    print("\n" + result.to_table())
+
+    assert all(result.column("flipped"))
+    for pulse_length_ns in (50.0, 75.0, 100.0):
+        series = [
+            (row["electrode_spacing_nm"], float(row["pulses_to_flip"]))
+            for row in result.rows
+            if row["pulse_length_ns"] == pulse_length_ns
+        ]
+        series.sort()
+        pulses = [value for _, value in series]
+        assert monotonically_increasing(pulses, tolerance=0.05), (
+            f"pulses must increase with spacing for the {pulse_length_ns:.0f} ns series"
+        )
+        span = decades_spanned(pulses)
+        assert 1.0 <= span <= 3.0, f"Fig. 3b should span 1-3 decades, got {span:.2f}"
+
+    # Longer pulses need fewer pulses at every spacing.
+    for spacing_nm in (10.0, 50.0, 90.0):
+        by_length = {
+            row["pulse_length_ns"]: float(row["pulses_to_flip"])
+            for row in result.rows
+            if row["electrode_spacing_nm"] == spacing_nm
+        }
+        assert by_length[50.0] >= by_length[75.0] >= by_length[100.0]

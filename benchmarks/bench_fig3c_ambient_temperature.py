@@ -1,0 +1,41 @@
+"""FIG3C — pulses-to-bit-flip versus ambient temperature (273-373 K).
+
+Regenerates the paper's Fig. 3c: the exponential temperature dependence of
+the switching kinetics makes the ambient temperature the strongest lever —
+the paper spans roughly three decades between 273 K and 373 K.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import decades_spanned, monotonically_decreasing, run_fig3c
+
+
+def test_bench_fig3c_ambient_temperature_sweep(benchmark):
+    result = run_once(benchmark, run_fig3c)
+    print("\n" + result.to_table())
+
+    assert all(result.column("flipped"))
+    for pulse_length_ns in (10.0, 30.0, 50.0):
+        series = [
+            (row["ambient_temperature_k"], float(row["pulses_to_flip"]))
+            for row in result.rows
+            if row["pulse_length_ns"] == pulse_length_ns
+        ]
+        series.sort()
+        pulses = [value for _, value in series]
+        assert monotonically_decreasing(pulses, tolerance=0.05), (
+            f"pulses must fall with ambient temperature for the {pulse_length_ns:.0f} ns series"
+        )
+        span = decades_spanned(pulses)
+        assert 2.0 <= span <= 4.5, f"Fig. 3c should span roughly three decades, got {span:.2f}"
+
+    # Shorter pulses need more pulses at every temperature.
+    for temperature in (273.0, 298.0, 373.0):
+        by_length = {
+            row["pulse_length_ns"]: float(row["pulses_to_flip"])
+            for row in result.rows
+            if row["ambient_temperature_k"] == temperature
+        }
+        assert by_length[10.0] >= by_length[30.0] >= by_length[50.0]

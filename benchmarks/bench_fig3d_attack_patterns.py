@@ -1,0 +1,36 @@
+"""FIG3D — impact of different attack patterns (paper Fig. 3d/e-h).
+
+Regenerates the attack-pattern comparison: single aggressor, double-sided row
+and column, quad surround and full row sweep.  Patterns with more
+simultaneously hot aggressors must need fewer pulses than the single-sided
+baseline.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_fig3d
+
+
+def test_bench_fig3d_attack_patterns(benchmark):
+    result = run_once(benchmark, run_fig3d)
+    print("\n" + result.to_table())
+    print()
+    print(result.to_chart("pattern", "pulses_to_flip", title="Fig. 3d: pulses to flip per pattern"))
+
+    assert all(result.column("flipped"))
+    by_pattern = {row["pattern"]: float(row["pulses_to_flip"]) for row in result.rows}
+    assert set(by_pattern) >= {"single", "double_row", "double_column", "quad", "row_sweep"}
+
+    # Double-sided and multi-aggressor patterns are strictly stronger than the
+    # single-aggressor baseline.
+    assert by_pattern["double_row"] < by_pattern["single"]
+    assert by_pattern["double_column"] < by_pattern["single"]
+    assert by_pattern["quad"] < by_pattern["single"]
+    assert by_pattern["row_sweep"] <= by_pattern["double_row"]
+
+    # Victim temperature rises with the number of simultaneous aggressors.
+    temp = {row["pattern"]: float(row["victim_temperature_k"]) for row in result.rows}
+    assert temp["double_row"] > temp["single"]
+    assert temp["row_sweep"] >= temp["double_row"]

@@ -1,0 +1,30 @@
+"""SEC6 — end-to-end attack scenarios on the ReRAM main-memory substrate.
+
+Quantifies the security-implication discussion of the paper's Sec. VI: the
+privilege-escalation and denial-of-service scenarios must succeed on the
+memory substrate using the disturbance figures produced by the circuit-level
+attack, and the RowHammer baseline comparison is reported alongside.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_scenarios
+
+
+def test_bench_attack_scenarios(benchmark):
+    result = run_once(benchmark, run_scenarios)
+    print("\n" + result.to_table())
+    print(f"\npulses to flip one bit: {result.metadata['pulses_to_flip_one_bit']}")
+    print(f"RowHammer-activations per NeuroHammer-pulse: "
+          f"{result.metadata['neurohammer_vs_rowhammer_pulse_ratio']:.1f}")
+
+    by_name = {row["scenario"]: row for row in result.rows}
+    assert by_name["privilege_escalation"]["success"]
+    assert by_name["denial_of_service"]["success"]
+    # Both scenarios complete within a refresh-interval-scale time budget.
+    assert by_name["privilege_escalation"]["attack_time_s"] < 1.0
+    assert by_name["denial_of_service"]["attack_time_s"] < 1.0
+    # The DoS scenario needs at least two flips, hence at least twice the pulses.
+    assert by_name["denial_of_service"]["hammer_pulses"] >= 2 * result.metadata["pulses_to_flip_one_bit"]

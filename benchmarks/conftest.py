@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates the data behind one table/figure of the paper
+(see DESIGN.md's experiment index) and prints the regenerated rows, so
+running ``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+section end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a heavy experiment exactly once under the benchmark fixture.
+
+    The figure sweeps take from a fraction of a second to a few seconds;
+    repeating them dozens of times would make the harness needlessly slow
+    without improving the timing signal, so they are measured with a single
+    round/iteration.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Compare NeuroHammer attack patterns (the paper's Fig. 3d/e-h study).
+
+Evaluates the canonical pattern set — single aggressor, double-sided row,
+double-sided column, quad surround and full row sweep — at the default
+operating point and at a tighter electrode spacing, and reports pulses to
+flip, wall-clock time and the victim temperature each pattern achieves.
+
+Run with:  python examples/attack_patterns.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig3d
+from repro.utils import log_ascii_chart
+
+
+def main() -> None:
+    for spacing_nm in (50, 20):
+        result = run_fig3d(electrode_spacing_m=spacing_nm * 1e-9)
+        print(f"=== Attack patterns at {spacing_nm} nm electrode spacing ===")
+        print(result.to_table())
+        print()
+        print(log_ascii_chart(
+            result.column("pattern"),
+            [float(v) for v in result.column("pulses_to_flip")],
+            title="pulses to flip per pattern (log scale)",
+            unit=" pulses",
+        ))
+        print()
+
+    print("Reading the result:")
+    print("  * every additional simultaneously hot aggressor raises the victim's")
+    print("    crosstalk temperature, which enters the switching kinetics exponentially —")
+    print("    double-sided patterns therefore need far fewer pulses than single-sided ones;")
+    print("  * the quad pattern alternates between its row pair and column pair (hammering")
+    print("    all four at once would fully select the victim), so it pays a duty-cycle")
+    print("    penalty per aggressor but still beats the single-aggressor pattern.")
+
+
+if __name__ == "__main__":
+    main()

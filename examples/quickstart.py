@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: run the NeuroHammer attack on the paper's default crossbar.
+
+The script walks through the four phases of the attack (Fig. 1 of the paper)
+with concrete numbers, runs the default campaign (5x5 crossbar, 50 nm
+electrode spacing, 300 K ambient, 50 ns pulses, V/2 scheme, centre-cell
+aggressor) and shows how strongly the result depends on the pulse length and
+the ambient temperature.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import hammer_once
+from repro.attack import narrate_attack
+from repro.utils import ascii_table, log_ascii_chart
+
+
+def main() -> None:
+    print("=" * 72)
+    print("NeuroHammer quickstart — the four phases of the attack")
+    print("=" * 72)
+    narrative = narrate_attack(pulse_length_s=50e-9)
+    for line in narrative.as_lines():
+        print("  " + line)
+
+    print()
+    print("Full circuit-level campaign (paper default operating point):")
+    result = hammer_once(pulse_length_s=50e-9)
+    rows = [
+        ("aggressor cell", str(result.aggressors[0])),
+        ("victim cell", str(result.victim)),
+        ("victim flipped", "yes" if result.flipped else "no"),
+        ("hammer pulses", result.pulses),
+        ("stress time", f"{result.stress_time_s * 1e6:.1f} us"),
+        ("campaign wall clock", f"{result.wall_clock_s * 1e6:.1f} us"),
+        ("victim filament temperature", f"{result.victim_temperature_k:.0f} K"),
+    ]
+    print(ascii_table(["quantity", "value"], rows))
+
+    print()
+    print("Sensitivity to the pulse length (Fig. 3a) and the ambient temperature (Fig. 3c):")
+    pulse_lengths_ns = (10, 30, 50, 100)
+    pulses = [hammer_once(pulse_length_s=t * 1e-9).pulses for t in pulse_lengths_ns]
+    print(log_ascii_chart([f"{t} ns" for t in pulse_lengths_ns], pulses,
+                          title="pulses to flip vs pulse length", unit=" pulses"))
+    print()
+    temperatures = (273.0, 300.0, 348.0, 373.0)
+    pulses = [hammer_once(pulse_length_s=50e-9, ambient_temperature_k=t).pulses for t in temperatures]
+    print(log_ascii_chart([f"{t:.0f} K" for t in temperatures], pulses,
+                          title="pulses to flip vs ambient temperature", unit=" pulses"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Technology-scaling study: how electrode spacing changes the attack (Fig. 3b).
+
+The paper's Fig. 3b shows that denser crossbars are more vulnerable.  This
+example sweeps the electrode spacing across several technology points, for
+three pulse lengths, and additionally reports the smallest crosstalk
+coefficient (alpha) that would still allow a flip within a fixed pulse budget
+— the design-space question an architect would ask when choosing a pitch.
+
+Run with:  python examples/spacing_study.py
+"""
+
+from __future__ import annotations
+
+from repro.attack import minimum_alpha_to_flip
+from repro.config import CrossbarGeometry
+from repro.devices import JartVcmModel, solve_operating_point
+from repro.experiments import run_fig3b
+from repro.thermal import AnalyticCouplingModel
+from repro.utils import ascii_table, log_ascii_chart
+
+
+def main() -> None:
+    print("=== Fig. 3b reproduction: pulses to flip vs electrode spacing ===")
+    result = run_fig3b(spacings_m=(10e-9, 30e-9, 50e-9, 70e-9, 90e-9), pulse_lengths_s=(50e-9, 100e-9))
+    print(result.to_table())
+    print()
+
+    series_50ns = [
+        (row["electrode_spacing_nm"], row["pulses_to_flip"])
+        for row in result.rows
+        if row["pulse_length_ns"] == 50.0
+    ]
+    print(log_ascii_chart(
+        [f"{spacing:.0f} nm" for spacing, _ in series_50ns],
+        [pulses for _, pulses in series_50ns],
+        title="50 ns series (log scale)",
+        unit=" pulses",
+    ))
+    print()
+
+    print("=== Design-space view: how much coupling does the attack need? ===")
+    model = JartVcmModel()
+    aggressor = solve_operating_point(model, 1.05, 1.0, 300.0)
+    rows = []
+    for budget in (1_000, 10_000, 100_000):
+        alpha = minimum_alpha_to_flip(
+            model,
+            pulse_length_s=50e-9,
+            pulse_budget=budget,
+            aggressor_rise_k=aggressor.temperature_rise_k,
+        )
+        rows.append((f"{budget}", "unreachable" if alpha is None else f"{alpha:.3f}"))
+    print(ascii_table(["pulse budget", "minimum nearest-neighbour alpha"], rows))
+    print()
+
+    print("Calibrated alpha of the nearest neighbour vs spacing (analytic kernel):")
+    rows = []
+    for spacing_nm in (10, 30, 50, 70, 90):
+        geometry = CrossbarGeometry(electrode_spacing_m=spacing_nm * 1e-9)
+        coupling = AnalyticCouplingModel(geometry)
+        centre = geometry.centre_cell()
+        neighbour = (centre[0], centre[1] + 1)
+        rows.append((f"{spacing_nm} nm", f"{coupling.alpha_between(centre, neighbour):.3f}"))
+    print(ascii_table(["electrode spacing", "alpha (same-line nearest neighbour)"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Fig. 2a: the thermal coupling map of a 5x5 crossbar.
+
+The centre cell is driven at V_SET = 1.05 V in its low-resistive state from a
+300 K ambient; the map shows the steady-state filament temperature of every
+cell.  Three models of increasing fidelity are compared: the circuit-level
+electro-thermal snapshot (calibrated analytic alpha values), the lumped
+thermal resistance network, and the finite-volume solver that replaces the
+paper's COMSOL step.  The finite-volume run also extracts the alpha values
+the way the paper does (Eq. 3/4 power-sweep regression).
+
+Run with:  python examples/thermal_map.py [--fdm]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.config import CrossbarGeometry, ThermalSolverConfig
+from repro.experiments import FIG2A_PAPER_REFERENCE, run_fig2a
+from repro.thermal import HeatSolver, build_voxel_model, extract_alpha_values
+from repro.utils import ascii_table, matrix_heatmap
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fdm", action="store_true",
+        help="also run the finite-volume electro-thermal solver and the alpha extraction (slower)",
+    )
+    args = parser.parse_args()
+
+    methods = ["circuit", "network"] + (["fdm"] if args.fdm else [])
+    summaries = []
+    for method in methods:
+        outcome = run_fig2a(method=method)
+        print(f"--- Fig. 2a temperature map [{method}] (K) ---")
+        print(matrix_heatmap(outcome.temperature_map_k))
+        print()
+        summaries.append(
+            (
+                method,
+                f"{outcome.aggressor_temperature_k:.0f}",
+                f"{outcome.same_line_neighbour_k:.0f}",
+                f"{outcome.diagonal_neighbour_k:.0f}",
+            )
+        )
+
+    summaries.append(
+        (
+            "paper (Fig. 2a)",
+            f"{FIG2A_PAPER_REFERENCE['aggressor_k']:.0f}",
+            f"{FIG2A_PAPER_REFERENCE['same_line_neighbour_min_k']:.0f}-"
+            f"{FIG2A_PAPER_REFERENCE['same_line_neighbour_max_k']:.0f}",
+            f"{FIG2A_PAPER_REFERENCE['diagonal_neighbour_min_k']:.0f}-"
+            f"{FIG2A_PAPER_REFERENCE['diagonal_neighbour_max_k']:.0f}",
+        )
+    )
+    print(ascii_table(
+        ["method", "aggressor [K]", "same-line neighbours [K]", "diagonal neighbours [K]"], summaries
+    ))
+
+    if args.fdm:
+        print()
+        print("Alpha-value extraction from the finite-volume solver (Eq. 3/4):")
+        geometry = CrossbarGeometry()
+        model = build_voxel_model(
+            geometry, ThermalSolverConfig(lateral_resolution_m=25e-9, vertical_resolution_m=25e-9)
+        )
+        extraction = extract_alpha_values(HeatSolver(model), points=4)
+        print(f"  fitted thermal resistance Rth = {extraction.thermal_resistance_k_per_w:.3g} K/W "
+              f"(R^2 = {extraction.r_squared:.4f})")
+        print("  alpha values:")
+        print(matrix_heatmap(extraction.alpha, precision=3))
+
+
+if __name__ == "__main__":
+    main()

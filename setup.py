@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works in fully offline environments where the
+``wheel`` package (needed for PEP 660 editable installs) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""NeuroHammer reproduction: inducing bit-flips in memristive crossbar memories.
+
+A full Python reproduction of F. Staudigl et al., "NeuroHammer: Inducing
+Bit-Flips in Memristive Crossbar Memories" (DATE 2022): the JART-style VCM
+device compact model, the electro-thermal crossbar simulation and alpha-value
+extraction, the circuit-level crossbar framework with its crosstalk hub and
+memory controller, the NeuroHammer attack engine, the Sec. VI attack
+scenarios on a ReRAM main-memory substrate, countermeasures, and an
+experiment/benchmark harness regenerating every figure of the paper.
+
+Typical entry points::
+
+    from repro import hammer_once
+    result = hammer_once(pulse_length_s=50e-9)
+    print(result.pulses, result.flipped)
+
+    from repro.experiments import run_fig3a
+    print(run_fig3a().to_table())
+"""
+
+from .attack import AttackResult, NeuroHammer, hammer_once
+from .circuit import CrossbarArray, MemoryController
+from .config import (
+    AttackConfig,
+    CrossbarGeometry,
+    PulseConfig,
+    SimulationConfig,
+    ThermalSolverConfig,
+    WireParameters,
+)
+from .devices import DeviceState, JartVcmModel, JartVcmParameters
+from .errors import ReproError
+from .thermal import AnalyticCouplingModel, HeatSolver, build_voxel_model, extract_alpha_values
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "hammer_once",
+    "NeuroHammer",
+    "AttackResult",
+    "CrossbarArray",
+    "MemoryController",
+    "CrossbarGeometry",
+    "WireParameters",
+    "ThermalSolverConfig",
+    "PulseConfig",
+    "AttackConfig",
+    "SimulationConfig",
+    "JartVcmModel",
+    "JartVcmParameters",
+    "DeviceState",
+    "AnalyticCouplingModel",
+    "HeatSolver",
+    "build_voxel_model",
+    "extract_alpha_values",
+    "ReproError",
+]

@@ -1,0 +1,137 @@
+"""DRAM RowHammer baseline model.
+
+Sec. VI of the paper argues that "any attack proven to work with RowHammer
+could additionally work with NeuroHammer" and reuses RowHammer attack
+scenarios.  To make that comparison quantitative inside the reproduction, a
+compact DRAM disturbance model is provided: a DRAM cell is a capacitor whose
+charge leaks faster whenever an adjacent word line is activated; the bit
+flips once the stored charge falls below the sense threshold before the next
+refresh.
+
+The model is deliberately simple (charge-domain, per-activation disturbance
+constants taken from the RowHammer literature) — it serves as the baseline
+the scenario engine (:mod:`repro.attack.scenarios`) uses to compare attack
+latencies, not as a DRAM physics study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class DramCellParameters:
+    """Charge-domain parameters of a modern DRAM cell."""
+
+    #: Storage capacitance [F].
+    capacitance_f: float = 12e-15
+    #: Stored "1" voltage [V].
+    stored_voltage_v: float = 1.1
+    #: Sense threshold below which the cell reads as flipped [V].
+    sense_threshold_v: float = 0.55
+    #: Natural retention leakage time constant [s].
+    retention_tau_s: float = 0.5
+    #: Fractional charge lost per adjacent-row activation (single-sided).
+    disturbance_per_activation: float = 4e-6
+    #: Row-cycle time: minimum delay between two activations of a row [s].
+    row_cycle_time_s: float = 46e-9
+    #: DRAM refresh interval [s].
+    refresh_interval_s: float = 64e-3
+
+    def __post_init__(self) -> None:
+        if self.capacitance_f <= 0 or self.stored_voltage_v <= 0:
+            raise ConfigurationError("capacitance and stored voltage must be positive")
+        if not 0 < self.sense_threshold_v < self.stored_voltage_v:
+            raise ConfigurationError("sense threshold must lie below the stored voltage")
+        if self.disturbance_per_activation <= 0 or self.disturbance_per_activation >= 1:
+            raise ConfigurationError("disturbance_per_activation must be in (0, 1)")
+        if self.row_cycle_time_s <= 0 or self.refresh_interval_s <= 0:
+            raise ConfigurationError("timing parameters must be positive")
+
+
+@dataclass
+class RowHammerResult:
+    """Outcome of a RowHammer estimate."""
+
+    flipped: bool
+    activations: int
+    attack_time_s: float
+    #: True if the required activations fit within one refresh interval.
+    fits_in_refresh_window: bool
+
+
+class RowHammerModel:
+    """Activation-count estimator for DRAM disturbance errors."""
+
+    def __init__(self, parameters: DramCellParameters = None):
+        self.parameters = parameters if parameters is not None else DramCellParameters()
+
+    def activations_to_flip(self, double_sided: bool = True) -> int:
+        """Adjacent-row activations needed to pull the victim below threshold.
+
+        The victim's normalised charge decays by ``disturbance_per_activation``
+        per aggressor activation (twice that for double-sided hammering); the
+        flip needs the charge ratio to fall below threshold/stored.
+        """
+        p = self.parameters
+        per_activation = p.disturbance_per_activation * (2.0 if double_sided else 1.0)
+        target_ratio = p.sense_threshold_v / p.stored_voltage_v
+        # charge_ratio(n) = (1 - per_activation)^n  =>  n = ln(target)/ln(1-d)
+        activations = math.log(target_ratio) / math.log(1.0 - per_activation)
+        return int(math.ceil(activations))
+
+    def estimate(self, double_sided: bool = True) -> RowHammerResult:
+        """Full estimate including attack time and refresh-window feasibility."""
+        p = self.parameters
+        activations = self.activations_to_flip(double_sided)
+        attack_time = activations * p.row_cycle_time_s
+        return RowHammerResult(
+            flipped=True,
+            activations=activations,
+            attack_time_s=attack_time,
+            fits_in_refresh_window=attack_time < p.refresh_interval_s,
+        )
+
+
+@dataclass
+class AttackComparison:
+    """Side-by-side comparison of a NeuroHammer and a RowHammer campaign."""
+
+    neurohammer_pulses: int
+    neurohammer_time_s: float
+    rowhammer_activations: int
+    rowhammer_time_s: float
+
+    @property
+    def pulse_ratio(self) -> float:
+        """RowHammer activations per NeuroHammer pulse (> 1: NeuroHammer needs fewer)."""
+        if self.neurohammer_pulses == 0:
+            return math.inf
+        return self.rowhammer_activations / self.neurohammer_pulses
+
+    @property
+    def time_ratio(self) -> float:
+        """RowHammer attack time per NeuroHammer attack time."""
+        if self.neurohammer_time_s == 0:
+            return math.inf
+        return self.rowhammer_time_s / self.neurohammer_time_s
+
+
+def compare_attacks(
+    neurohammer_pulses: int,
+    neurohammer_time_s: float,
+    dram_parameters: Optional[DramCellParameters] = None,
+    double_sided: bool = True,
+) -> AttackComparison:
+    """Build the Sec. VI comparison table entry."""
+    rowhammer = RowHammerModel(dram_parameters).estimate(double_sided=double_sided)
+    return AttackComparison(
+        neurohammer_pulses=neurohammer_pulses,
+        neurohammer_time_s=neurohammer_time_s,
+        rowhammer_activations=rowhammer.activations,
+        rowhammer_time_s=rowhammer.attack_time_s,
+    )

@@ -1,0 +1,322 @@
+"""End-to-end attack scenarios (Sec. VI of the paper).
+
+The paper argues that RowHammer-style exploits transfer to NeuroHammer once
+ReRAM is used as main memory.  These scenario engines replay the two classic
+RowHammer exploit classes on the reproduction's memory substrate, with the
+disturbance figures taken from the circuit-level attack simulation:
+
+* :class:`PrivilegeEscalationScenario` — the Seaborn/Dullien page-table
+  exploit: the attacker hammers its own memory to flip a bit in the physical
+  frame number of one of its page-table entries so the entry points at a
+  page-table frame, breaking memory isolation and ultimately exposing a
+  victim secret.
+* :class:`DenialOfServiceScenario` — the attacker flips bits in a victim's
+  data until the ECC can no longer correct them, producing an uncorrectable
+  (detected-but-fatal) error, i.e. a crash/denial of service.
+
+Both scenarios honour the physical constraints of the attack: a victim bit
+can only be flipped if the attacker owns a cell that is physically adjacent
+in the crossbar layout, only bits stored in the vulnerable state can flip,
+and each flip costs the pulse count delivered by the physics stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AttackError
+from ..memory.array import DisturbanceProfile, ReramMemory
+from ..memory.ecc import HammingSecDed
+from ..memory.isolation import IsolationReport, audit_isolation
+from ..memory.mapping import AddressMapping
+from ..memory.pagetable import PTE_BYTES, PageTable, PageTableEntry, PhysicalMemoryManager
+
+
+@dataclass
+class ScenarioStep:
+    """One narrated step of a scenario run."""
+
+    description: str
+    pulses: int = 0
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of a scenario run."""
+
+    name: str
+    success: bool
+    steps: List[ScenarioStep] = field(default_factory=list)
+    total_pulses: int = 0
+    attack_time_s: float = 0.0
+    isolation_before: Optional[IsolationReport] = None
+    isolation_after: Optional[IsolationReport] = None
+    #: Scenario-specific payload (e.g. the exfiltrated secret).
+    payload: Optional[bytes] = None
+
+    def log(self, description: str, pulses: int = 0) -> None:
+        """Append a narrated step."""
+        self.steps.append(ScenarioStep(description, pulses))
+        self.total_pulses += pulses
+
+
+class PrivilegeEscalationScenario:
+    """Page-table privilege escalation through NeuroHammer bit flips."""
+
+    def __init__(
+        self,
+        disturbance: Optional[DisturbanceProfile] = None,
+        page_size: int = 256,
+        mapping: Optional[AddressMapping] = None,
+    ):
+        self.mapping = mapping if mapping is not None else AddressMapping(rows=64, columns=64, tiles_per_bank=16, banks=1)
+        self.disturbance = disturbance if disturbance is not None else DisturbanceProfile()
+        self.page_size = page_size
+        if self.page_size % PTE_BYTES != 0:
+            raise AttackError("page size must be a multiple of the PTE size")
+        self.memory = ReramMemory(mapping=self.mapping, disturbance=self.disturbance)
+        total_frames = self.mapping.capacity_bytes // self.page_size
+        self.manager = PhysicalMemoryManager(total_frames=total_frames, page_size=self.page_size)
+
+    # ------------------------------------------------------------------
+
+    def _frame_base(self, frame_number: int) -> int:
+        return frame_number * self.page_size
+
+    def _setup(self, result: ScenarioResult) -> Tuple[PageTable, Dict[str, PageTable], int, int]:
+        """Lay out kernel structures, attacker pages and the victim secret.
+
+        The attacker performs the classic page-table spray: it maps many
+        regions, so the kernel keeps allocating fresh page-table frames, and
+        attacker data frames and kernel page-table frames end up interleaved
+        in physical memory — exactly the memory massaging step of the
+        Seaborn/Dullien exploit.  In this deterministic reproduction the
+        interleaving is laid out explicitly.
+        """
+        # Victim process: its page table and its secret data frame.
+        victim_pt_frame = self.manager.allocate("kernel", kind="page_table")
+        victim_frame = self.manager.allocate("victim", kind="data")
+        secret = b"TOP-SECRET-KEY!!"
+        self.memory.write_block(self._frame_base(victim_frame.frame_number), secret)
+        victim_table = PageTable(
+            self.memory,
+            base_address=self._frame_base(victim_pt_frame.frame_number),
+            entries=self.page_size // PTE_BYTES,
+            page_size=self.page_size,
+        )
+        victim_table.write_entry(
+            0, PageTableEntry(present=True, writable=True, user=True, frame_number=victim_frame.frame_number)
+        )
+
+        # Attacker spray: alternating attacker data frames and kernel
+        # page-table frames.  The first sprayed page-table frame becomes the
+        # attacker's own page table.
+        attacker_frames = []
+        sprayed_pt_frames = []
+        for _ in range(3):
+            attacker_frames.append(self.manager.allocate("attacker", kind="data"))
+            sprayed_pt_frames.append(self.manager.allocate("kernel", kind="page_table"))
+        pt_frame = sprayed_pt_frames[0]
+        attacker_table = PageTable(
+            self.memory,
+            base_address=self._frame_base(pt_frame.frame_number),
+            entries=self.page_size // PTE_BYTES,
+            page_size=self.page_size,
+        )
+        for index, frame in enumerate(attacker_frames):
+            attacker_table.write_entry(
+                index,
+                PageTableEntry(present=True, writable=True, user=True, frame_number=frame.frame_number),
+            )
+        result.log(
+            f"setup: attacker sprays {len(attacker_frames)} data frames interleaved with "
+            f"{len(sprayed_pt_frames)} kernel page-table frames; its own page table lives in "
+            f"kernel frame {pt_frame.frame_number}, victim secret in frame {victim_frame.frame_number}"
+        )
+        tables = {"attacker": attacker_table, "victim": victim_table}
+        return attacker_table, tables, pt_frame.frame_number, victim_frame.frame_number
+
+    def _attacker_owns(self, byte_address: int) -> bool:
+        frame = byte_address // self.page_size
+        return frame in self.manager.frames and self.manager.owner_of(frame) == "attacker"
+
+    def _find_exploitable_flip(
+        self, attacker_table: PageTable, target_frames: List[int]
+    ) -> Optional[Tuple[int, int, int, Tuple[int, int]]]:
+        """Find (pte_index, pfn_bit, new_frame, aggressor_address_bit).
+
+        The flip must (a) turn an attacker PTE's frame number into one of the
+        target frames, (b) flip a stored 0 into a 1 (the SET-direction
+        disturbance of the physics model) and (c) have an attacker-owned
+        aggressor cell physically adjacent to the victim bit.
+        """
+        for index in range(attacker_table.entries):
+            entry = attacker_table.read_entry(index)
+            if not entry.present:
+                continue
+            for bit in range(16):  # PFN bits reachable within the scenario's frame count
+                new_frame = entry.frame_number ^ (1 << bit)
+                if new_frame not in target_frames:
+                    continue
+                if entry.frame_number & (1 << bit):
+                    continue  # would need a 1 -> 0 flip; SET disturbance only flips 0 -> 1
+                pte_address = attacker_table.entry_address(index)
+                from ..memory.pagetable import PFN_SHIFT
+
+                absolute_bit = PFN_SHIFT + bit
+                victim_byte = pte_address + absolute_bit // 8
+                victim_bit = absolute_bit % 8
+                for aggressor_address, aggressor_bit in self.mapping.aggressor_addresses_for(
+                    victim_byte, victim_bit
+                ):
+                    if self._attacker_owns(aggressor_address):
+                        return index, bit, new_frame, (aggressor_address, aggressor_bit)
+        return None
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ScenarioResult:
+        """Run the full exploit chain and return the narrated result."""
+        result = ScenarioResult(name="privilege_escalation", success=False)
+        attacker_table, tables, pt_frame, victim_frame = self._setup(result)
+
+        result.isolation_before = audit_isolation(tables, self.manager)
+        result.log(
+            "audit before attack: isolation "
+            + ("intact" if result.isolation_before.intact else "ALREADY violated")
+        )
+        if not result.isolation_before.intact:
+            raise AttackError("scenario setup must start from an intact isolation state")
+
+        target_frames = [page.frame_number for page in self.manager.page_tables_of("kernel")]
+        exploit = self._find_exploitable_flip(attacker_table, target_frames)
+        if exploit is None:
+            result.log("no exploitable PTE bit found (no adjacent attacker-owned aggressor)")
+            return result
+        pte_index, pfn_bit, new_frame, (aggressor_address, aggressor_bit) = exploit
+        result.log(
+            f"attacker targets PTE {pte_index}: flipping PFN bit {pfn_bit} redirects it to "
+            f"page-table frame {new_frame}; aggressor cell found at attacker address "
+            f"{aggressor_address:#x} bit {aggressor_bit}"
+        )
+
+        pulses = self.disturbance.same_line_pulses
+        flips = self.memory.hammer(aggressor_address, aggressor_bit, pulses)
+        result.attack_time_s += self.memory.hammer_time_s(pulses)
+        result.log(f"hammering aggressor cell for {pulses} pulses", pulses=pulses)
+        if not flips:
+            result.log("no flip occurred — attack failed")
+            return result
+        result.log(
+            "disturbance flip landed at "
+            + ", ".join(f"{flip.byte_address:#x}[{flip.bit_index}]" for flip in flips)
+        )
+
+        # The attacker's view after the flip.
+        flipped_entry = attacker_table.read_entry(pte_index)
+        result.log(
+            f"PTE {pte_index} now points to frame {flipped_entry.frame_number} "
+            f"(owner: {self.manager.owner_of(flipped_entry.frame_number)})"
+        )
+
+        result.isolation_after = audit_isolation(tables, self.manager)
+        if result.isolation_after.intact:
+            result.log("isolation audit still intact — attack failed")
+            return result
+        result.log(
+            f"isolation VIOLATED: {len(result.isolation_after.violations_of('attacker'))} "
+            "attacker mapping(s) now reach foreign frames"
+        )
+
+        # With write access to a page-table frame, the attacker remaps one of
+        # its own virtual pages onto the victim's secret frame and reads it.
+        hijacked_table = PageTable(
+            self.memory,
+            base_address=self._frame_base(flipped_entry.frame_number),
+            entries=self.page_size // PTE_BYTES,
+            page_size=self.page_size,
+        )
+        spare_index = hijacked_table.entries - 1
+        hijacked_table.write_entry(
+            spare_index,
+            PageTableEntry(present=True, writable=True, user=True, frame_number=victim_frame),
+        )
+        physical, _ = hijacked_table.translate(spare_index * self.page_size)
+        secret = self.memory.read_block(physical, 16)
+        result.payload = secret
+        result.log(f"attacker exfiltrates victim secret: {secret!r}")
+        result.success = True
+        return result
+
+
+class DenialOfServiceScenario:
+    """ECC-exhaustion denial of service through repeated disturbance flips."""
+
+    def __init__(
+        self,
+        disturbance: Optional[DisturbanceProfile] = None,
+        mapping: Optional[AddressMapping] = None,
+        ecc_word_bytes: int = 8,
+    ):
+        self.mapping = mapping if mapping is not None else AddressMapping(rows=64, columns=64, tiles_per_bank=4, banks=1)
+        self.disturbance = disturbance if disturbance is not None else DisturbanceProfile()
+        self.ecc = HammingSecDed(data_bits=ecc_word_bytes * 8)
+        self.memory = ReramMemory(
+            mapping=self.mapping,
+            disturbance=self.disturbance,
+            ecc=self.ecc,
+            ecc_word_bytes=ecc_word_bytes,
+        )
+        self.ecc_word_bytes = ecc_word_bytes
+
+    def run(self, victim_address: int = 0x100) -> ScenarioResult:
+        """Flip two bits of the same ECC word to defeat single-error correction."""
+        result = ScenarioResult(name="denial_of_service", success=False)
+        word_base = (victim_address // self.ecc_word_bytes) * self.ecc_word_bytes
+        self.memory.write_block(word_base, bytes([0x00] * self.ecc_word_bytes))
+        result.log(f"victim data word written at {word_base:#x} (ECC protected)")
+
+        flipped_bits: List[Tuple[int, int]] = []
+        pulses_per_flip = self.disturbance.same_line_pulses
+        for byte_offset in range(self.ecc_word_bytes):
+            if len(flipped_bits) >= 2:
+                break
+            for bit in range(8):
+                victim_byte = word_base + byte_offset
+                aggressors = self.mapping.aggressor_addresses_for(victim_byte, bit)
+                outside = [
+                    (address, abit)
+                    for address, abit in aggressors
+                    if not word_base <= address < word_base + self.ecc_word_bytes
+                ]
+                if not outside:
+                    continue
+                address, abit = outside[0]
+                flips = self.memory.hammer(address, abit, pulses_per_flip)
+                result.attack_time_s += self.memory.hammer_time_s(pulses_per_flip)
+                result.log(
+                    f"hammering {address:#x}[{abit}] adjacent to victim bit {victim_byte:#x}[{bit}]",
+                    pulses=pulses_per_flip,
+                )
+                landed = [f for f in flips if word_base <= f.byte_address < word_base + self.ecc_word_bytes]
+                if landed:
+                    flipped_bits.extend((f.byte_address, f.bit_index) for f in landed)
+                    result.log(f"flip landed in the victim word ({len(flipped_bits)} so far)")
+                if len(flipped_bits) >= 2:
+                    break
+
+        before_failures = self.memory.ecc_detected_failures
+        self.memory.read_block(word_base, self.ecc_word_bytes)
+        uncorrectable = self.memory.ecc_detected_failures > before_failures
+        if len(flipped_bits) >= 2 and uncorrectable:
+            result.log(
+                f"read of the victim word raises an uncorrectable ECC error "
+                f"({len(flipped_bits)} flips in one word) — process/machine check crash"
+            )
+            result.success = True
+        elif len(flipped_bits) >= 1:
+            result.log("only a single flip landed; ECC corrected it — denial of service failed")
+        else:
+            result.log("no flips landed — denial of service failed")
+        return result

@@ -1,0 +1,214 @@
+"""Memory controller of the circuit-level framework (paper Fig. 2c).
+
+The controller is the component that "generates and drives the respective
+pulse for a certain input line of the crossbar": it owns the init state and
+the stimuli, translates logical read/write/hammer operations into bias
+patterns and pulse schedules, and runs them on the crossbar.
+
+Writes use a write-and-verify loop, which is both the standard industrial
+practice for ReRAM and the behaviour the attack model assumes (the aggressor
+cell is *already* in LRS, so hammer pulses do not move it further).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..config import PulseConfig
+from ..errors import AddressingError, ConfigurationError
+from .crossbar import CrossbarArray
+from .drivers import BiasPattern, read_bias, write_bias
+from .pulses import StimulusSchedule, StimulusSegment
+from .transient import TransientSimulator
+
+Cell = Tuple[int, int]
+
+
+@dataclass
+class WriteResult:
+    """Outcome of a write-and-verify operation."""
+
+    cell: Cell
+    target_bit: int
+    success: bool
+    pulses_used: int
+    final_x: float
+
+
+@dataclass
+class ReadResult:
+    """Outcome of a read operation."""
+
+    cell: Cell
+    bit: int
+    current_a: float
+    voltage_v: float
+
+    @property
+    def resistance_ohm(self) -> float:
+        """Apparent resistance seen at the sensed cell [Ohm]."""
+        if abs(self.current_a) < 1e-18:
+            return float("inf")
+        return abs(self.voltage_v / self.current_a)
+
+
+@dataclass
+class StimulusOperation:
+    """One entry of the stimuli file."""
+
+    #: "write", "read" or "hammer".
+    kind: str
+    cell: Cell
+    #: Bit value for writes, pulse count for hammer operations.
+    value: int = 1
+    pulse: Optional[PulseConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("write", "read", "hammer"):
+            raise ConfigurationError(f"unknown stimulus operation {self.kind!r}")
+        self.cell = tuple(self.cell)  # type: ignore[assignment]
+
+
+class MemoryController:
+    """Row/column controller driving a :class:`CrossbarArray`."""
+
+    def __init__(
+        self,
+        crossbar: CrossbarArray,
+        write_pulse: PulseConfig = None,
+        read_voltage_v: float = 0.2,
+        read_threshold_a: float = None,
+        scheme: str = "v_half",
+        max_write_pulses: int = 64,
+    ):
+        self.crossbar = crossbar
+        self.write_pulse = write_pulse if write_pulse is not None else PulseConfig(length_s=1e-6)
+        self.read_voltage_v = read_voltage_v
+        self.scheme = scheme
+        self.max_write_pulses = max_write_pulses
+        if read_threshold_a is None:
+            read_threshold_a = self._default_read_threshold()
+        self.read_threshold_a = read_threshold_a
+
+    # ------------------------------------------------------------------
+    # init / stimuli files
+    # ------------------------------------------------------------------
+
+    def load_init(self, source: Union[np.ndarray, Sequence[Sequence[int]], str, Path]) -> None:
+        """Load the initial bit pattern ("init file")."""
+        if isinstance(source, (str, Path)):
+            data = json.loads(Path(source).read_text(encoding="utf-8"))
+            bits = np.asarray(data["bits"], dtype=int)
+        else:
+            bits = np.asarray(source, dtype=int)
+        self.crossbar.initialise_bits(bits)
+
+    def save_init(self, path: Union[str, Path]) -> None:
+        """Persist the current bit pattern as an init file."""
+        payload = {"bits": self.crossbar.bit_map().tolist()}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def run_stimuli(self, operations: Sequence[StimulusOperation]) -> List[object]:
+        """Execute a list of stimulus operations and collect their results."""
+        results: List[object] = []
+        for operation in operations:
+            if operation.kind == "write":
+                results.append(self.write(operation.cell, operation.value))
+            elif operation.kind == "read":
+                results.append(self.read(operation.cell))
+            else:
+                pulse = operation.pulse if operation.pulse is not None else self.write_pulse
+                results.append(self.hammer(operation.cell, operation.value, pulse))
+        return results
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def write(self, cell: Cell, bit: int, lrs_is_one: bool = True) -> WriteResult:
+        """Write a bit with a write-and-verify pulse loop."""
+        cell = tuple(cell)
+        self.crossbar.geometry.validate_cell(*cell)
+        if bit not in (0, 1):
+            raise ConfigurationError("bit must be 0 or 1")
+        wants_lrs = (bit == 1) == lrs_is_one
+        amplitude = self.write_pulse.amplitude_v if wants_lrs else -self.write_pulse.amplitude_v
+        target_threshold = 0.5
+
+        pulses_used = 0
+        for _ in range(self.max_write_pulses):
+            if self._verify(cell, wants_lrs, target_threshold):
+                break
+            schedule = StimulusSchedule()
+            bias = write_bias(self.crossbar.geometry, [cell], amplitude, scheme=self.scheme)
+            schedule.append(StimulusSegment(0.0, self.write_pulse.length_s, label="write", payload=bias))
+            simulator = TransientSimulator(self.crossbar, flip_threshold=target_threshold)
+            simulator.run(schedule)
+            pulses_used += 1
+        success = self._verify(cell, wants_lrs, target_threshold)
+        return WriteResult(
+            cell=cell,
+            target_bit=bit,
+            success=success,
+            pulses_used=pulses_used,
+            final_x=self.crossbar.get_state(cell).x,
+        )
+
+    def read(self, cell: Cell) -> ReadResult:
+        """Read a cell by sensing its bit-line current under the read bias."""
+        cell = tuple(cell)
+        self.crossbar.geometry.validate_cell(*cell)
+        bias = read_bias(self.crossbar.geometry, cell, self.read_voltage_v, scheme=self.scheme)
+        op = self.crossbar.solve_bias(bias)
+        current = abs(op.cell_current(cell))
+        bit = 1 if current >= self.read_threshold_a else 0
+        return ReadResult(cell=cell, bit=bit, current_a=current, voltage_v=op.cell_voltage(cell))
+
+    def read_all(self) -> np.ndarray:
+        """Read every cell and return the bit matrix."""
+        geometry = self.crossbar.geometry
+        bits = np.zeros((geometry.rows, geometry.columns), dtype=int)
+        for cell in geometry.iter_cells():
+            bits[cell] = self.read(cell).bit
+        return bits
+
+    def hammer(self, cell: Cell, pulses: int, pulse: PulseConfig = None) -> StimulusSchedule:
+        """Build (but do not run) the hammer schedule for a cell.
+
+        The attack engine (:mod:`repro.attack.neurohammer`) drives hammering
+        campaigns; the controller only exposes the pulse generation, which is
+        what the real hardware controller would do.
+        """
+        cell = tuple(cell)
+        self.crossbar.geometry.validate_cell(*cell)
+        pulse = pulse if pulse is not None else self.write_pulse
+        if pulses < 1:
+            raise ConfigurationError("hammer needs at least one pulse")
+        bias = write_bias(self.crossbar.geometry, [cell], pulse.amplitude_v, scheme=self.scheme)
+        schedule = StimulusSchedule()
+        for index in range(pulses):
+            start = index * pulse.period_s
+            schedule.append(StimulusSegment(start, pulse.length_s, label="hammer", payload=bias))
+        return schedule
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _verify(self, cell: Cell, wants_lrs: bool, threshold: float) -> bool:
+        x = self.crossbar.get_state(cell).x
+        return x >= threshold if wants_lrs else x <= (1.0 - threshold)
+
+    def _default_read_threshold(self) -> float:
+        """Geometric mean of the LRS and HRS read currents of an isolated cell."""
+        model = self.crossbar.model
+        lrs = abs(model.current(self.read_voltage_v, model.lrs_state(self.crossbar.ambient_temperature_k)))
+        hrs = abs(model.current(self.read_voltage_v, model.hrs_state(self.crossbar.ambient_temperature_k)))
+        if lrs <= 0 or hrs <= 0:
+            raise ConfigurationError("device model produces non-positive read currents")
+        return float(np.sqrt(lrs * hrs))

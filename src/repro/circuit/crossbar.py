@@ -1,0 +1,217 @@
+"""The memristive crossbar array: devices, wires, drivers and thermal state.
+
+:class:`CrossbarArray` is the central object of the circuit-level framework
+(the "memristive crossbar" block of the paper's Fig. 2c).  It owns the device
+states of every crosspoint, solves bias patterns through the nonlinear nodal
+solver, and keeps the electro-thermal picture consistent by combining each
+cell's self-heating (Eq. 6) with the crosstalk hub contribution (Eq. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..config import CrossbarGeometry, WireParameters
+from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K
+from ..devices.base import DeviceState, MemristorModel, bit_from_state
+from ..devices.jart_vcm import JartVcmModel
+from ..errors import ConfigurationError, GeometryError
+from ..thermal.coupling import AnalyticCouplingModel, CouplingModel
+from .crosstalk_hub import CrosstalkHub
+from .drivers import BiasPattern
+from .netlist import CrossbarNetlist, build_crossbar_netlist
+from .solver import CrossbarSolver, OperatingPoint
+
+Cell = Tuple[int, int]
+
+
+@dataclass
+class ThermalSnapshot:
+    """Electro-thermal state of the array under one bias pattern."""
+
+    operating_point: OperatingPoint
+    #: Filament temperature including self-heating and crosstalk [K].
+    filament_temperatures_k: np.ndarray
+    #: Crosstalk contribution alone [K].
+    crosstalk_temperatures_k: np.ndarray
+
+    def cell_temperature(self, cell: Cell) -> float:
+        """Filament temperature of one cell [K]."""
+        return float(self.filament_temperatures_k[cell[0], cell[1]])
+
+
+class CrossbarArray:
+    """A passive memristive crossbar with thermal crosstalk."""
+
+    def __init__(
+        self,
+        geometry: CrossbarGeometry = None,
+        model: MemristorModel = None,
+        wires: WireParameters = None,
+        coupling: CouplingModel = None,
+        ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K,
+    ):
+        self.geometry = geometry if geometry is not None else CrossbarGeometry()
+        self.model = model if model is not None else JartVcmModel()
+        self.wires = wires if wires is not None else WireParameters()
+        if coupling is None:
+            coupling = AnalyticCouplingModel(self.geometry)
+        elif coupling.geometry is not self.geometry and (
+            coupling.geometry.rows != self.geometry.rows
+            or coupling.geometry.columns != self.geometry.columns
+        ):
+            raise GeometryError("coupling model geometry does not match the crossbar")
+        if ambient_temperature_k <= 0:
+            raise ConfigurationError("ambient temperature must be positive")
+        self.ambient_temperature_k = ambient_temperature_k
+        self.netlist: CrossbarNetlist = build_crossbar_netlist(self.geometry, self.wires)
+        self.solver = CrossbarSolver(self.netlist, self.model)
+        self.hub = CrosstalkHub(coupling, ambient_temperature_k)
+        self.states: Dict[Cell, DeviceState] = {
+            cell: self.model.hrs_state(ambient_temperature_k) for cell in self.geometry.iter_cells()
+        }
+
+    # ------------------------------------------------------------------
+    # state management
+    # ------------------------------------------------------------------
+
+    def set_state(self, cell: Cell, x: float) -> None:
+        """Set the normalised state of one cell."""
+        self.geometry.validate_cell(*cell)
+        self.states[tuple(cell)] = DeviceState(
+            x=self.model.clamp_state(x), filament_temperature_k=self.ambient_temperature_k
+        )
+
+    def set_bit(self, cell: Cell, bit: int, lrs_is_one: bool = True) -> None:
+        """Store a logical bit in a cell (ideal write, no dynamics)."""
+        self.states[tuple(cell)] = self.model.state_from_bit(
+            bit, self.ambient_temperature_k, lrs_is_one=lrs_is_one
+        )
+
+    def get_state(self, cell: Cell) -> DeviceState:
+        """Return the device state of a cell."""
+        self.geometry.validate_cell(*cell)
+        return self.states[tuple(cell)]
+
+    def get_bit(self, cell: Cell, lrs_is_one: bool = True) -> int:
+        """Decode the logical bit of a cell from its state."""
+        return bit_from_state(self.get_state(cell), lrs_is_one=lrs_is_one)
+
+    def state_map(self) -> np.ndarray:
+        """(rows x columns) array of normalised states."""
+        out = np.zeros((self.geometry.rows, self.geometry.columns))
+        for cell in self.geometry.iter_cells():
+            out[cell] = self.states[cell].x
+        return out
+
+    def bit_map(self, lrs_is_one: bool = True) -> np.ndarray:
+        """(rows x columns) array of stored bits."""
+        out = np.zeros((self.geometry.rows, self.geometry.columns), dtype=int)
+        for cell in self.geometry.iter_cells():
+            out[cell] = bit_from_state(self.states[cell], lrs_is_one=lrs_is_one)
+        return out
+
+    def initialise_states(self, values: Mapping[Cell, float] = None, default_x: float = 0.0) -> None:
+        """Reset every cell, optionally overriding individual cells."""
+        for cell in self.geometry.iter_cells():
+            self.set_state(cell, default_x)
+        if values:
+            for cell, x in values.items():
+                self.set_state(tuple(cell), x)
+
+    def initialise_bits(self, bits: np.ndarray, lrs_is_one: bool = True) -> None:
+        """Load a full bit pattern (the paper's "init file")."""
+        bits = np.asarray(bits)
+        if bits.shape != (self.geometry.rows, self.geometry.columns):
+            raise ConfigurationError("bit pattern shape does not match the crossbar")
+        for cell in self.geometry.iter_cells():
+            self.set_bit(cell, int(bits[cell]), lrs_is_one=lrs_is_one)
+
+    def reset_temperatures(self) -> None:
+        """Relax every filament back to the ambient temperature."""
+        for state in self.states.values():
+            state.filament_temperature_k = self.ambient_temperature_k
+
+    # ------------------------------------------------------------------
+    # electro-thermal solves
+    # ------------------------------------------------------------------
+
+    def solve_bias(self, bias: BiasPattern) -> OperatingPoint:
+        """Solve the electrical operating point for one bias pattern."""
+        return self.solver.solve(bias, self.states)
+
+    def thermal_snapshot(
+        self,
+        bias: BiasPattern,
+        max_iterations: int = 8,
+        tolerance_k: float = 1.0,
+    ) -> ThermalSnapshot:
+        """Solve bias and return the self-consistent electro-thermal picture.
+
+        The device currents depend on the filament temperatures, which depend
+        on the dissipated powers (Eq. 6) plus the crosstalk hub contribution
+        (Eq. 5), which depend on the currents again.  The loop re-solves the
+        electrical network with updated temperatures until the temperature
+        field settles.
+
+        The crosstalk hub is applied once per electrical solve, to the cells'
+        *self-heating* rises: the alpha values already describe the complete
+        steady-state thermal field of a dissipating cell, so re-radiating a
+        crosstalk-received rise through the hub again would double-count heat
+        paths.
+        """
+        if max_iterations < 1:
+            raise ConfigurationError("max_iterations must be at least 1")
+        rows, columns = self.geometry.rows, self.geometry.columns
+        rth = self.model.thermal_resistance_k_per_w()
+        crosstalk = np.zeros((rows, columns))
+        temperatures = np.full((rows, columns), float(self.ambient_temperature_k))
+        op = None
+        for _ in range(max_iterations):
+            op = self.solve_bias(bias)
+            self_heating = rth * op.device_powers_w
+            crosstalk = self.hub.additional_temperatures(self.ambient_temperature_k + self_heating)
+            new_temperatures = self.ambient_temperature_k + self_heating + crosstalk
+            change = float(np.abs(new_temperatures - temperatures).max())
+            temperatures = new_temperatures
+            for cell in self.geometry.iter_cells():
+                self.states[cell].filament_temperature_k = float(temperatures[cell])
+            if change < tolerance_k:
+                break
+        return ThermalSnapshot(
+            operating_point=op,
+            filament_temperatures_k=temperatures,
+            crosstalk_temperatures_k=crosstalk,
+        )
+
+    def temperature_map(self) -> np.ndarray:
+        """Current filament temperatures of every cell [K]."""
+        out = np.zeros((self.geometry.rows, self.geometry.columns))
+        for cell in self.geometry.iter_cells():
+            out[cell] = self.states[cell].filament_temperature_k
+        return out
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    def cells(self) -> Iterable[Cell]:
+        """Iterate over all cell coordinates."""
+        return self.geometry.iter_cells()
+
+    def centre_cell(self) -> Cell:
+        """The middle cell — the paper's default aggressor."""
+        return self.geometry.centre_cell()
+
+    def copy_states(self) -> Dict[Cell, DeviceState]:
+        """Deep copy of the per-cell states (for checkpoint/restore)."""
+        return {cell: state.copy() for cell, state in self.states.items()}
+
+    def restore_states(self, snapshot: Mapping[Cell, DeviceState]) -> None:
+        """Restore a state snapshot taken with :meth:`copy_states`."""
+        for cell, state in snapshot.items():
+            self.geometry.validate_cell(*cell)
+            self.states[tuple(cell)] = state.copy()

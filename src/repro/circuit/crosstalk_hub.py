@@ -1,0 +1,95 @@
+"""Crosstalk hub: thermal coupling between crossbar cells (paper Eq. 5).
+
+The hub mirrors the Verilog-A module of the paper's Virtuoso framework: it
+receives the filament temperature of every cell and returns, per cell, the
+additional temperature contributed by all the other cells, weighted by the
+alpha values extracted from the crossbar simulation:
+
+    T_in(i) = sum_j alpha_ji * (T_out(j) - T0)
+
+The paper states Eq. 5 in terms of absolute temperatures; the implementation
+uses temperature *rises* so that a crossbar sitting idle at ambient does not
+heat itself — this is the physically consistent reading of the alpha
+regression (Eq. 4), which relates neighbour temperature rises to the
+aggressor's dissipated power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..config import CrossbarGeometry
+from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K
+from ..errors import ConfigurationError
+from ..thermal.coupling import CouplingModel
+
+Cell = Tuple[int, int]
+
+
+@dataclass
+class CrosstalkHub:
+    """Aggregates thermal crosstalk contributions between cells."""
+
+    coupling: CouplingModel
+    ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K
+
+    def __post_init__(self) -> None:
+        if self.ambient_temperature_k <= 0:
+            raise ConfigurationError("ambient temperature must be positive")
+        geometry = self.coupling.geometry
+        # Pre-compute the full coupling tensor alpha[aggressor, victim] once;
+        # for a 5x5 crossbar this is a 25x25 matrix.
+        count = geometry.cell_count
+        self._alpha = np.zeros((count, count))
+        cells = list(geometry.iter_cells())
+        self._cell_index = {cell: index for index, cell in enumerate(cells)}
+        for a_index, aggressor in enumerate(cells):
+            for v_index, victim in enumerate(cells):
+                if a_index == v_index:
+                    continue
+                self._alpha[a_index, v_index] = self.coupling.alpha_between(aggressor, victim)
+
+    @property
+    def geometry(self) -> CrossbarGeometry:
+        """Geometry of the underlying crossbar."""
+        return self.coupling.geometry
+
+    def alpha_between(self, aggressor: Cell, victim: Cell) -> float:
+        """Coupling coefficient from aggressor to victim."""
+        return float(self._alpha[self._cell_index[tuple(aggressor)], self._cell_index[tuple(victim)]])
+
+    def additional_temperatures(
+        self, filament_temperatures_k: np.ndarray
+    ) -> np.ndarray:
+        """Per-cell additional temperature from crosstalk [K] (Eq. 5).
+
+        Args:
+            filament_temperatures_k: (rows x columns) array of the cells'
+                filament temperatures *excluding* crosstalk (self-heating on
+                top of ambient).
+        """
+        geometry = self.geometry
+        expected = (geometry.rows, geometry.columns)
+        if filament_temperatures_k.shape != expected:
+            raise ConfigurationError(
+                f"temperature map shape {filament_temperatures_k.shape} does not match {expected}"
+            )
+        rises = np.maximum(filament_temperatures_k - self.ambient_temperature_k, 0.0).ravel()
+        additional = self._alpha.T @ rises
+        return additional.reshape(expected)
+
+    def additional_temperature_for(
+        self, victim: Cell, filament_temperatures_k: np.ndarray
+    ) -> float:
+        """Additional temperature of a single victim cell [K]."""
+        return float(self.additional_temperatures(filament_temperatures_k)[victim[0], victim[1]])
+
+    def aggressor_contribution(
+        self, aggressor: Cell, victim: Cell, aggressor_temperature_k: float
+    ) -> float:
+        """Temperature delivered to ``victim`` by a single hot aggressor [K]."""
+        rise = max(aggressor_temperature_k - self.ambient_temperature_k, 0.0)
+        return self.alpha_between(aggressor, victim) * rise

@@ -1,0 +1,169 @@
+"""Line drivers and write-bias schemes for passive crossbars.
+
+The paper biases the crossbar with the classic V/2 scheme: the selected word
+line is driven to the full write voltage, the selected bit line to ground and
+every unselected line to half the write voltage, so only the selected cell
+sees the full voltage while every half-selected cell (sharing a line with the
+selected cell) sees V/2 — the stress the NeuroHammer attack exploits.  The
+V/3 scheme is provided as well because it is the standard mitigation knob
+(ablation ABL3): half-selected cells then only see V/3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..config import CrossbarGeometry
+from ..errors import ConfigurationError, GeometryError
+
+Cell = Tuple[int, int]
+
+#: Selection categories a cell can fall into under a write bias.
+FULL_SELECTED = "full"
+HALF_SELECTED = "half"
+UNSELECTED = "unselected"
+
+
+@dataclass
+class BiasPattern:
+    """Driver voltages applied to every word and bit line.
+
+    ``None`` means the line floats (no driver attached).
+    """
+
+    row_voltages_v: Dict[int, Optional[float]] = field(default_factory=dict)
+    column_voltages_v: Dict[int, Optional[float]] = field(default_factory=dict)
+    #: Human-readable description used in traces and reports.
+    label: str = "bias"
+
+    def row_voltage(self, row: int) -> Optional[float]:
+        """Driver voltage of a word line, or None if floating."""
+        return self.row_voltages_v.get(row)
+
+    def column_voltage(self, column: int) -> Optional[float]:
+        """Driver voltage of a bit line, or None if floating."""
+        return self.column_voltages_v.get(column)
+
+    def nominal_cell_voltage(self, cell: Cell) -> Optional[float]:
+        """Ideal (wire-drop-free) voltage across a cell, or None if undefined."""
+        row_v = self.row_voltage(cell[0])
+        column_v = self.column_voltage(cell[1])
+        if row_v is None or column_v is None:
+            return None
+        return row_v - column_v
+
+    def scaled(self, factor: float) -> "BiasPattern":
+        """Return a copy with every driven voltage scaled by ``factor``."""
+        return BiasPattern(
+            row_voltages_v={r: (None if v is None else v * factor) for r, v in self.row_voltages_v.items()},
+            column_voltages_v={c: (None if v is None else v * factor) for c, v in self.column_voltages_v.items()},
+            label=self.label,
+        )
+
+
+def idle_bias(geometry: CrossbarGeometry, label: str = "idle") -> BiasPattern:
+    """All lines grounded — the resting state of the array."""
+    return BiasPattern(
+        row_voltages_v={row: 0.0 for row in range(geometry.rows)},
+        column_voltages_v={column: 0.0 for column in range(geometry.columns)},
+        label=label,
+    )
+
+
+def write_bias(
+    geometry: CrossbarGeometry,
+    targets: Iterable[Cell],
+    amplitude_v: float,
+    scheme: str = "v_half",
+    label: Optional[str] = None,
+) -> BiasPattern:
+    """Write-bias pattern for one or more simultaneously selected cells.
+
+    Args:
+        geometry: Crossbar geometry.
+        targets: Cells receiving the full write voltage.
+        amplitude_v: Write amplitude (positive for SET polarity).
+        scheme: ``"v_half"`` (paper default) or ``"v_third"``.
+        label: Optional label stored in the pattern.
+    """
+    target_list = [tuple(cell) for cell in targets]
+    if not target_list:
+        raise ConfigurationError("write bias needs at least one target cell")
+    for cell in target_list:
+        geometry.validate_cell(*cell)
+    if scheme == "v_half":
+        unselected_row_v = amplitude_v / 2.0
+        unselected_column_v = amplitude_v / 2.0
+    elif scheme == "v_third":
+        unselected_row_v = amplitude_v / 3.0
+        unselected_column_v = 2.0 * amplitude_v / 3.0
+    else:
+        raise ConfigurationError(f"unknown bias scheme {scheme!r}")
+
+    selected_rows = {cell[0] for cell in target_list}
+    selected_columns = {cell[1] for cell in target_list}
+    rows = {
+        row: (amplitude_v if row in selected_rows else unselected_row_v)
+        for row in range(geometry.rows)
+    }
+    columns = {
+        column: (0.0 if column in selected_columns else unselected_column_v)
+        for column in range(geometry.columns)
+    }
+    return BiasPattern(rows, columns, label=label or f"write_{scheme}")
+
+
+def read_bias(
+    geometry: CrossbarGeometry,
+    target: Cell,
+    read_voltage_v: float = 0.2,
+    scheme: str = "v_half",
+) -> BiasPattern:
+    """Read-bias pattern: a small sensing voltage on the selected cell."""
+    return write_bias(geometry, [target], read_voltage_v, scheme=scheme, label="read")
+
+
+def classify_cells(
+    geometry: CrossbarGeometry, targets: Iterable[Cell]
+) -> Dict[Cell, str]:
+    """Classify every cell as fully selected, half selected or unselected.
+
+    Half-selected cells share exactly one line (row or column) with a target;
+    they are the candidate victims of the NeuroHammer attack.  Note that with
+    several simultaneous targets, cells at the intersection of one target's
+    row and another target's column become fully selected as well — this is
+    why the attack engine hammers multi-aggressor patterns in an interleaved
+    fashion by default.
+    """
+    target_set: Set[Cell] = {tuple(cell) for cell in targets}
+    for cell in target_set:
+        geometry.validate_cell(*cell)
+    selected_rows = {cell[0] for cell in target_set}
+    selected_columns = {cell[1] for cell in target_set}
+    classification: Dict[Cell, str] = {}
+    for cell in geometry.iter_cells():
+        in_row = cell[0] in selected_rows
+        in_column = cell[1] in selected_columns
+        if in_row and in_column:
+            classification[cell] = FULL_SELECTED
+        elif in_row or in_column:
+            classification[cell] = HALF_SELECTED
+        else:
+            classification[cell] = UNSELECTED
+    return classification
+
+
+def half_selected_cells(geometry: CrossbarGeometry, targets: Iterable[Cell]) -> List[Cell]:
+    """Cells exposed to the half-select stress for the given targets."""
+    classification = classify_cells(geometry, targets)
+    return [cell for cell, kind in classification.items() if kind == HALF_SELECTED]
+
+
+def half_select_voltage(amplitude_v: float, scheme: str = "v_half") -> float:
+    """Voltage across a half-selected cell for the given scheme."""
+    if scheme == "v_half":
+        return amplitude_v / 2.0
+    if scheme == "v_third":
+        return amplitude_v / 3.0
+    raise ConfigurationError(f"unknown bias scheme {scheme!r}")

@@ -1,0 +1,163 @@
+"""Pulse and stimulus descriptions for the circuit-level framework.
+
+The paper drives the crossbar with rectangular pulses of fixed amplitude
+(V_SET = 1.05 V) and configurable length/duty cycle, described by a stimuli
+file (Sec. IV-B).  This module provides the in-memory equivalent: pulse
+trains and time-ordered stimulus segments that the memory controller and the
+transient engine consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..config import PulseConfig
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RectangularPulse:
+    """One rectangular voltage pulse."""
+
+    amplitude_v: float
+    length_s: float
+    #: Idle time appended after the active part [s].
+    idle_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.length_s <= 0:
+            raise ConfigurationError("pulse length must be positive")
+        if self.idle_s < 0:
+            raise ConfigurationError("idle time cannot be negative")
+
+    @property
+    def period_s(self) -> float:
+        """Total duration of one pulse period [s]."""
+        return self.length_s + self.idle_s
+
+    def voltage_at(self, time_in_period_s: float) -> float:
+        """Instantaneous voltage at a time offset within the period [V]."""
+        if 0.0 <= time_in_period_s < self.length_s:
+            return self.amplitude_v
+        return 0.0
+
+    @classmethod
+    def from_config(cls, config: PulseConfig) -> "RectangularPulse":
+        """Build a pulse from the shared :class:`PulseConfig`."""
+        return cls(amplitude_v=config.amplitude_v, length_s=config.length_s, idle_s=config.idle_s)
+
+
+@dataclass
+class PulseTrain:
+    """A repeated rectangular pulse."""
+
+    pulse: RectangularPulse
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError("pulse train needs at least one pulse")
+
+    @property
+    def total_duration_s(self) -> float:
+        """Duration of the full train [s]."""
+        return self.count * self.pulse.period_s
+
+    @property
+    def total_stress_s(self) -> float:
+        """Cumulative active (biased) time [s]."""
+        return self.count * self.pulse.length_s
+
+    def voltage_at(self, time_s: float) -> float:
+        """Instantaneous voltage of the train at an absolute time [V]."""
+        if time_s < 0 or time_s >= self.total_duration_s:
+            return 0.0
+        return self.pulse.voltage_at(time_s % self.pulse.period_s)
+
+    def __iter__(self) -> Iterator[Tuple[float, RectangularPulse]]:
+        """Iterate (start_time, pulse) for every pulse in the train."""
+        for index in range(self.count):
+            yield index * self.pulse.period_s, self.pulse
+
+
+@dataclass
+class StimulusSegment:
+    """A time segment during which one bias pattern is applied.
+
+    The bias pattern itself is described by the drivers module; the segment
+    only knows its identifier to keep this module free of circular imports.
+    """
+
+    start_s: float
+    duration_s: float
+    #: Name of the operation this segment belongs to (write/read/hammer/idle).
+    label: str = "bias"
+    #: Arbitrary payload (typically a BiasPattern) forwarded to the engine.
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("stimulus segments must have positive duration")
+        if self.start_s < 0:
+            raise ConfigurationError("stimulus segments cannot start before t=0")
+
+    @property
+    def end_s(self) -> float:
+        """End time of the segment [s]."""
+        return self.start_s + self.duration_s
+
+
+@dataclass
+class StimulusSchedule:
+    """Time-ordered, non-overlapping collection of stimulus segments."""
+
+    segments: List[StimulusSegment] = field(default_factory=list)
+
+    def append(self, segment: StimulusSegment) -> None:
+        """Append a segment; it must not overlap the previous one."""
+        if self.segments and segment.start_s < self.segments[-1].end_s - 1e-18:
+            raise ConfigurationError("stimulus segments must be appended in time order")
+        self.segments.append(segment)
+
+    def append_after(self, duration_s: float, label: str = "bias", payload: object = None) -> StimulusSegment:
+        """Append a segment immediately after the current schedule end."""
+        segment = StimulusSegment(self.end_s, duration_s, label=label, payload=payload)
+        self.append(segment)
+        return segment
+
+    @property
+    def end_s(self) -> float:
+        """End time of the schedule [s]."""
+        return self.segments[-1].end_s if self.segments else 0.0
+
+    def __iter__(self) -> Iterator[StimulusSegment]:
+        return iter(self.segments)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+
+def hammer_schedule(
+    pulse: PulseConfig,
+    count: int,
+    payload_active: object,
+    payload_idle: Optional[object] = None,
+    start_s: float = 0.0,
+) -> StimulusSchedule:
+    """Build the schedule of a hammering campaign: ``count`` pulse periods.
+
+    Each period contributes an active segment carrying ``payload_active`` and,
+    if the duty cycle is below one, an idle segment carrying ``payload_idle``.
+    """
+    if count < 1:
+        raise ConfigurationError("hammer schedule needs at least one pulse")
+    schedule = StimulusSchedule()
+    time_s = start_s
+    for index in range(count):
+        schedule.append(StimulusSegment(time_s, pulse.length_s, label="hammer", payload=payload_active))
+        time_s += pulse.length_s
+        if pulse.idle_s > 0:
+            schedule.append(StimulusSegment(time_s, pulse.idle_s, label="idle", payload=payload_idle))
+            time_s += pulse.idle_s
+    return schedule

@@ -1,0 +1,251 @@
+"""Nonlinear nodal-analysis solver for the crossbar netlist.
+
+This replaces the SPICE engine of Cadence Virtuoso for the operating-point
+solves the framework needs: given driver voltages, wire resistances and the
+(nonlinear, state- and temperature-dependent) memristive devices, find all
+node voltages such that Kirchhoff's current law holds at every node.
+
+The solver performs damped Newton-Raphson iterations: at every iteration each
+device is linearised around its present branch voltage (companion model with
+small-signal conductance and an equivalent current source), the resulting
+linear system is solved densely with numpy, and the node voltages are updated
+with a step clamp that keeps the iteration stable even from a cold start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..devices.base import DeviceState, MemristorModel
+from ..errors import ConvergenceError
+from .drivers import BiasPattern
+from .netlist import GROUND_NODE, CrossbarNetlist
+
+Cell = Tuple[int, int]
+
+
+@dataclass
+class OperatingPoint:
+    """Solved DC operating point of the crossbar."""
+
+    node_voltages_v: Dict[str, float]
+    #: Per-cell branch voltage (word-line node minus bit-line node) [V].
+    device_voltages_v: np.ndarray
+    #: Per-cell branch current [A].
+    device_currents_a: np.ndarray
+    #: Per-cell dissipated power [W].
+    device_powers_w: np.ndarray
+    #: Newton iterations used.
+    iterations: int
+    #: Largest KCL residual at convergence [A].
+    residual_a: float
+
+    def cell_voltage(self, cell: Cell) -> float:
+        """Branch voltage of one cell [V]."""
+        return float(self.device_voltages_v[cell[0], cell[1]])
+
+    def cell_current(self, cell: Cell) -> float:
+        """Branch current of one cell [A]."""
+        return float(self.device_currents_a[cell[0], cell[1]])
+
+    def cell_power(self, cell: Cell) -> float:
+        """Dissipated power of one cell [W]."""
+        return float(self.device_powers_w[cell[0], cell[1]])
+
+    @property
+    def total_power_w(self) -> float:
+        """Total power dissipated in the memristive devices [W]."""
+        return float(self.device_powers_w.sum())
+
+
+class CrossbarSolver:
+    """Damped Newton nodal-analysis solver over a crossbar netlist."""
+
+    def __init__(
+        self,
+        netlist: CrossbarNetlist,
+        model: MemristorModel,
+        max_iterations: int = 200,
+        voltage_tolerance_v: float = 1e-7,
+        residual_tolerance_a: float = 1e-9,
+        max_step_v: float = 0.5,
+    ):
+        self.netlist = netlist
+        self.model = model
+        self.max_iterations = max_iterations
+        self.voltage_tolerance_v = voltage_tolerance_v
+        self.residual_tolerance_a = residual_tolerance_a
+        self.max_step_v = max_step_v
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(netlist.nodes)}
+        self._last_solution: Optional[np.ndarray] = None
+        # Pre-compute the constant (linear) part of the conductance matrix.
+        self._linear_matrix = self._assemble_linear_matrix()
+
+    # -- assembly -----------------------------------------------------------
+
+    def _assemble_linear_matrix(self) -> np.ndarray:
+        n = self.netlist.node_count
+        matrix = np.zeros((n, n))
+        for resistor in self.netlist.resistors:
+            g = resistor.conductance_s
+            ia = self._index.get(resistor.node_a)
+            ib = self._index.get(resistor.node_b)
+            if ia is not None:
+                matrix[ia, ia] += g
+            if ib is not None:
+                matrix[ib, ib] += g
+            if ia is not None and ib is not None:
+                matrix[ia, ib] -= g
+                matrix[ib, ia] -= g
+        return matrix
+
+    def _driver_stamps(self, bias: BiasPattern) -> Tuple[np.ndarray, np.ndarray]:
+        """Norton-equivalent driver stamps: (diagonal conductance, current)."""
+        n = self.netlist.node_count
+        extra_g = np.zeros(n)
+        currents = np.zeros(n)
+        for driver in self.netlist.drivers:
+            if driver.line_type == "row":
+                voltage = bias.row_voltage(driver.line_index)
+            else:
+                voltage = bias.column_voltage(driver.line_index)
+            if voltage is None:
+                continue  # floating line: no driver attached
+            g = 1.0 / driver.series_resistance_ohm
+            idx = self._index[driver.node]
+            extra_g[idx] += g
+            currents[idx] += g * voltage
+        return extra_g, currents
+
+    # -- solving --------------------------------------------------------------
+
+    def solve(
+        self,
+        bias: BiasPattern,
+        states: Mapping[Cell, DeviceState],
+        initial_guess: Optional[np.ndarray] = None,
+    ) -> OperatingPoint:
+        """Solve the nonlinear operating point for one bias pattern.
+
+        Args:
+            bias: Driver voltages per line (None = floating).
+            states: Device state per cell; every crosspoint must be present.
+            initial_guess: Optional starting node-voltage vector; by default
+                the previous solution (warm start) or zeros are used.
+        """
+        geometry = self.netlist.geometry
+        n = self.netlist.node_count
+        extra_g, driver_currents = self._driver_stamps(bias)
+
+        if initial_guess is not None:
+            voltages = np.array(initial_guess, dtype=float)
+        elif self._last_solution is not None and len(self._last_solution) == n:
+            voltages = self._last_solution.copy()
+        else:
+            voltages = np.zeros(n)
+
+        device_index = [
+            (
+                device.cell,
+                self._index[device.wordline_node],
+                self._index[device.bitline_node],
+            )
+            for device in self.netlist.devices
+        ]
+
+        iterations = 0
+        residual = np.inf
+        for iterations in range(1, self.max_iterations + 1):
+            matrix = self._linear_matrix.copy()
+            matrix[np.diag_indices_from(matrix)] += extra_g
+            rhs = driver_currents.copy()
+
+            for cell, iw, ib in device_index:
+                state = states[cell]
+                branch_v = voltages[iw] - voltages[ib]
+                current = self.model.current(branch_v, state)
+                conductance = self.model.conductance(branch_v, state)
+                equivalent = current - conductance * branch_v
+                matrix[iw, iw] += conductance
+                matrix[ib, ib] += conductance
+                matrix[iw, ib] -= conductance
+                matrix[ib, iw] -= conductance
+                rhs[iw] -= equivalent
+                rhs[ib] += equivalent
+
+            new_voltages = np.linalg.solve(matrix, rhs)
+            step = new_voltages - voltages
+            max_step = np.abs(step).max() if len(step) else 0.0
+            if max_step > self.max_step_v:
+                step *= self.max_step_v / max_step
+            voltages = voltages + step
+
+            residual = self._kcl_residual(voltages, bias, states, extra_g, driver_currents, device_index)
+            if max_step < self.voltage_tolerance_v and residual < self.residual_tolerance_a:
+                break
+        else:
+            raise ConvergenceError(
+                f"crossbar Newton solve did not converge after {self.max_iterations} iterations "
+                f"(residual {residual:.3g} A)"
+            )
+
+        self._last_solution = voltages.copy()
+        return self._operating_point(voltages, states, device_index, iterations, residual)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _kcl_residual(
+        self,
+        voltages: np.ndarray,
+        bias: BiasPattern,
+        states: Mapping[Cell, DeviceState],
+        extra_g: np.ndarray,
+        driver_currents: np.ndarray,
+        device_index,
+    ) -> float:
+        """Maximum KCL residual of the present voltage vector [A]."""
+        injection = driver_currents - extra_g * voltages
+        residual = injection.copy()
+        # Linear resistor currents.
+        for resistor in self.netlist.resistors:
+            ia = self._index[resistor.node_a]
+            ib = self._index[resistor.node_b]
+            current = (voltages[ia] - voltages[ib]) * resistor.conductance_s
+            residual[ia] -= current
+            residual[ib] += current
+        # Device currents.
+        for cell, iw, ib in device_index:
+            branch_v = voltages[iw] - voltages[ib]
+            current = self.model.current(branch_v, states[cell])
+            residual[iw] -= current
+            residual[ib] += current
+        return float(np.abs(residual).max())
+
+    def _operating_point(
+        self,
+        voltages: np.ndarray,
+        states: Mapping[Cell, DeviceState],
+        device_index,
+        iterations: int,
+        residual: float,
+    ) -> OperatingPoint:
+        geometry = self.netlist.geometry
+        device_v = np.zeros((geometry.rows, geometry.columns))
+        device_i = np.zeros_like(device_v)
+        for cell, iw, ib in device_index:
+            branch_v = voltages[iw] - voltages[ib]
+            device_v[cell] = branch_v
+            device_i[cell] = self.model.current(branch_v, states[cell])
+        node_voltages = {name: float(voltages[self._index[name]]) for name in self.netlist.nodes}
+        node_voltages[GROUND_NODE] = 0.0
+        return OperatingPoint(
+            node_voltages_v=node_voltages,
+            device_voltages_v=device_v,
+            device_currents_a=device_i,
+            device_powers_w=np.abs(device_v * device_i),
+            iterations=iterations,
+            residual_a=residual,
+        )

@@ -1,0 +1,203 @@
+"""Transient engine: time-domain simulation of the crossbar under stimuli.
+
+This is the full-fidelity simulation path (the paper's circuit-level
+framework run over a stimuli file): every time step re-solves the nonlinear
+crossbar network for the active bias pattern, recomputes the electro-thermal
+picture including crosstalk, and integrates every device's state ODE.  It is
+used by the integration tests and the short demonstration examples; the
+figure-scale sweeps use the quasi-static fast path in
+:mod:`repro.attack.analysis`, which is validated against this engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..devices.base import bit_from_state
+from ..errors import ConfigurationError
+from .crossbar import CrossbarArray
+from .drivers import BiasPattern, idle_bias
+from .pulses import StimulusSchedule, StimulusSegment
+
+Cell = Tuple[int, int]
+
+
+@dataclass
+class BitFlipEvent:
+    """A victim cell crossing the flip threshold during a transient run."""
+
+    time_s: float
+    cell: Cell
+    #: Direction of the flip: "set" (HRS -> LRS) or "reset" (LRS -> HRS).
+    direction: str
+    state_x: float
+
+
+@dataclass
+class TransientTrace:
+    """Recorded time series of one transient simulation."""
+
+    times_s: List[float] = field(default_factory=list)
+    #: Per-sample (rows x columns) state maps.
+    states: List[np.ndarray] = field(default_factory=list)
+    #: Per-sample (rows x columns) filament temperature maps [K].
+    temperatures_k: List[np.ndarray] = field(default_factory=list)
+    #: Per-sample (rows x columns) device voltage maps [V].
+    voltages_v: List[np.ndarray] = field(default_factory=list)
+    #: Segment label active at each sample.
+    labels: List[str] = field(default_factory=list)
+
+    def cell_series(self, cell: Cell, quantity: str = "state") -> np.ndarray:
+        """Time series of one cell ('state', 'temperature' or 'voltage')."""
+        source = {
+            "state": self.states,
+            "temperature": self.temperatures_k,
+            "voltage": self.voltages_v,
+        }.get(quantity)
+        if source is None:
+            raise ConfigurationError(f"unknown quantity {quantity!r}")
+        return np.array([sample[cell[0], cell[1]] for sample in source])
+
+    def __len__(self) -> int:
+        return len(self.times_s)
+
+
+@dataclass
+class TransientResult:
+    """Outcome of a transient simulation."""
+
+    trace: TransientTrace
+    flip_events: List[BitFlipEvent]
+    simulated_time_s: float
+    steps: int
+
+    def first_flip(self, cell: Optional[Cell] = None) -> Optional[BitFlipEvent]:
+        """First flip event, optionally restricted to one cell."""
+        for event in self.flip_events:
+            if cell is None or event.cell == tuple(cell):
+                return event
+        return None
+
+
+class TransientSimulator:
+    """Explicit time-stepping simulator over a :class:`CrossbarArray`."""
+
+    def __init__(
+        self,
+        crossbar: CrossbarArray,
+        flip_threshold: float = 0.5,
+        max_dx_per_step: float = 0.05,
+        min_steps_per_segment: int = 1,
+        record_every: int = 1,
+    ):
+        if not 0.0 < flip_threshold < 1.0:
+            raise ConfigurationError("flip_threshold must be in (0, 1)")
+        if not 0.0 < max_dx_per_step <= 0.5:
+            raise ConfigurationError("max_dx_per_step must be in (0, 0.5]")
+        self.crossbar = crossbar
+        self.flip_threshold = flip_threshold
+        self.max_dx_per_step = max_dx_per_step
+        self.min_steps_per_segment = max(1, min_steps_per_segment)
+        self.record_every = max(1, record_every)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        schedule: StimulusSchedule,
+        stop_on_flip_of: Optional[Cell] = None,
+    ) -> TransientResult:
+        """Run the schedule and return the recorded trace and flip events.
+
+        Args:
+            schedule: Time-ordered stimulus segments whose payloads are
+                :class:`BiasPattern` objects (None payloads mean idle bias).
+            stop_on_flip_of: If given, the simulation ends as soon as this
+                cell crosses the flip threshold.
+        """
+        crossbar = self.crossbar
+        trace = TransientTrace()
+        flips: List[BitFlipEvent] = []
+        previous_bits = {cell: bit_from_state(state) for cell, state in crossbar.states.items()}
+        time_s = 0.0
+        steps = 0
+        stop = False
+
+        for segment in schedule:
+            if stop:
+                break
+            bias = self._segment_bias(segment)
+            remaining = segment.duration_s
+            time_s = segment.start_s
+            segment_steps = 0
+            while remaining > 1e-21 and not stop:
+                snapshot = crossbar.thermal_snapshot(bias)
+                rates = self._state_rates(snapshot.operating_point.device_voltages_v)
+                dt = self._choose_dt(rates, remaining, segment.duration_s)
+                self._advance_states(rates, dt)
+                time_s += dt
+                remaining -= dt
+                steps += 1
+                segment_steps += 1
+
+                new_flips = self._detect_flips(previous_bits, time_s)
+                flips.extend(new_flips)
+                if stop_on_flip_of is not None and any(
+                    event.cell == tuple(stop_on_flip_of) for event in new_flips
+                ):
+                    stop = True
+
+                if steps % self.record_every == 0 or stop or remaining <= 1e-21:
+                    trace.times_s.append(time_s)
+                    trace.states.append(crossbar.state_map())
+                    trace.temperatures_k.append(snapshot.filament_temperatures_k.copy())
+                    trace.voltages_v.append(snapshot.operating_point.device_voltages_v.copy())
+                    trace.labels.append(segment.label)
+            crossbar.reset_temperatures()
+
+        return TransientResult(trace=trace, flip_events=flips, simulated_time_s=time_s, steps=steps)
+
+    # ------------------------------------------------------------------
+
+    def _segment_bias(self, segment: StimulusSegment) -> BiasPattern:
+        if segment.payload is None:
+            return idle_bias(self.crossbar.geometry, label=segment.label)
+        if not isinstance(segment.payload, BiasPattern):
+            raise ConfigurationError(
+                f"stimulus segment {segment.label!r} carries a payload that is not a BiasPattern"
+            )
+        return segment.payload
+
+    def _state_rates(self, device_voltages_v: np.ndarray) -> Dict[Cell, float]:
+        rates: Dict[Cell, float] = {}
+        for cell in self.crossbar.cells():
+            state = self.crossbar.states[cell]
+            rates[cell] = self.crossbar.model.state_derivative(
+                float(device_voltages_v[cell[0], cell[1]]), state
+            )
+        return rates
+
+    def _choose_dt(self, rates: Dict[Cell, float], remaining_s: float, segment_s: float) -> float:
+        dt = min(remaining_s, segment_s / self.min_steps_per_segment)
+        fastest = max((abs(rate) for rate in rates.values()), default=0.0)
+        if fastest > 0.0:
+            dt = min(dt, self.max_dx_per_step / fastest)
+        return max(dt, 1e-18)
+
+    def _advance_states(self, rates: Dict[Cell, float], dt: float) -> None:
+        for cell, rate in rates.items():
+            state = self.crossbar.states[cell]
+            state.x = self.crossbar.model.clamp_state(state.x + rate * dt)
+
+    def _detect_flips(self, previous_bits: Dict[Cell, int], time_s: float) -> List[BitFlipEvent]:
+        events: List[BitFlipEvent] = []
+        for cell, state in self.crossbar.states.items():
+            bit = bit_from_state(state, threshold=self.flip_threshold)
+            if bit != previous_bits[cell]:
+                direction = "set" if bit == 1 else "reset"
+                events.append(BitFlipEvent(time_s=time_s, cell=cell, direction=direction, state_x=state.x))
+                previous_bits[cell] = bit
+        return events

@@ -1,0 +1,36 @@
+"""Physical constants used throughout the NeuroHammer reproduction.
+
+All values are in SI units.  The constants are deliberately spelled out as
+module-level floats (rather than pulled from ``scipy.constants``) so the
+simulation is hermetic and every number that enters the physics is visible in
+one place.
+"""
+
+from __future__ import annotations
+
+#: Boltzmann constant [J/K].
+BOLTZMANN_J_PER_K: float = 1.380649e-23
+
+#: Boltzmann constant [eV/K].
+BOLTZMANN_EV_PER_K: float = 8.617333262e-5
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE_C: float = 1.602176634e-19
+
+#: Richardson constant for thermionic emission [A / (m^2 K^2)].
+RICHARDSON_A_PER_M2K2: float = 1.20173e6
+
+#: Lorenz number of the Wiedemann-Franz law [W Ohm / K^2].
+LORENZ_NUMBER_W_OHM_PER_K2: float = 2.44e-8
+
+#: Vacuum permittivity [F/m].
+VACUUM_PERMITTIVITY_F_PER_M: float = 8.8541878128e-12
+
+#: Standard ambient temperature used by the paper's experiments [K].
+DEFAULT_AMBIENT_TEMPERATURE_K: float = 300.0
+
+#: Default SET amplitude used by every experiment in the paper [V].
+DEFAULT_SET_VOLTAGE_V: float = 1.05
+
+#: Zero Celsius in Kelvin, used when converting figure axes given in Celsius.
+ZERO_CELSIUS_K: float = 273.15

@@ -1,0 +1,35 @@
+"""Countermeasures against NeuroHammer (the paper's announced future work)."""
+
+from .detection import (
+    HammerCounterDetector,
+    ProbabilisticRefresh,
+    RefreshRequest,
+    neighbour_cells,
+)
+from .evaluation import DefenseEvaluation, DefenseOutcome, evaluate_defenses
+from .refresh import (
+    RefreshOutcome,
+    RefreshPolicy,
+    minimum_refresh_interval,
+    pulses_survivable_with_refresh,
+    refresh_cell,
+)
+from .thermal_guard import ThermalGuard, ThermalGuardPolicy, WriteDecision
+
+__all__ = [
+    "HammerCounterDetector",
+    "ProbabilisticRefresh",
+    "RefreshRequest",
+    "neighbour_cells",
+    "RefreshPolicy",
+    "RefreshOutcome",
+    "refresh_cell",
+    "pulses_survivable_with_refresh",
+    "minimum_refresh_interval",
+    "ThermalGuard",
+    "ThermalGuardPolicy",
+    "WriteDecision",
+    "DefenseEvaluation",
+    "DefenseOutcome",
+    "evaluate_defenses",
+]

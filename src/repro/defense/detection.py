@@ -1,0 +1,135 @@
+"""Hammering detection: access counters and probabilistic neighbour refresh.
+
+The paper's future work announces the exploration of countermeasures.  The
+two standard RowHammer defence families transfer directly to the crossbar
+setting and are modelled here:
+
+* :class:`HammerCounterDetector` — per-line write counters within a time
+  window (the TRR / "counter table" family): once a line's write count
+  exceeds a threshold inside the window, its neighbours are scheduled for a
+  verify/refresh.
+* :class:`ProbabilisticRefresh` — the PARA family: every write triggers, with
+  a small probability, a refresh of the written cell's neighbours, requiring
+  no counters at all.
+
+Both produce *refresh requests*; what a refresh does to the physics is the
+job of :mod:`repro.defense.refresh`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..config import CrossbarGeometry
+from ..errors import ConfigurationError
+
+Cell = Tuple[int, int]
+
+
+@dataclass
+class RefreshRequest:
+    """A request to verify/refresh the neighbourhood of a hammered cell."""
+
+    trigger_cell: Cell
+    victim_cells: Tuple[Cell, ...]
+    #: Write count (or probability draw) that triggered the request.
+    reason: str
+    issued_at_write: int = 0
+
+
+def neighbour_cells(geometry: CrossbarGeometry, cell: Cell) -> Tuple[Cell, ...]:
+    """Same-line nearest neighbours of a cell — the NeuroHammer victims."""
+    geometry.validate_cell(*cell)
+    row, column = cell
+    candidates = [(row, column - 1), (row, column + 1), (row - 1, column), (row + 1, column)]
+    return tuple(
+        (r, c) for r, c in candidates if 0 <= r < geometry.rows and 0 <= c < geometry.columns
+    )
+
+
+class HammerCounterDetector:
+    """Sliding-window per-cell write counters with a hammer threshold."""
+
+    def __init__(
+        self,
+        geometry: CrossbarGeometry,
+        threshold: int = 1000,
+        window_writes: int = 100_000,
+    ):
+        if threshold < 1:
+            raise ConfigurationError("threshold must be at least 1")
+        if window_writes < threshold:
+            raise ConfigurationError("window must be at least as long as the threshold")
+        self.geometry = geometry
+        self.threshold = threshold
+        self.window_writes = window_writes
+        self._counters: Dict[Cell, int] = {}
+        self._total_writes = 0
+        self._window_start = 0
+        self.requests: List[RefreshRequest] = []
+
+    def observe_write(self, cell: Cell) -> Optional[RefreshRequest]:
+        """Record a write/hammer pulse; returns a refresh request if triggered."""
+        self.geometry.validate_cell(*cell)
+        cell = tuple(cell)
+        self._total_writes += 1
+        if self._total_writes - self._window_start >= self.window_writes:
+            self._counters.clear()
+            self._window_start = self._total_writes
+        count = self._counters.get(cell, 0) + 1
+        self._counters[cell] = count
+        if count == self.threshold:
+            request = RefreshRequest(
+                trigger_cell=cell,
+                victim_cells=neighbour_cells(self.geometry, cell),
+                reason=f"write count reached {count} within window",
+                issued_at_write=self._total_writes,
+            )
+            self.requests.append(request)
+            # Counting continues so sustained hammering keeps re-triggering.
+            self._counters[cell] = 0
+            return request
+        return None
+
+    def writes_observed(self) -> int:
+        """Total writes observed so far."""
+        return self._total_writes
+
+
+class ProbabilisticRefresh:
+    """PARA-style probabilistic neighbour refresh."""
+
+    def __init__(
+        self,
+        geometry: CrossbarGeometry,
+        probability: float = 0.001,
+        seed: Optional[int] = 1234,
+    ):
+        if not 0.0 < probability <= 1.0:
+            raise ConfigurationError("probability must be in (0, 1]")
+        self.geometry = geometry
+        self.probability = probability
+        self._rng = random.Random(seed)
+        self._writes = 0
+        self.requests: List[RefreshRequest] = []
+
+    def observe_write(self, cell: Cell) -> Optional[RefreshRequest]:
+        """Record a write; with probability p request a neighbour refresh."""
+        self.geometry.validate_cell(*cell)
+        self._writes += 1
+        if self._rng.random() >= self.probability:
+            return None
+        request = RefreshRequest(
+            trigger_cell=tuple(cell),
+            victim_cells=neighbour_cells(self.geometry, cell),
+            reason=f"probabilistic draw (p={self.probability})",
+            issued_at_write=self._writes,
+        )
+        self.requests.append(request)
+        return request
+
+    def expected_writes_between_refreshes(self) -> float:
+        """Mean number of hammer writes between two refreshes of a victim."""
+        return 1.0 / self.probability

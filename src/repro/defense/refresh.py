@@ -1,0 +1,90 @@
+"""Victim refresh / scrubbing: undoing partial disturbance.
+
+A NeuroHammer victim does not flip instantly — its state drifts over
+thousands of pulses.  A refresh (verify the stored bit and rewrite it)
+resets that drift, so the attack only succeeds if it can accumulate the full
+drift *between two refreshes*.  This module models that interaction on top of
+the device physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..devices.base import DeviceState, MemristorModel
+from ..errors import ConfigurationError
+
+Cell = Tuple[int, int]
+
+
+@dataclass
+class RefreshPolicy:
+    """How aggressively victims are scrubbed."""
+
+    #: Refresh every victim neighbour after this many observed hammer pulses.
+    interval_pulses: int = 1000
+    #: Drift threshold above which a refresh actually rewrites the cell
+    #: (below it the verify passes and nothing is done).
+    rewrite_threshold_x: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.interval_pulses < 1:
+            raise ConfigurationError("interval_pulses must be at least 1")
+        if not 0.0 < self.rewrite_threshold_x < 1.0:
+            raise ConfigurationError("rewrite_threshold_x must be in (0, 1)")
+
+
+@dataclass
+class RefreshOutcome:
+    """Result of refreshing one victim cell."""
+
+    cell: Cell
+    drift_before_x: float
+    rewritten: bool
+
+
+def refresh_cell(
+    model: MemristorModel,
+    state: DeviceState,
+    stored_bit: int,
+    policy: RefreshPolicy,
+    ambient_temperature_k: float,
+    lrs_is_one: bool = True,
+) -> RefreshOutcome:
+    """Verify a cell against its stored bit and rewrite it if it drifted.
+
+    The rewrite is modelled as ideal (the controller's write-verify loop runs
+    to completion), which is the best case for the defender and therefore the
+    conservative bound when evaluating the *attack*.
+    """
+    target = model.state_from_bit(stored_bit, ambient_temperature_k, lrs_is_one=lrs_is_one)
+    drift = abs(state.x - target.x)
+    rewritten = drift > policy.rewrite_threshold_x
+    if rewritten:
+        state.x = target.x
+    state.filament_temperature_k = ambient_temperature_k
+    return RefreshOutcome(cell=(-1, -1), drift_before_x=drift, rewritten=rewritten)
+
+
+def pulses_survivable_with_refresh(
+    pulses_to_flip: int,
+    refresh_interval_pulses: int,
+) -> bool:
+    """True if the refresh interval defeats the attack.
+
+    The attack needs ``pulses_to_flip`` consecutive undisturbed pulses; if the
+    victim is scrubbed more often than that the drift never accumulates.
+    """
+    if pulses_to_flip < 1 or refresh_interval_pulses < 1:
+        raise ConfigurationError("pulse counts must be positive")
+    return refresh_interval_pulses < pulses_to_flip
+
+
+def minimum_refresh_interval(pulses_to_flip: int, safety_factor: float = 2.0) -> int:
+    """Largest refresh interval (in hammer pulses) that still stops the attack."""
+    if pulses_to_flip < 1:
+        raise ConfigurationError("pulses_to_flip must be positive")
+    if safety_factor < 1.0:
+        raise ConfigurationError("safety_factor must be >= 1")
+    return max(1, int(pulses_to_flip / safety_factor))

@@ -1,0 +1,133 @@
+"""Thermal-aware write-rate limiting.
+
+NeuroHammer works because the aggressor's filament stays hot while it is
+hammered at a high duty cycle.  A controller that tracks a thermal budget per
+line and throttles writes once the estimated local temperature rise exceeds a
+limit removes exactly that ingredient.  The guard implements a leaky-bucket
+estimate of each cell's average dissipation and the resulting neighbourhood
+temperature rise (using the same alpha values the attack exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..config import CrossbarGeometry
+from ..errors import ConfigurationError
+from ..thermal.coupling import CouplingModel
+
+Cell = Tuple[int, int]
+
+
+@dataclass
+class ThermalGuardPolicy:
+    """Thermal throttling policy of the memory controller."""
+
+    #: Maximum tolerated time-averaged neighbour temperature rise [K].
+    max_neighbour_rise_k: float = 10.0
+    #: Thermal relaxation time constant of the duty-cycle averaging [s].
+    averaging_window_s: float = 10e-6
+    #: Minimum enforced gap between writes to a throttled line [s].
+    throttle_gap_s: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.max_neighbour_rise_k <= 0:
+            raise ConfigurationError("max_neighbour_rise_k must be positive")
+        if self.averaging_window_s <= 0 or self.throttle_gap_s <= 0:
+            raise ConfigurationError("time constants must be positive")
+
+
+@dataclass
+class WriteDecision:
+    """Outcome of asking the guard whether a write may proceed now."""
+
+    allowed: bool
+    #: Earliest time at which the write may proceed [s].
+    earliest_time_s: float
+    #: Estimated neighbour temperature rise if the write went ahead [K].
+    predicted_neighbour_rise_k: float
+
+
+class ThermalGuard:
+    """Leaky-bucket thermal budget tracker per crossbar cell."""
+
+    def __init__(
+        self,
+        geometry: CrossbarGeometry,
+        coupling: CouplingModel,
+        policy: ThermalGuardPolicy = None,
+        aggressor_rise_k: float = 650.0,
+    ):
+        self.geometry = geometry
+        self.coupling = coupling
+        self.policy = policy if policy is not None else ThermalGuardPolicy()
+        #: Steady-state rise of a continuously hammered aggressor [K]; the
+        #: duty-cycle average scales this down.
+        self.aggressor_rise_k = aggressor_rise_k
+        #: Per-cell accumulated "hot time" within the averaging window [s].
+        self._hot_time_s: Dict[Cell, float] = {}
+        self._last_update_s: Dict[Cell, float] = {}
+        self.throttled_writes = 0
+        self.allowed_writes = 0
+
+    # ------------------------------------------------------------------
+
+    def _decay(self, cell: Cell, now_s: float) -> float:
+        """Decay the cell's accumulated hot time to the current instant.
+
+        The accumulator leaks exponentially with the averaging window as its
+        time constant, so in steady state it settles at
+        ``duty_cycle * averaging_window`` — i.e. it measures the sustained
+        hammer duty cycle of the cell.
+        """
+        import math
+
+        hot = self._hot_time_s.get(cell, 0.0)
+        last = self._last_update_s.get(cell, now_s)
+        elapsed = max(now_s - last, 0.0)
+        if elapsed > 0:
+            hot *= math.exp(-elapsed / self.policy.averaging_window_s)
+        self._hot_time_s[cell] = hot
+        self._last_update_s[cell] = now_s
+        return hot
+
+    def _duty_cycle(self, hot_time_s: float) -> float:
+        return min(1.0, hot_time_s / self.policy.averaging_window_s)
+
+    def neighbour_rise(self, cell: Cell, duty_cycle: float) -> float:
+        """Worst-case neighbour temperature rise for a given duty cycle [K]."""
+        worst_alpha = 0.0
+        row, column = cell
+        for dr, dc in ((0, -1), (0, 1), (-1, 0), (1, 0)):
+            neighbour = (row + dr, column + dc)
+            if 0 <= neighbour[0] < self.geometry.rows and 0 <= neighbour[1] < self.geometry.columns:
+                worst_alpha = max(worst_alpha, self.coupling.alpha_between(cell, neighbour))
+        return worst_alpha * self.aggressor_rise_k * duty_cycle
+
+    # ------------------------------------------------------------------
+
+    def request_write(self, cell: Cell, time_s: float, pulse_length_s: float) -> WriteDecision:
+        """Ask whether a write pulse to ``cell`` may start at ``time_s``."""
+        self.geometry.validate_cell(*cell)
+        cell = tuple(cell)
+        hot = self._decay(cell, time_s)
+        predicted_hot = hot + pulse_length_s
+        rise = self.neighbour_rise(cell, self._duty_cycle(predicted_hot))
+        if rise <= self.policy.max_neighbour_rise_k:
+            self._hot_time_s[cell] = predicted_hot
+            self.allowed_writes += 1
+            return WriteDecision(allowed=True, earliest_time_s=time_s, predicted_neighbour_rise_k=rise)
+        self.throttled_writes += 1
+        return WriteDecision(
+            allowed=False,
+            earliest_time_s=time_s + self.policy.throttle_gap_s,
+            predicted_neighbour_rise_k=rise,
+        )
+
+    def maximum_sustained_duty_cycle(self, cell: Cell) -> float:
+        """Largest hammer duty cycle the guard will sustain for a cell."""
+        full_rise = self.neighbour_rise(tuple(cell), 1.0)
+        if full_rise <= 0:
+            return 1.0
+        return min(1.0, self.policy.max_neighbour_rise_k / full_rise)

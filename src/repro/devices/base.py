@@ -1,0 +1,157 @@
+"""Abstract interface shared by every memristive compact model.
+
+The circuit level only ever talks to devices through this interface, so the
+JART-style VCM model, the linear-ion-drift baseline and the Yakopcic model are
+interchangeable everywhere (crossbar, transient engine, attack estimator).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K
+from ..errors import DeviceModelError
+
+
+@dataclass
+class DeviceState:
+    """Dynamic state of a single memristive cell.
+
+    Attributes:
+        x: Normalised internal state in [0, 1]; 0 is the fully high-resistive
+            state (HRS), 1 the fully low-resistive state (LRS).
+        filament_temperature_k: Local filament temperature including
+            self-heating and any externally imposed crosstalk contribution.
+    """
+
+    x: float
+    filament_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K
+
+    def copy(self) -> "DeviceState":
+        """Return an independent copy of this state."""
+        return DeviceState(self.x, self.filament_temperature_k)
+
+
+class MemristorModel(abc.ABC):
+    """Behavioural compact model of a two-terminal memristive device.
+
+    A model is stateless: all dynamic quantities live in :class:`DeviceState`
+    objects owned by the caller, which keeps the model safe to share between
+    the 25 crosspoints of a crossbar (and between threads).
+    """
+
+    #: Human-readable model name used in reports.
+    name: str = "memristor"
+
+    # -- electrical -------------------------------------------------------
+
+    @abc.abstractmethod
+    def current(self, voltage_v: float, state: DeviceState) -> float:
+        """Device current [A] for a given applied cell voltage [V]."""
+
+    def conductance(self, voltage_v: float, state: DeviceState) -> float:
+        """Small-signal conductance dI/dV [S] around ``voltage_v``.
+
+        The default implementation uses a symmetric finite difference, which
+        is accurate enough for the Newton nodal solver; models with analytic
+        derivatives may override it.
+        """
+        delta = max(1e-4, abs(voltage_v) * 1e-4)
+        upper = self.current(voltage_v + delta, state)
+        lower = self.current(voltage_v - delta, state)
+        g = (upper - lower) / (2.0 * delta)
+        if g <= 0.0:
+            # A passive resistive device can never present a negative or zero
+            # small-signal conductance to the solver; clamp to a floor that
+            # keeps the nodal matrix well conditioned.
+            g = 1e-12
+        return g
+
+    def resistance(self, state: DeviceState, read_voltage_v: float = 0.2) -> float:
+        """Static resistance V/I at the given read voltage [Ohm]."""
+        current = self.current(read_voltage_v, state)
+        if abs(current) < 1e-18:
+            return 1e18
+        return read_voltage_v / current
+
+    # -- dynamics ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def state_derivative(self, voltage_v: float, state: DeviceState) -> float:
+        """Time derivative of the normalised state dx/dt [1/s]."""
+
+    def dissipated_power(self, voltage_v: float, state: DeviceState) -> float:
+        """Joule power dissipated in the cell [W]."""
+        return abs(voltage_v * self.current(voltage_v, state))
+
+    def update_temperature(
+        self,
+        voltage_v: float,
+        state: DeviceState,
+        ambient_temperature_k: float,
+        crosstalk_temperature_k: float = 0.0,
+    ) -> float:
+        """Return the quasi-static filament temperature [K] (paper Eq. 6).
+
+        ``crosstalk_temperature_k`` is the *additional* temperature delivered
+        by the crosstalk hub (Eq. 5), i.e. the temperature rise caused by the
+        neighbouring cells' dissipation.
+        """
+        rise = self.thermal_resistance_k_per_w() * self.dissipated_power(voltage_v, state)
+        return ambient_temperature_k + crosstalk_temperature_k + rise
+
+    def thermal_resistance_k_per_w(self) -> float:
+        """Effective thermal resistance R_th,eff of the cell [K/W] (Eq. 6)."""
+        return 0.0
+
+    # -- state helpers ----------------------------------------------------
+
+    def hrs_state(self, ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K) -> DeviceState:
+        """A pristine high-resistive state."""
+        return DeviceState(x=0.0, filament_temperature_k=ambient_temperature_k)
+
+    def lrs_state(self, ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K) -> DeviceState:
+        """A fully formed low-resistive state."""
+        return DeviceState(x=1.0, filament_temperature_k=ambient_temperature_k)
+
+    def state_from_bit(
+        self,
+        bit: int,
+        ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K,
+        lrs_is_one: bool = True,
+    ) -> DeviceState:
+        """Map a logical bit to a device state using the given encoding."""
+        if bit not in (0, 1):
+            raise DeviceModelError(f"bit must be 0 or 1, got {bit!r}")
+        stored_as_lrs = (bit == 1) == lrs_is_one
+        if stored_as_lrs:
+            return self.lrs_state(ambient_temperature_k)
+        return self.hrs_state(ambient_temperature_k)
+
+    @staticmethod
+    def clamp_state(x: float) -> float:
+        """Clamp a normalised state variable into its physical range [0, 1]."""
+        if x < 0.0:
+            return 0.0
+        if x > 1.0:
+            return 1.0
+        return x
+
+    @staticmethod
+    def check_voltage(voltage_v: float, limit_v: float = 10.0) -> None:
+        """Guard against numerically absurd voltages reaching the model."""
+        if not (-limit_v <= voltage_v <= limit_v):
+            raise DeviceModelError(
+                f"cell voltage {voltage_v!r} V outside the model validity range "
+                f"[-{limit_v}, {limit_v}] V"
+            )
+
+
+def bit_from_state(state: DeviceState, threshold: float = 0.5, lrs_is_one: bool = True) -> int:
+    """Decode the logical bit stored in a device state."""
+    is_lrs = state.x >= threshold
+    if lrs_is_one:
+        return 1 if is_lrs else 0
+    return 0 if is_lrs else 1

@@ -1,0 +1,75 @@
+"""Window functions for ion-drift memristor models.
+
+Window functions confine the normalised state variable of drift-based
+memristor models to [0, 1] and shape the nonlinearity of the state update
+near the boundaries.  They are used by the linear-ion-drift baseline model
+(:mod:`repro.devices.linear_ion_drift`), which serves as the comparison
+device model for the ablation benchmark ABL2 in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import DeviceModelError
+
+WindowFunction = Callable[[float, float], float]
+
+
+def rectangular_window(x: float, current_a: float) -> float:
+    """Hard clipping window: 1 inside (0, 1), 0 at the boundaries."""
+    if x <= 0.0 and current_a < 0.0:
+        return 0.0
+    if x >= 1.0 and current_a > 0.0:
+        return 0.0
+    return 1.0
+
+
+def joglekar_window(x: float, current_a: float, p: int = 2) -> float:
+    """Joglekar window ``1 - (2x - 1)^(2p)``.
+
+    Symmetric in x; does not resolve the boundary-lock issue but is the most
+    widely used literature baseline.
+    """
+    if p < 1:
+        raise DeviceModelError("Joglekar window order p must be >= 1")
+    return 1.0 - (2.0 * x - 1.0) ** (2 * p)
+
+
+def biolek_window(x: float, current_a: float, p: int = 2) -> float:
+    """Biolek window ``1 - (x - step(-i))^(2p)``.
+
+    Depends on the current direction, which removes the boundary lock of the
+    Joglekar window: a device parked at x = 1 can still move back down when
+    the current reverses.
+    """
+    if p < 1:
+        raise DeviceModelError("Biolek window order p must be >= 1")
+    step = 1.0 if current_a < 0.0 else 0.0
+    return 1.0 - (x - step) ** (2 * p)
+
+
+def prodromakis_window(x: float, current_a: float, p: int = 2, j: float = 1.0) -> float:
+    """Prodromakis window ``j (1 - ((x - 0.5)^2 + 0.75)^p)``."""
+    if p < 1:
+        raise DeviceModelError("Prodromakis window order p must be >= 1")
+    return j * (1.0 - ((x - 0.5) ** 2 + 0.75) ** p)
+
+
+#: Registry used by configuration files to select a window by name.
+WINDOW_FUNCTIONS: Dict[str, WindowFunction] = {
+    "rectangular": rectangular_window,
+    "joglekar": joglekar_window,
+    "biolek": biolek_window,
+    "prodromakis": prodromakis_window,
+}
+
+
+def get_window(name: str) -> WindowFunction:
+    """Look up a window function by name."""
+    try:
+        return WINDOW_FUNCTIONS[name]
+    except KeyError as exc:
+        raise DeviceModelError(
+            f"unknown window function {name!r}; available: {sorted(WINDOW_FUNCTIONS)}"
+        ) from exc

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the NeuroHammer reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, inconsistent or out of range."""
+
+
+class DeviceModelError(ReproError):
+    """A device compact model was driven outside its validity range."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver (Newton, linear system) failed to converge."""
+
+
+class GeometryError(ReproError):
+    """A crossbar or thermal geometry definition is invalid."""
+
+
+class AttackError(ReproError):
+    """An attack definition is inconsistent (e.g. aggressor equals victim)."""
+
+
+class AddressingError(ReproError):
+    """A memory address is outside the mapped range or otherwise invalid."""
+
+
+class EccError(ReproError):
+    """An ECC codec was used with inconsistent word sizes or invalid input."""
+
+
+class ExperimentError(ReproError):
+    """An experiment/benchmark harness was configured inconsistently."""

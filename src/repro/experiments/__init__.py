@@ -1,0 +1,47 @@
+"""Experiment harness: one module per paper figure plus ablations.
+
+Every experiment returns an :class:`repro.experiments.base.ExperimentResult`
+whose rows reproduce the series of the corresponding paper figure; the
+benchmark suite under ``benchmarks/`` wraps these one-to-one.
+"""
+
+from .ablations import (
+    run_alpha_source_ablation,
+    run_bias_scheme_ablation,
+    run_device_model_ablation,
+)
+from .base import (
+    ExperimentResult,
+    decades_spanned,
+    monotonically_decreasing,
+    monotonically_increasing,
+)
+from .calibration import CalibrationTargets, calibration_report
+from .fig2a_thermal_map import PAPER_REFERENCE as FIG2A_PAPER_REFERENCE
+from .fig2a_thermal_map import ThermalMapResult, fig2a_experiment, run_fig2a
+from .fig3a_pulse_length import run_fig3a
+from .fig3b_electrode_spacing import run_fig3b
+from .fig3c_ambient_temperature import run_fig3c
+from .fig3d_attack_patterns import run_fig3d
+from .scenarios_table import run_scenarios
+
+__all__ = [
+    "ExperimentResult",
+    "monotonically_decreasing",
+    "monotonically_increasing",
+    "decades_spanned",
+    "run_fig2a",
+    "fig2a_experiment",
+    "ThermalMapResult",
+    "FIG2A_PAPER_REFERENCE",
+    "run_fig3a",
+    "run_fig3b",
+    "run_fig3c",
+    "run_fig3d",
+    "run_scenarios",
+    "run_alpha_source_ablation",
+    "run_device_model_ablation",
+    "run_bias_scheme_ablation",
+    "CalibrationTargets",
+    "calibration_report",
+]

@@ -1,0 +1,149 @@
+"""Ablation experiments for the design choices called out in DESIGN.md.
+
+* ABL1 — alpha source: calibrated analytic kernel vs finite-volume extraction
+  vs lumped thermal network.  Shows how the crosstalk coefficients (and the
+  resulting pulse counts) depend on the thermal model fidelity.
+* ABL2 — device model: the JART-style VCM model vs the temperature-agnostic
+  linear-ion-drift baseline.  Shows that without thermally accelerated
+  kinetics the attack does not work, i.e. the thermal mechanism is essential.
+* ABL3 — bias scheme: V/2 vs V/3.  Quantifies the standard mitigation knob.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..attack.neurohammer import NeuroHammer, hammer_once
+from ..attack.patterns import single_aggressor
+from ..config import AttackConfig, CrossbarGeometry, PulseConfig, ThermalSolverConfig
+from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K
+from ..circuit.crossbar import CrossbarArray
+from ..devices.kinetics import pulses_to_switch
+from ..devices.linear_ion_drift import LinearIonDriftModel
+from ..thermal.coupling import AnalyticCouplingModel, coupling_from_extraction
+from ..thermal.fdm import HeatSolver
+from ..thermal.geometry import build_voxel_model
+from ..thermal.alpha import extract_alpha_values
+from ..thermal.network import ThermalResistanceNetwork
+from ..units import ns
+from .base import ExperimentResult
+
+
+def run_alpha_source_ablation(
+    pulse_length_s: float = ns(50),
+    lateral_resolution_m: float = 25e-9,
+    max_pulses: int = 50_000_000,
+) -> ExperimentResult:
+    """ABL1 — compare analytic, FDM-extracted and network alpha values."""
+    geometry = CrossbarGeometry()
+    aggressor = geometry.centre_cell()
+    victim = (aggressor[0], aggressor[1] + 1)
+
+    result = ExperimentResult(
+        name="ablation_alpha_source",
+        description="Crosstalk coefficient source: analytic vs finite-volume vs thermal network",
+        columns=["source", "alpha_nearest_neighbour", "pulses_to_flip", "flipped"],
+        metadata={"pulse_length_ns": pulse_length_s * 1e9},
+    )
+
+    sources = {}
+    sources["analytic"] = AnalyticCouplingModel(geometry)
+
+    voxel = build_voxel_model(geometry, ThermalSolverConfig(
+        lateral_resolution_m=lateral_resolution_m, vertical_resolution_m=lateral_resolution_m
+    ))
+    extraction = extract_alpha_values(HeatSolver(voxel), selected_cell=aggressor, points=3)
+    sources["finite_volume"] = coupling_from_extraction(geometry, extraction)
+
+    network = ThermalResistanceNetwork(geometry)
+    sources["thermal_network"] = coupling_from_extraction(
+        geometry, network.extract_alpha_values(selected_cell=aggressor)
+    )
+
+    pattern = single_aggressor(geometry)
+    for name, coupling in sources.items():
+        crossbar = CrossbarArray(geometry=geometry, coupling=coupling)
+        attack = NeuroHammer(crossbar)
+        config = AttackConfig(
+            aggressors=[pattern.aggressors[0]],
+            victim=pattern.victim,
+            pulse=PulseConfig(length_s=pulse_length_s),
+            max_pulses=max_pulses,
+        )
+        outcome = attack.run(pattern=pattern, config=config)
+        result.add_row(
+            source=name,
+            alpha_nearest_neighbour=coupling.alpha_between(aggressor, victim),
+            pulses_to_flip=outcome.pulses,
+            flipped=outcome.flipped,
+        )
+    return result
+
+
+def run_device_model_ablation(
+    pulse_length_s: float = ns(50),
+    crosstalk_temperature_k: float = 75.0,
+    max_pulses: int = 1_000_000,
+) -> ExperimentResult:
+    """ABL2 — JART-style VCM model vs temperature-agnostic linear ion drift.
+
+    Both models are exposed to the same victim stress (half-select voltage
+    plus the crosstalk temperature); only the VCM model's kinetics respond to
+    the temperature, so only it flips within the budget when hammered faster
+    than the drift baseline would allow.
+    """
+    from ..devices.jart_vcm import JartVcmModel
+
+    result = ExperimentResult(
+        name="ablation_device_model",
+        description="Device model ablation: thermally accelerated VCM vs linear ion drift",
+        columns=["model", "pulses_with_crosstalk", "pulses_without_crosstalk", "thermal_acceleration"],
+        metadata={
+            "pulse_length_ns": pulse_length_s * 1e9,
+            "crosstalk_temperature_k": crosstalk_temperature_k,
+        },
+    )
+    half_select = 1.05 / 2.0
+    for name, model in (("jart_vcm", JartVcmModel()), ("linear_ion_drift", LinearIonDriftModel())):
+        hot = pulses_to_switch(
+            model, half_select, pulse_length_s, 0.0, 0.5,
+            crosstalk_temperature_k=crosstalk_temperature_k, max_pulses=max_pulses,
+        )
+        cold = pulses_to_switch(
+            model, half_select, pulse_length_s, 0.0, 0.5,
+            crosstalk_temperature_k=0.0, max_pulses=max_pulses,
+        )
+        acceleration = (cold.pulses / hot.pulses) if hot.flipped and cold.pulses else 1.0
+        result.add_row(
+            model=name,
+            pulses_with_crosstalk=hot.pulses if hot.flipped else max_pulses,
+            pulses_without_crosstalk=cold.pulses if cold.flipped else max_pulses,
+            thermal_acceleration=acceleration,
+        )
+    return result
+
+
+def run_bias_scheme_ablation(
+    pulse_length_s: float = ns(50),
+    max_pulses: int = 50_000_000,
+) -> ExperimentResult:
+    """ABL3 — V/2 vs V/3 biasing of the unselected lines."""
+    result = ExperimentResult(
+        name="ablation_bias_scheme",
+        description="Write scheme ablation: V/2 (paper) vs V/3 (mitigation)",
+        columns=["scheme", "pulses_to_flip", "flipped", "victim_temperature_k"],
+        metadata={"pulse_length_ns": pulse_length_s * 1e9},
+    )
+    for scheme in ("v_half", "v_third"):
+        outcome = hammer_once(
+            pulse_length_s=pulse_length_s, bias_scheme=scheme, max_pulses=max_pulses
+        )
+        result.add_row(
+            scheme=scheme,
+            pulses_to_flip=outcome.pulses,
+            flipped=outcome.flipped,
+            victim_temperature_k=outcome.victim_temperature_k,
+        )
+    return result

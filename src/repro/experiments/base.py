@@ -1,0 +1,109 @@
+"""Experiment framework shared by every figure reproduction.
+
+An experiment produces an :class:`ExperimentResult`: a list of parameter/value
+rows plus metadata, renderable as an ASCII table or chart and exportable to
+CSV/JSON.  The benchmark harness wraps these experiments one-to-one, so the
+figure data can be regenerated both from pytest-benchmark and from the
+examples.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..errors import ExperimentError
+from ..utils.tables import ascii_table, log_ascii_chart, to_csv
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular result of one experiment."""
+
+    #: Experiment identifier (e.g. "fig3a").
+    name: str
+    #: Human-readable description.
+    description: str
+    #: Column names, in display order.
+    columns: List[str]
+    #: Data rows; each row is a mapping from column name to value.
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: Free-form metadata (parameters, paper reference values, runtime).
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one row; unknown columns are appended to the column list."""
+        for key in values:
+            if key not in self.columns:
+                self.columns.append(key)
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column."""
+        if name not in self.columns:
+            raise ExperimentError(f"column {name!r} not present in experiment {self.name!r}")
+        return [row.get(name) for row in self.rows]
+
+    # -- rendering ---------------------------------------------------------
+
+    def to_table(self) -> str:
+        """Render as an ASCII table."""
+        rows = [[row.get(column, "") for column in self.columns] for row in self.rows]
+        return ascii_table(self.columns, rows)
+
+    def to_chart(self, label_column: str, value_column: str, title: Optional[str] = None) -> str:
+        """Render one column as a log-scale ASCII chart keyed by another column."""
+        labels = self.column(label_column)
+        values = [float(v) for v in self.column(value_column)]
+        return log_ascii_chart(labels, values, title=title or f"{self.name}: {value_column}")
+
+    def to_csv(self) -> str:
+        """Serialise the rows as CSV."""
+        rows = [[row.get(column, "") for column in self.columns] for row in self.rows]
+        return to_csv(self.columns, rows)
+
+    def to_json(self) -> str:
+        """Serialise result and metadata as JSON."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "description": self.description,
+                "columns": self.columns,
+                "rows": self.rows,
+                "metadata": self.metadata,
+            },
+            indent=2,
+            sort_keys=True,
+            default=str,
+        )
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Write CSV and JSON exports into a directory; returns the JSON path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"{self.name}.csv").write_text(self.to_csv(), encoding="utf-8")
+        json_path = directory / f"{self.name}.json"
+        json_path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return json_path
+
+
+def monotonically_decreasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    """True if the sequence never increases by more than ``tolerance``."""
+    return all(b <= a * (1 + tolerance) for a, b in zip(values, values[1:]))
+
+
+def monotonically_increasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    """True if the sequence never decreases by more than ``tolerance``."""
+    return all(b >= a * (1 - tolerance) for a, b in zip(values, values[1:]))
+
+
+def decades_spanned(values: Sequence[float]) -> float:
+    """Number of decades between the smallest and largest positive value."""
+    import math
+
+    positives = [value for value in values if value > 0]
+    if not positives:
+        return 0.0
+    return math.log10(max(positives)) - math.log10(min(positives))

@@ -1,0 +1,71 @@
+"""Calibration report: the operating points the default parameters are tied to.
+
+DESIGN.md documents that the device model is calibrated once, against the
+paper's Fig. 2a operating point and the Fig. 3a mid-point, and that every
+figure is then produced by the same physics.  This module makes that claim
+checkable: it recomputes the calibration targets from the current default
+parameters so tests (and users who change parameters) can see exactly which
+anchors moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..attack.neurohammer import hammer_once
+from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K, DEFAULT_SET_VOLTAGE_V
+from ..devices.jart_vcm import JartVcmModel
+from ..devices.thermal import solve_operating_point
+from .base import ExperimentResult
+
+
+@dataclass
+class CalibrationTargets:
+    """The anchors the default parameter set is calibrated against."""
+
+    #: Paper Fig. 2a: attacked LRS cell temperature at V_SET from 300 K [K].
+    aggressor_temperature_k: float = 947.2
+    #: Acceptable deviation of the aggressor temperature [K].
+    aggressor_tolerance_k: float = 60.0
+    #: Paper Fig. 3a mid-point: pulses to flip at 50 ns / 50 nm / 300 K.
+    reference_pulses: float = 3.0e3
+    #: Acceptable multiplicative deviation of the reference pulse count.
+    reference_pulses_factor: float = 3.0
+
+
+def calibration_report(targets: CalibrationTargets = None) -> ExperimentResult:
+    """Recompute the calibration anchors with the current default parameters."""
+    targets = targets if targets is not None else CalibrationTargets()
+    model = JartVcmModel()
+
+    aggressor = solve_operating_point(model, DEFAULT_SET_VOLTAGE_V, 1.0, DEFAULT_AMBIENT_TEMPERATURE_K)
+    reference = hammer_once(pulse_length_s=50e-9)
+
+    result = ExperimentResult(
+        name="calibration",
+        description="Calibration anchors of the default JART-style parameter set",
+        columns=["anchor", "target", "measured", "within_tolerance"],
+        metadata={
+            "lrs_resistance_ohm": model.lrs_resistance_ohm(),
+            "hrs_resistance_ohm": model.hrs_resistance_ohm(),
+            "resistance_window": model.resistance_window(),
+        },
+    )
+    result.add_row(
+        anchor="fig2a_aggressor_temperature_k",
+        target=targets.aggressor_temperature_k,
+        measured=aggressor.filament_temperature_k,
+        within_tolerance=abs(aggressor.filament_temperature_k - targets.aggressor_temperature_k)
+        <= targets.aggressor_tolerance_k,
+    )
+    result.add_row(
+        anchor="fig3a_pulses_at_50ns",
+        target=targets.reference_pulses,
+        measured=reference.pulses,
+        within_tolerance=(
+            targets.reference_pulses / targets.reference_pulses_factor
+            <= reference.pulses
+            <= targets.reference_pulses * targets.reference_pulses_factor
+        ),
+    )
+    return result

@@ -1,0 +1,62 @@
+"""Fig. 3a — pulses-to-bit-flip versus hammer pulse length.
+
+Paper setup: 5x5 crossbar, 50 nm electrode spacing, 300 K ambient, V/2 write
+scheme, centre-cell attack.  The pulse length is swept from 10 ns to 100 ns
+and the number of hammer pulses until the half-selected neighbour flips is
+recorded; the paper reports roughly 10^4 pulses at 10 ns falling to about
+10^3 at 100 ns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..attack.neurohammer import hammer_once
+from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K
+from ..units import ns
+from .base import ExperimentResult
+
+#: Pulse lengths of the paper's sweep [s].
+DEFAULT_PULSE_LENGTHS_S = tuple(ns(value) for value in (10, 20, 30, 40, 50, 60, 70, 80, 90, 100))
+
+#: Approximate values read off the paper's log-scale Fig. 3a.
+PAPER_REFERENCE = {
+    10e-9: 1.0e4,
+    50e-9: 2.5e3,
+    100e-9: 1.2e3,
+}
+
+
+def run_fig3a(
+    pulse_lengths_s: Optional[Sequence[float]] = None,
+    electrode_spacing_m: float = 50e-9,
+    ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K,
+    max_pulses: int = 10_000_000,
+) -> ExperimentResult:
+    """Run the pulse-length sweep and return the figure data."""
+    pulse_lengths = tuple(pulse_lengths_s) if pulse_lengths_s is not None else DEFAULT_PULSE_LENGTHS_S
+    result = ExperimentResult(
+        name="fig3a",
+        description="Pulses to trigger a bit-flip vs hammer pulse length",
+        columns=["pulse_length_ns", "pulses_to_flip", "stress_time_us", "victim_temperature_k", "flipped"],
+        metadata={
+            "electrode_spacing_nm": electrode_spacing_m * 1e9,
+            "ambient_temperature_k": ambient_temperature_k,
+            "paper_reference": {f"{k * 1e9:.0f}ns": v for k, v in PAPER_REFERENCE.items()},
+        },
+    )
+    for pulse_length in pulse_lengths:
+        attack = hammer_once(
+            pulse_length_s=pulse_length,
+            electrode_spacing_m=electrode_spacing_m,
+            ambient_temperature_k=ambient_temperature_k,
+            max_pulses=max_pulses,
+        )
+        result.add_row(
+            pulse_length_ns=round(pulse_length * 1e9, 3),
+            pulses_to_flip=attack.pulses,
+            stress_time_us=attack.stress_time_s * 1e6,
+            victim_temperature_k=attack.victim_temperature_k,
+            flipped=attack.flipped,
+        )
+    return result

@@ -1,0 +1,64 @@
+"""Fig. 3b — pulses-to-bit-flip versus electrode spacing.
+
+Paper setup: 300 K ambient, pulse lengths 50/75/100 ns, electrode spacing of
+10 nm, 50 nm and 90 nm.  Denser crossbars couple more strongly, so the attack
+needs fewer pulses: the paper reports roughly 10^3 pulses (or below) at 10 nm
+rising towards 10^5 at 90 nm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..attack.neurohammer import hammer_once
+from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K
+from ..units import nm, ns
+from .base import ExperimentResult
+
+#: Electrode spacings of the paper's sweep [m].
+DEFAULT_SPACINGS_M = (nm(10), nm(50), nm(90))
+#: Pulse lengths of the paper's sweep [s].
+DEFAULT_PULSE_LENGTHS_S = (ns(50), ns(75), ns(100))
+
+#: Approximate values read off the paper's log-scale Fig. 3b (50 ns series).
+PAPER_REFERENCE = {
+    10e-9: 1.0e3,
+    50e-9: 3.0e3,
+    90e-9: 5.0e4,
+}
+
+
+def run_fig3b(
+    spacings_m: Optional[Sequence[float]] = None,
+    pulse_lengths_s: Optional[Sequence[float]] = None,
+    ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K,
+    max_pulses: int = 50_000_000,
+) -> ExperimentResult:
+    """Run the electrode-spacing sweep and return the figure data."""
+    spacings = tuple(spacings_m) if spacings_m is not None else DEFAULT_SPACINGS_M
+    pulse_lengths = tuple(pulse_lengths_s) if pulse_lengths_s is not None else DEFAULT_PULSE_LENGTHS_S
+    result = ExperimentResult(
+        name="fig3b",
+        description="Pulses to trigger a bit-flip vs electrode spacing",
+        columns=["electrode_spacing_nm", "pulse_length_ns", "pulses_to_flip", "victim_temperature_k", "flipped"],
+        metadata={
+            "ambient_temperature_k": ambient_temperature_k,
+            "paper_reference_50ns": {f"{k * 1e9:.0f}nm": v for k, v in PAPER_REFERENCE.items()},
+        },
+    )
+    for spacing in spacings:
+        for pulse_length in pulse_lengths:
+            attack = hammer_once(
+                pulse_length_s=pulse_length,
+                electrode_spacing_m=spacing,
+                ambient_temperature_k=ambient_temperature_k,
+                max_pulses=max_pulses,
+            )
+            result.add_row(
+                electrode_spacing_nm=round(spacing * 1e9, 3),
+                pulse_length_ns=round(pulse_length * 1e9, 3),
+                pulses_to_flip=attack.pulses,
+                victim_temperature_k=attack.victim_temperature_k,
+                flipped=attack.flipped,
+            )
+    return result

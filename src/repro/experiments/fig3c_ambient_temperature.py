@@ -1,0 +1,63 @@
+"""Fig. 3c — pulses-to-bit-flip versus ambient temperature.
+
+Paper setup: 50 nm electrode spacing, pulse lengths 10/30/50 ns, ambient
+temperature from 273 K to 373 K.  The exponential temperature dependence of
+the switching kinetics makes this the strongest lever: the paper reports
+roughly 10^5 pulses at 273 K falling to about 10^2 at 373 K.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..attack.neurohammer import hammer_once
+from ..units import ns
+from .base import ExperimentResult
+
+#: Ambient temperatures of the paper's sweep [K].
+DEFAULT_TEMPERATURES_K = (273.0, 298.0, 323.0, 348.0, 373.0)
+#: Pulse lengths of the paper's sweep [s].
+DEFAULT_PULSE_LENGTHS_S = (ns(10), ns(30), ns(50))
+
+#: Approximate values read off the paper's log-scale Fig. 3c (50 ns series).
+PAPER_REFERENCE = {
+    273.0: 1.0e5,
+    298.0: 3.0e3,
+    373.0: 1.0e2,
+}
+
+
+def run_fig3c(
+    temperatures_k: Optional[Sequence[float]] = None,
+    pulse_lengths_s: Optional[Sequence[float]] = None,
+    electrode_spacing_m: float = 50e-9,
+    max_pulses: int = 50_000_000,
+) -> ExperimentResult:
+    """Run the ambient-temperature sweep and return the figure data."""
+    temperatures = tuple(temperatures_k) if temperatures_k is not None else DEFAULT_TEMPERATURES_K
+    pulse_lengths = tuple(pulse_lengths_s) if pulse_lengths_s is not None else DEFAULT_PULSE_LENGTHS_S
+    result = ExperimentResult(
+        name="fig3c",
+        description="Pulses to trigger a bit-flip vs ambient temperature",
+        columns=["ambient_temperature_k", "pulse_length_ns", "pulses_to_flip", "victim_temperature_k", "flipped"],
+        metadata={
+            "electrode_spacing_nm": electrode_spacing_m * 1e9,
+            "paper_reference_50ns": PAPER_REFERENCE,
+        },
+    )
+    for temperature in temperatures:
+        for pulse_length in pulse_lengths:
+            attack = hammer_once(
+                pulse_length_s=pulse_length,
+                electrode_spacing_m=electrode_spacing_m,
+                ambient_temperature_k=temperature,
+                max_pulses=max_pulses,
+            )
+            result.add_row(
+                ambient_temperature_k=temperature,
+                pulse_length_ns=round(pulse_length * 1e9, 3),
+                pulses_to_flip=attack.pulses,
+                victim_temperature_k=attack.victim_temperature_k,
+                flipped=attack.flipped,
+            )
+    return result

@@ -1,0 +1,81 @@
+"""Fig. 3d/e-h — impact of different attack patterns.
+
+The caption of the paper's Fig. 3 references an attack-pattern comparison
+(sub-figures d-h) whose plot is not included in the preprint text.  The
+reproduction evaluates the canonical pattern set of
+:mod:`repro.attack.patterns` — single aggressor, double-sided row,
+double-sided column, quad surround and full row sweep — and reports, per
+pattern, the total pulses and the wall-clock time until the victim flips.
+
+Expected shape: patterns with more simultaneously hot aggressors deliver more
+crosstalk per pulse and therefore need fewer pulses; interleaved patterns
+(quad) trade per-pulse efficiency for a larger heated neighbourhood.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..attack.neurohammer import NeuroHammer
+from ..attack.patterns import standard_patterns
+from ..config import AttackConfig, CrossbarGeometry, PulseConfig
+from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K
+from ..circuit.crossbar import CrossbarArray
+from ..units import ns
+from .base import ExperimentResult
+
+
+def run_fig3d(
+    pulse_length_s: float = ns(50),
+    electrode_spacing_m: float = 50e-9,
+    ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K,
+    pattern_names: Optional[Sequence[str]] = None,
+    max_pulses: int = 10_000_000,
+) -> ExperimentResult:
+    """Evaluate the attack-pattern set and return the comparison data."""
+    geometry = CrossbarGeometry(electrode_spacing_m=electrode_spacing_m)
+    patterns = standard_patterns(geometry)
+    if pattern_names is not None:
+        patterns = {name: patterns[name] for name in pattern_names if name in patterns}
+
+    result = ExperimentResult(
+        name="fig3d",
+        description="Pulses to trigger a bit-flip for different attack patterns",
+        columns=[
+            "pattern",
+            "aggressors",
+            "phases",
+            "pulses_to_flip",
+            "pulses_per_aggressor",
+            "wall_clock_us",
+            "victim_temperature_k",
+            "flipped",
+        ],
+        metadata={
+            "pulse_length_ns": pulse_length_s * 1e9,
+            "electrode_spacing_nm": electrode_spacing_m * 1e9,
+            "ambient_temperature_k": ambient_temperature_k,
+        },
+    )
+    for name, pattern in patterns.items():
+        crossbar = CrossbarArray(geometry=geometry, ambient_temperature_k=ambient_temperature_k)
+        attack = NeuroHammer(crossbar)
+        config = AttackConfig(
+            aggressors=list(pattern.aggressors),
+            victim=pattern.victim,
+            pulse=PulseConfig(length_s=pulse_length_s),
+            ambient_temperature_k=ambient_temperature_k,
+            max_pulses=max_pulses,
+        )
+        outcome = attack.run(pattern=pattern, config=config)
+        result.add_row(
+            pattern=name,
+            aggressors=pattern.aggressor_count,
+            phases=pattern.phase_count,
+            pulses_to_flip=outcome.pulses,
+            pulses_per_aggressor=outcome.pulses_per_aggressor,
+            wall_clock_us=outcome.wall_clock_s * 1e6,
+            victim_temperature_k=outcome.victim_temperature_k,
+            flipped=outcome.flipped,
+        )
+    return result

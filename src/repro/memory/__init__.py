@@ -1,0 +1,38 @@
+"""ReRAM main-memory substrate used by the Sec. VI attack scenarios.
+
+The package layers a byte-addressable memory (with an explicit disturbance
+interface fed by the circuit-level attack results), a physical address
+mapping with adjacency queries, SEC-DED ECC, a page-table model stored in the
+simulated memory, and a memory-isolation auditor.
+"""
+
+from .array import DisturbanceProfile, FlipRecord, ReramMemory, profile_from_attack_result
+from .ecc import DecodeResult, HammingSecDed
+from .isolation import IsolationReport, IsolationViolation, audit_isolation
+from .mapping import AddressMapping, BitLocation
+from .pagetable import (
+    PTE_BYTES,
+    Page,
+    PageTable,
+    PageTableEntry,
+    PhysicalMemoryManager,
+)
+
+__all__ = [
+    "DisturbanceProfile",
+    "FlipRecord",
+    "ReramMemory",
+    "profile_from_attack_result",
+    "HammingSecDed",
+    "DecodeResult",
+    "AddressMapping",
+    "BitLocation",
+    "PageTable",
+    "PageTableEntry",
+    "PhysicalMemoryManager",
+    "Page",
+    "PTE_BYTES",
+    "IsolationReport",
+    "IsolationViolation",
+    "audit_isolation",
+]

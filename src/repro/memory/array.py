@@ -1,0 +1,257 @@
+"""Behavioural ReRAM main-memory model built from crossbar tiles.
+
+The security discussion of the paper (Sec. VI) assumes ReRAM replaces DRAM as
+main memory.  This module provides that substrate as a behavioural model: a
+byte-addressable memory whose bits live in crossbar tiles, with an explicit
+disturbance interface so the attack-scenario engine can ask "the attacker
+hammers address A — which victim bits flip, and after how many pulses?"
+without simulating every tile at circuit level.
+
+The disturbance figures (pulses-to-flip per neighbour class) are supplied by
+a :class:`DisturbanceProfile`, which is normally derived from the circuit
+simulation via :func:`profile_from_attack_result`, keeping the behavioural
+model consistent with the physics stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AddressingError, ConfigurationError
+from .ecc import HammingSecDed
+from .mapping import AddressMapping, BitLocation
+
+Cell = Tuple[int, int]
+
+
+@dataclass
+class DisturbanceProfile:
+    """Pulses-to-flip figures for victims of a hammered cell.
+
+    ``same_line_pulses`` applies to victims sharing a word or bit line with
+    the aggressor (the paper's half-selected cells); ``diagonal_pulses`` to
+    diagonal neighbours (weaker coupling, no half-select stress under the V/2
+    scheme, hence effectively immune — ``None`` encodes "does not flip").
+    """
+
+    same_line_pulses: int = 5655
+    diagonal_pulses: Optional[int] = None
+    #: Only victims currently storing this bit value can flip (SET-direction
+    #: disturbance flips HRS cells, i.e. stored zeros under the default
+    #: LRS-is-one encoding).
+    vulnerable_bit: int = 0
+    #: Pulse period of the hammering [s].
+    pulse_period_s: float = 100e-9
+
+    def __post_init__(self) -> None:
+        if self.same_line_pulses < 1:
+            raise ConfigurationError("same_line_pulses must be positive")
+        if self.diagonal_pulses is not None and self.diagonal_pulses < 1:
+            raise ConfigurationError("diagonal_pulses must be positive when given")
+        if self.vulnerable_bit not in (0, 1):
+            raise ConfigurationError("vulnerable_bit must be 0 or 1")
+
+    def pulses_for(self, aggressor: BitLocation, victim: BitLocation) -> Optional[int]:
+        """Pulses needed to flip ``victim`` by hammering ``aggressor`` (None = never)."""
+        if aggressor.bank != victim.bank or aggressor.tile != victim.tile:
+            return None
+        dr = abs(aggressor.row - victim.row)
+        dc = abs(aggressor.column - victim.column)
+        if dr + dc == 0:
+            return None
+        if (dr == 0 or dc == 0) and dr + dc == 1:
+            return self.same_line_pulses
+        if dr == 1 and dc == 1:
+            return self.diagonal_pulses
+        return None
+
+
+def profile_from_attack_result(pulses: int, pulse_period_s: float) -> DisturbanceProfile:
+    """Build a disturbance profile from a circuit-level attack result."""
+    return DisturbanceProfile(same_line_pulses=max(1, int(pulses)), pulse_period_s=pulse_period_s)
+
+
+@dataclass
+class FlipRecord:
+    """One disturbance-induced bit flip observed by the memory model."""
+
+    byte_address: int
+    bit_index: int
+    old_bit: int
+    new_bit: int
+    pulses_applied: int
+    corrected_by_ecc: bool = False
+
+
+class ReramMemory:
+    """Byte-addressable ReRAM memory with a disturbance interface."""
+
+    def __init__(
+        self,
+        mapping: AddressMapping = None,
+        disturbance: DisturbanceProfile = None,
+        ecc: Optional[HammingSecDed] = None,
+        ecc_word_bytes: int = 8,
+    ):
+        self.mapping = mapping if mapping is not None else AddressMapping()
+        self.disturbance = disturbance if disturbance is not None else DisturbanceProfile()
+        self.ecc = ecc
+        self.ecc_word_bytes = ecc_word_bytes
+        if ecc is not None and ecc.data_bits != ecc_word_bytes * 8:
+            raise ConfigurationError("ECC codec width does not match ecc_word_bytes")
+        #: Data bits indexed by global bit number.
+        self._bits = np.zeros(self.mapping.capacity_bytes * 8, dtype=np.uint8)
+        #: Accumulated hammer pulses per aggressor bit location.
+        self._hammer_counters: Dict[Tuple[int, int, int, int], int] = {}
+        #: Stored parity bits per ECC word (written at write time).
+        self._parity: Dict[int, List[int]] = {}
+        self.flip_log: List[FlipRecord] = []
+        #: Number of single-bit errors the ECC corrected on reads.
+        self.ecc_corrections = 0
+        #: Number of uncorrectable (double) errors the ECC detected on reads.
+        self.ecc_detected_failures = 0
+
+    # ------------------------------------------------------------------
+    # ordinary accesses
+    # ------------------------------------------------------------------
+
+    def write_byte(self, address: int, value: int) -> None:
+        """Write one byte (and refresh the ECC parity of its word)."""
+        if not 0 <= value < 256:
+            raise AddressingError("byte value must be in [0, 255]")
+        self.mapping._check_address(address)
+        for bit in range(8):
+            self._bits[address * 8 + bit] = (value >> bit) & 1
+        # A genuine write also resets the disturbance accumulated on the
+        # written bits (the cells are re-programmed).
+        for bit in range(8):
+            location = self.mapping.locate_bit(address, bit)
+            self._hammer_counters.pop(self._key(location), None)
+        if self.ecc is not None:
+            self._refresh_parity(address // self.ecc_word_bytes)
+
+    def read_byte(self, address: int) -> int:
+        """Read one byte (ECC-corrected if a codec is attached)."""
+        self.mapping._check_address(address)
+        if self.ecc is not None:
+            word_base = (address // self.ecc_word_bytes) * self.ecc_word_bytes
+            data, _ = self._read_ecc_word(word_base)
+            return data[address - word_base]
+        return self._raw_byte(address)
+
+    def write_block(self, address: int, data: bytes) -> None:
+        """Write a contiguous block of bytes."""
+        for offset, value in enumerate(data):
+            self.write_byte(address + offset, value)
+
+    def read_block(self, address: int, length: int) -> bytes:
+        """Read a contiguous block of bytes."""
+        return bytes(self.read_byte(address + offset) for offset in range(length))
+
+    # ------------------------------------------------------------------
+    # disturbance interface
+    # ------------------------------------------------------------------
+
+    def hammer(self, byte_address: int, bit_index: int, pulses: int) -> List[FlipRecord]:
+        """Hammer the cell storing one bit and apply any resulting flips.
+
+        Returns the flips that happened *because of this call*.
+        """
+        if pulses < 1:
+            raise AddressingError("pulses must be positive")
+        aggressor = self.mapping.locate_bit(byte_address, bit_index)
+        key = self._key(aggressor)
+        self._hammer_counters[key] = self._hammer_counters.get(key, 0) + pulses
+        accumulated = self._hammer_counters[key]
+
+        flips: List[FlipRecord] = []
+        for victim in self.mapping.physically_adjacent_bits(aggressor):
+            needed = self.disturbance.pulses_for(aggressor, victim)
+            if needed is None or accumulated < needed:
+                continue
+            victim_address, victim_bit = self.mapping.address_of(victim)
+            global_bit = victim_address * 8 + victim_bit
+            current = int(self._bits[global_bit])
+            if current != self.disturbance.vulnerable_bit:
+                continue
+            new_bit = 1 - current
+            self._bits[global_bit] = new_bit
+            record = FlipRecord(
+                byte_address=victim_address,
+                bit_index=victim_bit,
+                old_bit=current,
+                new_bit=new_bit,
+                pulses_applied=accumulated,
+            )
+            flips.append(record)
+            self.flip_log.append(record)
+        return flips
+
+    def hammer_time_s(self, pulses: int) -> float:
+        """Wall-clock time a hammer campaign of ``pulses`` pulses takes [s]."""
+        return pulses * self.disturbance.pulse_period_s
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _key(location: BitLocation) -> Tuple[int, int, int, int]:
+        return (location.bank, location.tile, location.row, location.column)
+
+    def _raw_byte(self, address: int) -> int:
+        value = 0
+        for bit in range(8):
+            value |= int(self._bits[address * 8 + bit]) << bit
+        return value
+
+    def _word_data_bits(self, word_base: int) -> List[int]:
+        data_bits: List[int] = []
+        for offset in range(self.ecc_word_bytes):
+            raw = self._raw_byte(word_base + offset)
+            data_bits.extend((raw >> bit) & 1 for bit in range(8))
+        return data_bits
+
+    def _refresh_parity(self, word_index: int) -> None:
+        assert self.ecc is not None
+        word_base = word_index * self.ecc_word_bytes
+        codeword = self.ecc.encode(self._word_data_bits(word_base))
+        self._parity[word_index] = self.ecc.parity_of(codeword)
+
+    def _stored_parity(self, word_index: int) -> List[int]:
+        assert self.ecc is not None
+        parity = self._parity.get(word_index)
+        if parity is None:
+            # The word has never been written: its reference content is the
+            # all-zero reset state of the array.
+            codeword = self.ecc.encode([0] * self.ecc.data_bits)
+            parity = self.ecc.parity_of(codeword)
+            self._parity[word_index] = parity
+        return parity
+
+    def _read_ecc_word(self, word_base: int) -> Tuple[List[int], bool]:
+        """Read one ECC word; returns (bytes, corrected_flag).
+
+        The parity bits are stored at write time (in a spare column area that
+        the attack cannot reach); a single disturbance flip per word is
+        therefore corrected on read — the first-line defence the evaluation
+        quantifies.
+        """
+        assert self.ecc is not None
+        word_index = word_base // self.ecc_word_bytes
+        codeword = self.ecc.assemble(self._word_data_bits(word_base), self._stored_parity(word_index))
+        result = self.ecc.decode(codeword)
+        if result.corrected:
+            self.ecc_corrections += 1
+        if result.double_error_detected:
+            self.ecc_detected_failures += 1
+        data_bytes = []
+        for offset in range(self.ecc_word_bytes):
+            value = 0
+            for bit in range(8):
+                value |= result.data_bits[offset * 8 + bit] << bit
+            data_bytes.append(value)
+        return data_bytes, result.corrected

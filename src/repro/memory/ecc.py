@@ -1,0 +1,179 @@
+"""SEC-DED Hamming error-correcting code.
+
+ReRAM main memories would realistically ship with ECC, and ECC is the first
+line of defence discussed in the RowHammer literature the paper builds on.
+This module provides a standard Hamming(72, 64)-style single-error-correct /
+double-error-detect codec over arbitrary word widths, used by the memory
+array model and the defense evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import EccError
+
+
+def _parity_bit_count(data_bits: int) -> int:
+    """Number of Hamming parity bits needed for ``data_bits`` data bits."""
+    count = 0
+    while (1 << count) < data_bits + count + 1:
+        count += 1
+    return count
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of decoding one ECC word."""
+
+    data_bits: Tuple[int, ...]
+    corrected: bool
+    double_error_detected: bool
+    #: Index (1-based, within the codeword) of the corrected bit, if any.
+    corrected_position: Optional[int] = None
+
+
+class HammingSecDed:
+    """Single-error-correcting, double-error-detecting Hamming codec."""
+
+    def __init__(self, data_bits: int = 64):
+        if data_bits < 1:
+            raise EccError("data_bits must be at least 1")
+        self.data_bits = data_bits
+        self.parity_bits = _parity_bit_count(data_bits)
+        #: Total codeword length including the overall parity bit.
+        self.codeword_bits = data_bits + self.parity_bits + 1
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, data: Sequence[int]) -> List[int]:
+        """Encode a data word into a codeword (lists of 0/1 bits)."""
+        if len(data) != self.data_bits:
+            raise EccError(f"expected {self.data_bits} data bits, got {len(data)}")
+        if any(bit not in (0, 1) for bit in data):
+            raise EccError("data bits must be 0 or 1")
+
+        # Positions are 1-based; powers of two hold parity bits.
+        length = self.data_bits + self.parity_bits
+        codeword = [0] * (length + 1)  # index 0 unused
+        data_iter = iter(data)
+        for position in range(1, length + 1):
+            if position & (position - 1) == 0:  # power of two -> parity slot
+                continue
+            codeword[position] = next(data_iter)
+
+        for p in range(self.parity_bits):
+            parity_position = 1 << p
+            parity = 0
+            for position in range(1, length + 1):
+                if position & parity_position and position != parity_position:
+                    parity ^= codeword[position]
+            codeword[parity_position] = parity
+
+        overall = 0
+        for position in range(1, length + 1):
+            overall ^= codeword[position]
+        return codeword[1:] + [overall]
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode(self, codeword: Sequence[int]) -> DecodeResult:
+        """Decode a codeword, correcting a single error if present."""
+        if len(codeword) != self.codeword_bits:
+            raise EccError(f"expected {self.codeword_bits} codeword bits, got {len(codeword)}")
+        if any(bit not in (0, 1) for bit in codeword):
+            raise EccError("codeword bits must be 0 or 1")
+
+        length = self.data_bits + self.parity_bits
+        bits = [0] + list(codeword[:length])
+        stored_overall = codeword[length]
+
+        syndrome = 0
+        for p in range(self.parity_bits):
+            parity_position = 1 << p
+            parity = 0
+            for position in range(1, length + 1):
+                if position & parity_position:
+                    parity ^= bits[position]
+            if parity:
+                syndrome |= parity_position
+
+        overall = stored_overall
+        for position in range(1, length + 1):
+            overall ^= bits[position]
+
+        corrected = False
+        corrected_position: Optional[int] = None
+        double_error = False
+        if syndrome == 0 and overall == 0:
+            pass  # clean word
+        elif overall == 1:
+            # Single error: either in a codeword bit (syndrome != 0) or in the
+            # overall parity bit itself (syndrome == 0).
+            if syndrome != 0:
+                if syndrome <= length:
+                    bits[syndrome] ^= 1
+                    corrected_position = syndrome
+                corrected = True
+            else:
+                corrected = True
+        else:
+            double_error = True
+
+        data = [
+            bits[position]
+            for position in range(1, length + 1)
+            if position & (position - 1) != 0
+        ]
+        return DecodeResult(
+            data_bits=tuple(data),
+            corrected=corrected,
+            double_error_detected=double_error,
+            corrected_position=corrected_position,
+        )
+
+    # -- parity separation (for memories that store parity out of band) --------
+
+    def parity_of(self, codeword: Sequence[int]) -> List[int]:
+        """Extract the parity bits (Hamming parities + overall bit) of a codeword."""
+        if len(codeword) != self.codeword_bits:
+            raise EccError(f"expected {self.codeword_bits} codeword bits, got {len(codeword)}")
+        length = self.data_bits + self.parity_bits
+        parities = [codeword[(1 << p) - 1] for p in range(self.parity_bits)]
+        parities.append(codeword[length])
+        return parities
+
+    def assemble(self, data: Sequence[int], parity: Sequence[int]) -> List[int]:
+        """Rebuild a codeword from separately stored data and parity bits."""
+        if len(data) != self.data_bits:
+            raise EccError(f"expected {self.data_bits} data bits, got {len(data)}")
+        if len(parity) != self.parity_bits + 1:
+            raise EccError(f"expected {self.parity_bits + 1} parity bits, got {len(parity)}")
+        length = self.data_bits + self.parity_bits
+        codeword = [0] * (length + 1)
+        data_iter = iter(data)
+        for position in range(1, length + 1):
+            if position & (position - 1) == 0:
+                continue
+            codeword[position] = next(data_iter)
+        for p in range(self.parity_bits):
+            codeword[1 << p] = parity[p]
+        return codeword[1:] + [parity[-1]]
+
+    # -- convenience over integers --------------------------------------------
+
+    def encode_int(self, value: int) -> List[int]:
+        """Encode an unsigned integer of ``data_bits`` bits."""
+        if value < 0 or value >= (1 << self.data_bits):
+            raise EccError(f"value {value} does not fit in {self.data_bits} bits")
+        bits = [(value >> i) & 1 for i in range(self.data_bits)]
+        return self.encode(bits)
+
+    def decode_int(self, codeword: Sequence[int]) -> Tuple[int, DecodeResult]:
+        """Decode a codeword back into an unsigned integer."""
+        result = self.decode(codeword)
+        value = 0
+        for i, bit in enumerate(result.data_bits):
+            value |= bit << i
+        return value, result

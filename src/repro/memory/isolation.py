@@ -1,0 +1,106 @@
+"""Memory-isolation checker.
+
+RowHammer-class attacks matter because "consciously triggered bit-flips
+violate a fundamental concept of secure and reliable computing systems:
+memory isolation" (Sec. II).  This module makes that property explicit and
+checkable: given the page tables of every process and the frame ownership
+records, it verifies that no process can reach — through its own address
+translation — a frame it does not own.  The privilege-escalation scenario
+asserts this property before the attack and shows it violated afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .pagetable import PageTable, PhysicalMemoryManager
+
+
+@dataclass
+class IsolationViolation:
+    """One reachable frame that breaks the isolation property."""
+
+    process: str
+    virtual_page: int
+    frame_number: int
+    frame_owner: str
+    #: "foreign_frame" (mapped frame owned by someone else) or
+    #: "page_table_reachable" (process can write one of its own page tables).
+    kind: str
+
+
+@dataclass
+class IsolationReport:
+    """Result of an isolation audit."""
+
+    violations: List[IsolationViolation] = field(default_factory=list)
+
+    @property
+    def intact(self) -> bool:
+        """True if no violation was found."""
+        return not self.violations
+
+    def violations_of(self, process: str) -> List[IsolationViolation]:
+        """Violations attributable to one process."""
+        return [violation for violation in self.violations if violation.process == process]
+
+
+def audit_isolation(
+    page_tables: Dict[str, PageTable],
+    manager: PhysicalMemoryManager,
+    shared_owners: Tuple[str, ...] = ("shared",),
+) -> IsolationReport:
+    """Audit every process's reachable frames against the ownership records.
+
+    Args:
+        page_tables: Per-process page table (the process name is the owner).
+        manager: Physical frame ownership records.
+        shared_owners: Frame owners that every process may legitimately map
+            (e.g. shared libraries).
+    """
+    report = IsolationReport()
+    for process, table in page_tables.items():
+        for index in range(table.entries):
+            entry = table.read_entry(index)
+            if not entry.present:
+                continue
+            frame = entry.frame_number
+            if frame not in manager.frames:
+                # Dangling mapping: treated as a violation of a non-existent
+                # frame owned by nobody.
+                report.violations.append(
+                    IsolationViolation(
+                        process=process,
+                        virtual_page=index,
+                        frame_number=frame,
+                        frame_owner="<none>",
+                        kind="foreign_frame",
+                    )
+                )
+                continue
+            owner = manager.owner_of(frame)
+            page = manager.frames[frame]
+            if owner != process and owner not in shared_owners:
+                report.violations.append(
+                    IsolationViolation(
+                        process=process,
+                        virtual_page=index,
+                        frame_number=frame,
+                        frame_owner=owner,
+                        kind="foreign_frame",
+                    )
+                )
+            elif page.kind == "page_table" and entry.writable:
+                # A user process that can write any page-table frame (even its
+                # own) can remap arbitrary physical memory.
+                report.violations.append(
+                    IsolationViolation(
+                        process=process,
+                        virtual_page=index,
+                        frame_number=frame,
+                        frame_owner=owner,
+                        kind="page_table_reachable",
+                    )
+                )
+    return report

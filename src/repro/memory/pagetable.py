@@ -1,0 +1,152 @@
+"""Minimal page-table model for the privilege-escalation scenario.
+
+The RowHammer exploit the paper cites (Seaborn & Dullien) flips a bit inside
+a page-table entry (PTE) so that the PTE points to an attacker-owned page
+containing a page table, giving the attacker write access to page tables and
+hence to all of physical memory.  This module provides the OS-level substrate
+needed to replay that scenario on the ReRAM memory model: pages, page-table
+entries stored *in* the simulated memory, ownership bookkeeping and an
+address-translation routine whose behaviour changes when stored PTE bits are
+flipped by the attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AddressingError
+from .array import ReramMemory
+
+#: Size of one PTE in the simulated memory [bytes].
+PTE_BYTES = 8
+#: Bit layout of a PTE (little-endian within the 64-bit word).
+PRESENT_BIT = 0
+WRITABLE_BIT = 1
+USER_BIT = 2
+#: Physical frame number starts at this bit position.
+PFN_SHIFT = 12
+
+
+@dataclass
+class PageTableEntry:
+    """Decoded view of one page-table entry."""
+
+    present: bool
+    writable: bool
+    user: bool
+    frame_number: int
+
+    def encode(self) -> int:
+        """Encode the entry into its 64-bit stored representation."""
+        value = self.frame_number << PFN_SHIFT
+        if self.present:
+            value |= 1 << PRESENT_BIT
+        if self.writable:
+            value |= 1 << WRITABLE_BIT
+        if self.user:
+            value |= 1 << USER_BIT
+        return value
+
+    @classmethod
+    def decode(cls, value: int) -> "PageTableEntry":
+        """Decode a 64-bit stored value into a page-table entry."""
+        return cls(
+            present=bool(value & (1 << PRESENT_BIT)),
+            writable=bool(value & (1 << WRITABLE_BIT)),
+            user=bool(value & (1 << USER_BIT)),
+            frame_number=value >> PFN_SHIFT,
+        )
+
+
+@dataclass
+class Page:
+    """Bookkeeping for one physical page frame."""
+
+    frame_number: int
+    owner: str
+    #: "data", "page_table" or "free".
+    kind: str = "data"
+
+
+class PageTable:
+    """A single-level page table stored inside the simulated ReRAM memory."""
+
+    def __init__(self, memory: ReramMemory, base_address: int, entries: int, page_size: int = 4096):
+        if base_address % PTE_BYTES != 0:
+            raise AddressingError("page table base must be aligned to the PTE size")
+        if entries < 1:
+            raise AddressingError("page table needs at least one entry")
+        self.memory = memory
+        self.base_address = base_address
+        self.entries = entries
+        self.page_size = page_size
+
+    # -- entry accessors -----------------------------------------------------
+
+    def entry_address(self, index: int) -> int:
+        """Byte address of one PTE inside the memory."""
+        if not 0 <= index < self.entries:
+            raise AddressingError(f"PTE index {index} out of range")
+        return self.base_address + index * PTE_BYTES
+
+    def read_entry(self, index: int) -> PageTableEntry:
+        """Read and decode one PTE from memory."""
+        address = self.entry_address(index)
+        raw = int.from_bytes(self.memory.read_block(address, PTE_BYTES), "little")
+        return PageTableEntry.decode(raw)
+
+    def write_entry(self, index: int, entry: PageTableEntry) -> None:
+        """Encode and store one PTE in memory."""
+        address = self.entry_address(index)
+        self.memory.write_block(address, entry.encode().to_bytes(PTE_BYTES, "little"))
+
+    # -- translation -----------------------------------------------------------
+
+    def translate(self, virtual_address: int) -> Tuple[int, PageTableEntry]:
+        """Translate a virtual address to a physical address.
+
+        Raises :class:`AddressingError` for non-present pages (a page fault).
+        """
+        index = virtual_address // self.page_size
+        offset = virtual_address % self.page_size
+        entry = self.read_entry(index)
+        if not entry.present:
+            raise AddressingError(f"page fault: virtual address {virtual_address:#x} not mapped")
+        return entry.frame_number * self.page_size + offset, entry
+
+
+class PhysicalMemoryManager:
+    """Frame allocator and ownership tracker for the scenario engine."""
+
+    def __init__(self, total_frames: int, page_size: int = 4096):
+        if total_frames < 1:
+            raise AddressingError("need at least one physical frame")
+        self.page_size = page_size
+        self.frames: Dict[int, Page] = {
+            frame: Page(frame_number=frame, owner="kernel", kind="free") for frame in range(total_frames)
+        }
+
+    def allocate(self, owner: str, kind: str = "data") -> Page:
+        """Allocate the lowest free frame to an owner."""
+        for frame in sorted(self.frames):
+            page = self.frames[frame]
+            if page.kind == "free":
+                page.owner = owner
+                page.kind = kind
+                return page
+        raise AddressingError("out of physical frames")
+
+    def owner_of(self, frame_number: int) -> str:
+        """Owner of a physical frame."""
+        if frame_number not in self.frames:
+            raise AddressingError(f"frame {frame_number} does not exist")
+        return self.frames[frame_number].owner
+
+    def frames_of(self, owner: str) -> List[Page]:
+        """All frames owned by one principal."""
+        return [page for page in self.frames.values() if page.owner == owner and page.kind != "free"]
+
+    def page_tables_of(self, owner: str) -> List[Page]:
+        """All page-table frames of one principal."""
+        return [page for page in self.frames.values() if page.owner == owner and page.kind == "page_table"]

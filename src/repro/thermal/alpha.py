@@ -1,0 +1,147 @@
+"""Extraction of thermal-crosstalk coefficients (alpha values).
+
+The paper characterises thermal crosstalk by sweeping the dissipated power of
+the selected cell and fitting, per cell, the linear relations
+
+    T(P_LRS)    = T0 + Rth * P_LRS                 (Eq. 3, selected cell)
+    T_ij(P_LRS) = T0 + Rth * P_LRS * alpha_ij      (Eq. 4, neighbours)
+
+This module performs that sweep on top of :class:`repro.thermal.fdm.HeatSolver`
+and returns the fitted thermal resistance and the alpha matrix that the
+circuit-level crosstalk hub consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExperimentError
+from .fdm import HeatSolver, TemperatureField
+
+Cell = Tuple[int, int]
+
+
+@dataclass
+class LinearFit:
+    """Least-squares fit of T = offset + slope * P."""
+
+    slope: float
+    offset: float
+    r_squared: float
+
+
+def _linear_fit(power_w: np.ndarray, temperature_k: np.ndarray) -> LinearFit:
+    if len(power_w) < 2:
+        raise ExperimentError("alpha extraction needs at least two sweep points")
+    slope, offset = np.polyfit(power_w, temperature_k, 1)
+    predicted = offset + slope * power_w
+    residual = np.sum((temperature_k - predicted) ** 2)
+    total = np.sum((temperature_k - temperature_k.mean()) ** 2)
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return LinearFit(float(slope), float(offset), float(r_squared))
+
+
+@dataclass
+class AlphaExtractionResult:
+    """Result of an alpha-value extraction sweep for one selected cell."""
+
+    selected_cell: Cell
+    #: Thermal resistance of the selected cell [K/W] (Eq. 3 fit).
+    thermal_resistance_k_per_w: float
+    #: Ambient temperature recovered from the Eq. 3 fit intercept [K].
+    fitted_ambient_k: float
+    #: (rows x columns) matrix of alpha values; the selected cell holds 1.0.
+    alpha: np.ndarray
+    #: Goodness-of-fit of the selected-cell regression.
+    r_squared: float
+    #: Goodness-of-fit per neighbouring cell.
+    neighbour_r_squared: np.ndarray
+    #: Power values of the sweep [W].
+    sweep_powers_w: np.ndarray
+    #: Cell temperature maps of the sweep, one per power point.
+    sweep_temperatures_k: List[np.ndarray]
+
+    def alpha_of(self, cell: Cell) -> float:
+        """Alpha value of a specific cell."""
+        return float(self.alpha[cell[0], cell[1]])
+
+
+def extract_alpha_values(
+    solver: HeatSolver,
+    selected_cell: Optional[Cell] = None,
+    powers_w: Optional[Sequence[float]] = None,
+    max_power_w: float = 320e-6,
+    points: int = 5,
+) -> AlphaExtractionResult:
+    """Run the power sweep of Sec. IV-A and fit Rth and the alpha values.
+
+    Args:
+        solver: Heat solver built on the crossbar voxel model.
+        selected_cell: Cell whose dissipation is swept; defaults to the centre
+            cell as in the paper.
+        powers_w: Explicit sweep powers; if omitted a linear sweep from
+            ``max_power_w / points`` to ``max_power_w`` is used (the paper
+            realises this as a V_SET sweep of the LRS cell).
+        max_power_w: Maximum dissipated power of the sweep.
+        points: Number of sweep points.
+    """
+    geometry = solver.model.geometry
+    if selected_cell is None:
+        selected_cell = geometry.centre_cell()
+    geometry.validate_cell(*selected_cell)
+
+    if powers_w is None:
+        if points < 2:
+            raise ExperimentError("power sweep needs at least two points")
+        powers_w = np.linspace(max_power_w / points, max_power_w, points)
+    powers = np.asarray(list(powers_w), dtype=float)
+    if np.any(powers <= 0):
+        raise ExperimentError("sweep powers must be positive")
+
+    maps: List[np.ndarray] = []
+    for power in powers:
+        field: TemperatureField = solver.solve({selected_cell: float(power)})
+        maps.append(field.cell_temperature_map())
+
+    stacked = np.stack(maps)  # (points, rows, columns)
+    selected_series = stacked[:, selected_cell[0], selected_cell[1]]
+    selected_fit = _linear_fit(powers, selected_series)
+    if selected_fit.slope <= 0:
+        raise ExperimentError("selected-cell temperature does not increase with power")
+
+    rows, columns = geometry.rows, geometry.columns
+    alpha = np.zeros((rows, columns))
+    neighbour_r2 = np.zeros((rows, columns))
+    for row in range(rows):
+        for column in range(columns):
+            series = stacked[:, row, column]
+            fit = _linear_fit(powers, series)
+            alpha[row, column] = fit.slope / selected_fit.slope
+            neighbour_r2[row, column] = fit.r_squared
+    alpha[selected_cell[0], selected_cell[1]] = 1.0
+
+    return AlphaExtractionResult(
+        selected_cell=tuple(selected_cell),
+        thermal_resistance_k_per_w=selected_fit.slope,
+        fitted_ambient_k=selected_fit.offset,
+        alpha=alpha,
+        r_squared=selected_fit.r_squared,
+        neighbour_r_squared=neighbour_r2,
+        sweep_powers_w=powers,
+        sweep_temperatures_k=maps,
+    )
+
+
+def alpha_dictionary(result: AlphaExtractionResult) -> Dict[Cell, float]:
+    """Flatten an extraction result into a {cell: alpha} dictionary."""
+    out: Dict[Cell, float] = {}
+    rows, columns = result.alpha.shape
+    for row in range(rows):
+        for column in range(columns):
+            if (row, column) == result.selected_cell:
+                continue
+            out[(row, column)] = float(result.alpha[row, column])
+    return out

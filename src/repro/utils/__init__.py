@@ -1,0 +1,14 @@
+"""Reporting and logging utilities."""
+
+from .logging import configure_console_logging, get_logger
+from .tables import ascii_table, format_value, log_ascii_chart, matrix_heatmap, to_csv
+
+__all__ = [
+    "ascii_table",
+    "format_value",
+    "log_ascii_chart",
+    "matrix_heatmap",
+    "to_csv",
+    "get_logger",
+    "configure_console_logging",
+]

@@ -1,0 +1,33 @@
+"""Library-wide logging setup.
+
+The library never configures the root logger; it only provides namespaced
+loggers so applications embedding the simulator keep full control over log
+handling, while the examples get a convenient one-call console setup.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_LIBRARY_LOGGER_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger inside the library's namespace."""
+    if name is None:
+        return logging.getLogger(_LIBRARY_LOGGER_NAME)
+    if name.startswith(_LIBRARY_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
+
+
+def configure_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a simple console handler to the library logger (for examples/CLIs)."""
+    logger = get_logger()
+    if not any(isinstance(handler, logging.StreamHandler) for handler in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s"))
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

@@ -1,0 +1,111 @@
+"""Plain-text reporting helpers: ASCII tables and log-scale ASCII charts.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers keep that output readable in a terminal and diffable in CI
+without pulling in a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Format one table value compactly."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.{precision - 1}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def _single_line(text: str) -> str:
+    """Collapse any line boundary so table rows stay one line high."""
+    return " ".join(text.splitlines()) if text else text
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]], precision: int = 4) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    rendered_rows = [[_single_line(format_value(cell, precision)) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(str(cell).ljust(widths[index]) for index, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    out = [line(list(headers)), separator]
+    out.extend(line(row) for row in rendered_rows)
+    return "\n".join(out)
+
+
+def log_ascii_chart(
+    labels: Sequence[object],
+    values: Sequence[Number],
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart with a logarithmic axis.
+
+    Mirrors the paper's log-scale figures: each label gets a bar whose length
+    is proportional to log10(value).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    positives = [value for value in values if value > 0]
+    if not positives:
+        return "(no positive data to chart)"
+    low = math.floor(math.log10(min(positives)))
+    high = math.ceil(math.log10(max(positives)))
+    span = max(high - low, 1)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(str(label)) for label in labels)
+    for label, value in zip(labels, values):
+        if value <= 0:
+            bar = ""
+            rendered = "n/a"
+        else:
+            fraction = (math.log10(value) - low) / span
+            bar = "#" * max(1, int(round(fraction * width)))
+            rendered = format_value(float(value))
+        lines.append(f"{str(label).rjust(label_width)} | {bar.ljust(width)} {rendered}{unit}")
+    lines.append(f"{' ' * label_width} | log scale: 1e{low} .. 1e{high}")
+    return "\n".join(lines)
+
+
+def matrix_heatmap(matrix: Sequence[Sequence[Number]], precision: int = 1, cell_width: int = 7) -> str:
+    """Render a small matrix (e.g. the Fig. 2a temperature map) as text."""
+    lines = []
+    for row in matrix:
+        lines.append(" ".join(f"{float(value):{cell_width}.{precision}f}" for value in row))
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Serialise rows as CSV text."""
+    def escape(cell: object) -> str:
+        text = str(cell)
+        if any(character in text for character in (",", '"', "\n", "\r")):
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(escape(header) for header in headers)]
+    lines.extend(",".join(escape(cell) for cell in row) for row in rows)
+    return "\n".join(lines) + "\n"

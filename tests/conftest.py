@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+The fixtures favour small geometries and coarse grids so the whole suite
+stays fast while still exercising every code path of the full-size setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CrossbarArray
+from repro.config import CrossbarGeometry, PulseConfig, ThermalSolverConfig, WireParameters
+from repro.devices import JartVcmModel, LinearIonDriftModel
+from repro.thermal import AnalyticCouplingModel
+
+
+@pytest.fixture(scope="session")
+def jart_model() -> JartVcmModel:
+    """The default JART-style VCM model (stateless, safe to share)."""
+    return JartVcmModel()
+
+
+@pytest.fixture(scope="session")
+def drift_model() -> LinearIonDriftModel:
+    """The linear-ion-drift baseline model."""
+    return LinearIonDriftModel()
+
+
+@pytest.fixture
+def paper_geometry() -> CrossbarGeometry:
+    """The paper's 5x5 / 50 nm spacing crossbar."""
+    return CrossbarGeometry()
+
+
+@pytest.fixture
+def small_geometry() -> CrossbarGeometry:
+    """A 3x3 crossbar for fast structural tests."""
+    return CrossbarGeometry(rows=3, columns=3)
+
+
+@pytest.fixture
+def coarse_thermal_config() -> ThermalSolverConfig:
+    """A coarse finite-volume grid for fast thermal tests."""
+    return ThermalSolverConfig(lateral_resolution_m=40e-9, vertical_resolution_m=40e-9)
+
+
+@pytest.fixture
+def thin_stack_geometry() -> CrossbarGeometry:
+    """A 3x3 crossbar with a thin substrate to keep the voxel count small."""
+    return CrossbarGeometry(
+        rows=3,
+        columns=3,
+        substrate_thickness_m=80e-9,
+        insulator_thickness_m=40e-9,
+    )
+
+
+@pytest.fixture
+def paper_crossbar(paper_geometry) -> CrossbarArray:
+    """A 5x5 crossbar array with the default device model and coupling."""
+    return CrossbarArray(geometry=paper_geometry)
+
+
+@pytest.fixture
+def small_crossbar(small_geometry) -> CrossbarArray:
+    """A 3x3 crossbar array for fast circuit tests."""
+    return CrossbarArray(geometry=small_geometry)
+
+
+@pytest.fixture
+def default_pulse() -> PulseConfig:
+    """The paper's default hammer pulse (1.05 V, 50 ns, 50 % duty cycle)."""
+    return PulseConfig(length_s=50e-9)

@@ -1,0 +1,182 @@
+"""Tests for alpha-value extraction and the coupling models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CrossbarGeometry, ThermalSolverConfig
+from repro.errors import ConfigurationError, ExperimentError, GeometryError
+from repro.thermal import (
+    AnalyticCouplingModel,
+    AnalyticCouplingParameters,
+    HeatSolver,
+    ThermalResistanceNetwork,
+    UniformCouplingModel,
+    alpha_dictionary,
+    build_voxel_model,
+    coupling_from_extraction,
+    extract_alpha_values,
+)
+
+
+@pytest.fixture(scope="module")
+def extraction():
+    geometry = CrossbarGeometry(
+        rows=3, columns=3, substrate_thickness_m=80e-9, insulator_thickness_m=40e-9
+    )
+    config = ThermalSolverConfig(lateral_resolution_m=30e-9, vertical_resolution_m=30e-9)
+    solver = HeatSolver(build_voxel_model(geometry, config), 300.0)
+    return geometry, extract_alpha_values(solver, selected_cell=(1, 1), points=3)
+
+
+class TestAlphaExtraction:
+    def test_selected_cell_alpha_is_one(self, extraction):
+        _, result = extraction
+        assert result.alpha[1, 1] == pytest.approx(1.0)
+
+    def test_neighbour_alphas_in_unit_interval(self, extraction):
+        _, result = extraction
+        others = np.delete(result.alpha.ravel(), 4)
+        assert np.all(others > 0.0)
+        assert np.all(others < 1.0)
+
+    def test_same_line_neighbours_couple_strongest(self, extraction):
+        _, result = extraction
+        same_line = [result.alpha[1, 0], result.alpha[1, 2], result.alpha[0, 1], result.alpha[2, 1]]
+        diagonal = [result.alpha[0, 0], result.alpha[0, 2], result.alpha[2, 0], result.alpha[2, 2]]
+        assert min(same_line) > max(diagonal)
+
+    def test_thermal_resistance_positive_and_plausible(self, extraction):
+        _, result = extraction
+        assert 1e5 < result.thermal_resistance_k_per_w < 1e8
+
+    def test_fit_quality(self, extraction):
+        _, result = extraction
+        assert result.r_squared > 0.999
+        assert result.fitted_ambient_k == pytest.approx(300.0, abs=2.0)
+
+    def test_alpha_dictionary_excludes_selected_cell(self, extraction):
+        _, result = extraction
+        table = alpha_dictionary(result)
+        assert (1, 1) not in table
+        assert len(table) == 8
+
+    def test_requires_two_sweep_points(self, extraction):
+        geometry, _ = extraction
+        config = ThermalSolverConfig(lateral_resolution_m=30e-9, vertical_resolution_m=30e-9)
+        solver = HeatSolver(build_voxel_model(geometry, config), 300.0)
+        with pytest.raises(ExperimentError):
+            extract_alpha_values(solver, points=1)
+
+
+class TestAnalyticCoupling:
+    def test_calibrated_nearest_neighbour_value(self, paper_geometry):
+        coupling = AnalyticCouplingModel(paper_geometry)
+        alpha = coupling.alpha_between((2, 2), (2, 3))
+        # Calibrated against Fig. 2a: same-line neighbours receive ~11-12 % of
+        # the aggressor rise at 100 nm pitch.
+        assert 0.10 <= alpha <= 0.13
+
+    def test_self_coupling_is_one(self, paper_geometry):
+        coupling = AnalyticCouplingModel(paper_geometry)
+        assert coupling.alpha_between((2, 2), (2, 2)) == 1.0
+
+    def test_decays_with_distance(self, paper_geometry):
+        coupling = AnalyticCouplingModel(paper_geometry)
+        near = coupling.alpha_between((2, 2), (2, 3))
+        far = coupling.alpha_between((2, 2), (2, 4))
+        assert near > far > 0.0
+
+    def test_same_line_beats_diagonal(self, paper_geometry):
+        coupling = AnalyticCouplingModel(paper_geometry)
+        assert coupling.alpha_between((2, 2), (2, 3)) > coupling.alpha_between((2, 2), (3, 3))
+
+    def test_tighter_spacing_couples_more(self):
+        dense = AnalyticCouplingModel(CrossbarGeometry(electrode_spacing_m=10e-9))
+        sparse = AnalyticCouplingModel(CrossbarGeometry(electrode_spacing_m=90e-9))
+        assert dense.alpha_between((2, 2), (2, 3)) > sparse.alpha_between((2, 2), (2, 3))
+
+    def test_matrix_for_shape_and_symmetry(self, paper_geometry):
+        matrix = AnalyticCouplingModel(paper_geometry).matrix_for((2, 2))
+        assert matrix.values.shape == (5, 5)
+        assert matrix.values[2, 2] == 1.0
+        assert matrix.values[2, 1] == pytest.approx(matrix.values[2, 3])
+        assert matrix.values[1, 2] == pytest.approx(matrix.values[3, 2])
+
+    def test_hottest_neighbours_are_same_line(self, paper_geometry):
+        matrix = AnalyticCouplingModel(paper_geometry).matrix_for((2, 2))
+        hottest = set(matrix.hottest_neighbours(4))
+        assert hottest == {(2, 1), (2, 3), (1, 2), (3, 2)}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnalyticCouplingParameters(decay_length_m=0.0)
+        with pytest.raises(ConfigurationError):
+            AnalyticCouplingParameters(max_alpha=1.5)
+
+    def test_out_of_range_cell_rejected(self, paper_geometry):
+        coupling = AnalyticCouplingModel(paper_geometry)
+        with pytest.raises(GeometryError):
+            coupling.alpha_between((2, 2), (9, 9))
+
+
+class TestExtractedAndUniformCoupling:
+    def test_extracted_coupling_is_translation_invariant(self, extraction):
+        geometry, result = extraction
+        coupling = coupling_from_extraction(geometry, result)
+        assert coupling.alpha_between((1, 1), (1, 2)) == pytest.approx(
+            coupling.alpha_between((0, 0), (0, 1))
+        )
+
+    def test_extracted_coupling_matches_extraction(self, extraction):
+        geometry, result = extraction
+        coupling = coupling_from_extraction(geometry, result)
+        assert coupling.alpha_between((1, 1), (0, 0)) == pytest.approx(result.alpha[0, 0])
+
+    def test_geometry_mismatch_rejected(self, extraction):
+        _, result = extraction
+        with pytest.raises(GeometryError):
+            coupling_from_extraction(CrossbarGeometry(rows=5, columns=5), result)
+
+    def test_uniform_coupling_only_nearest_neighbours(self, small_geometry):
+        coupling = UniformCouplingModel(small_geometry, alpha=0.2)
+        assert coupling.alpha_between((1, 1), (1, 2)) == pytest.approx(0.2)
+        assert coupling.alpha_between((1, 1), (0, 0)) == 0.0
+
+    def test_uniform_coupling_validates_alpha(self, small_geometry):
+        with pytest.raises(ConfigurationError):
+            UniformCouplingModel(small_geometry, alpha=1.5)
+
+
+class TestThermalNetwork:
+    def test_alpha_extraction_consistent_with_analytic(self, paper_geometry):
+        network = ThermalResistanceNetwork(paper_geometry)
+        result = network.extract_alpha_values()
+        analytic = AnalyticCouplingModel(paper_geometry)
+        network_alpha = result.alpha[2, 3]
+        analytic_alpha = analytic.alpha_between((2, 2), (2, 3))
+        assert network_alpha == pytest.approx(analytic_alpha, rel=0.5)
+
+    def test_effective_thermal_resistance_positive(self, paper_geometry):
+        network = ThermalResistanceNetwork(paper_geometry)
+        assert 1e5 < network.effective_thermal_resistance() < 1e8
+
+    def test_temperature_rises_linear_in_power(self, paper_geometry):
+        network = ThermalResistanceNetwork(paper_geometry)
+        low = network.temperature_rises({(2, 2): 100e-6})
+        high = network.temperature_rises({(2, 2): 200e-6})
+        assert np.allclose(high, 2 * low)
+
+    def test_edge_cell_hotter_than_centre_for_same_power(self, paper_geometry):
+        # Edge cells have fewer lateral escape paths, so the same power gives
+        # a larger self-rise.
+        network = ThermalResistanceNetwork(paper_geometry)
+        centre = network.effective_thermal_resistance((2, 2))
+        corner = network.effective_thermal_resistance((0, 0))
+        assert corner > centre
+
+    def test_rejects_negative_power(self, paper_geometry):
+        network = ThermalResistanceNetwork(paper_geometry)
+        with pytest.raises(ConfigurationError):
+            network.temperature_rises({(2, 2): -1.0})

@@ -1,0 +1,115 @@
+"""Tests for the attack pattern definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attack import (
+    AttackPattern,
+    HammerPhase,
+    double_sided_column,
+    double_sided_row,
+    quad_surround,
+    row_sweep,
+    single_aggressor,
+    standard_patterns,
+)
+from repro.config import CrossbarGeometry
+from repro.errors import AttackError
+
+
+class TestPatternFactories:
+    def test_single_aggressor_defaults_to_centre(self, paper_geometry):
+        pattern = single_aggressor(paper_geometry)
+        assert pattern.aggressors == ((2, 2),)
+        assert pattern.victim == (2, 3)
+        assert pattern.shares_line_with_victim(pattern.aggressors[0])
+
+    def test_double_sided_row_flanks_victim(self, paper_geometry):
+        pattern = double_sided_row(paper_geometry)
+        assert set(pattern.aggressors) == {(2, 1), (2, 3)}
+        assert pattern.victim == (2, 2)
+        assert pattern.phase_count == 1
+
+    def test_double_sided_column_flanks_victim(self, paper_geometry):
+        pattern = double_sided_column(paper_geometry)
+        assert set(pattern.aggressors) == {(1, 2), (3, 2)}
+        assert pattern.phase_count == 1
+
+    def test_quad_uses_two_phases(self, paper_geometry):
+        pattern = quad_surround(paper_geometry)
+        assert pattern.aggressor_count == 4
+        assert pattern.phase_count == 2
+        for phase in pattern.phases:
+            rows = {cell[0] for cell in phase.aggressors}
+            columns = {cell[1] for cell in phase.aggressors}
+            assert len(rows) == 1 or len(columns) == 1
+
+    def test_row_sweep_covers_whole_row(self, paper_geometry):
+        pattern = row_sweep(paper_geometry)
+        assert pattern.aggressor_count == paper_geometry.columns - 1
+        assert all(cell[0] == pattern.victim[0] for cell in pattern.aggressors)
+
+    def test_standard_patterns_cover_expected_set(self, paper_geometry):
+        patterns = standard_patterns(paper_geometry)
+        assert set(patterns) == {"single", "double_row", "double_column", "quad", "row_sweep"}
+
+    def test_edge_victim_reduces_pattern_set(self):
+        geometry = CrossbarGeometry(rows=3, columns=3)
+        patterns = standard_patterns(geometry, victim=(0, 0))
+        assert "quad" not in patterns
+        assert "single" in patterns
+
+    def test_corner_victim_double_sided_rejected(self, paper_geometry):
+        with pytest.raises(AttackError):
+            double_sided_row(paper_geometry, victim=(0, 0))
+
+
+class TestPatternValidation:
+    def test_victim_cannot_be_aggressor(self):
+        with pytest.raises(AttackError):
+            AttackPattern(name="bad", victim=(1, 1), aggressors=((1, 1),))
+
+    def test_phases_must_cover_aggressors(self):
+        with pytest.raises(AttackError):
+            AttackPattern(
+                name="bad",
+                victim=(0, 0),
+                aggressors=((0, 1), (1, 0)),
+                phases=(HammerPhase(((0, 1),)),),
+            )
+
+    def test_default_phases_are_one_per_aggressor(self):
+        pattern = AttackPattern(name="p", victim=(0, 0), aggressors=((0, 1), (1, 0)))
+        assert pattern.phase_count == 2
+
+    def test_validate_rejects_pattern_that_full_selects_victim(self, paper_geometry):
+        pattern = AttackPattern(
+            name="bad",
+            victim=(2, 2),
+            aggressors=((2, 1), (1, 2)),
+            phases=(HammerPhase(((2, 1), (1, 2))),),
+        )
+        with pytest.raises(AttackError):
+            pattern.validate(paper_geometry)
+
+    def test_validate_rejects_unintended_full_selects(self, paper_geometry):
+        pattern = AttackPattern(
+            name="bad",
+            victim=(0, 4),
+            aggressors=((1, 1), (2, 2)),
+            phases=(HammerPhase(((1, 1), (2, 2))),),
+        )
+        with pytest.raises(AttackError):
+            pattern.validate(paper_geometry)
+
+    def test_validate_rejects_out_of_range_cells(self, small_geometry):
+        from repro.errors import GeometryError
+
+        pattern = AttackPattern(name="p", victim=(0, 0), aggressors=((0, 4),))
+        with pytest.raises(GeometryError):
+            pattern.validate(small_geometry)
+
+    def test_empty_phase_rejected(self):
+        with pytest.raises(AttackError):
+            HammerPhase(())

@@ -1,0 +1,154 @@
+"""Tests for the baseline device models (linear ion drift, Yakopcic, windows)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices import (
+    DeviceState,
+    LinearIonDriftModel,
+    LinearIonDriftParameters,
+    YakopcicModel,
+    YakopcicParameters,
+    bit_from_state,
+    biolek_window,
+    get_window,
+    joglekar_window,
+    prodromakis_window,
+    rectangular_window,
+)
+from repro.errors import DeviceModelError
+
+
+class TestWindows:
+    def test_joglekar_symmetric_and_bounded(self):
+        for x in (0.0, 0.25, 0.5, 0.75, 1.0):
+            value = joglekar_window(x, 1e-6)
+            assert 0.0 <= value <= 1.0
+            assert value == pytest.approx(joglekar_window(1.0 - x, 1e-6))
+
+    def test_joglekar_vanishes_at_boundaries(self):
+        assert joglekar_window(0.0, 1e-6) == pytest.approx(0.0)
+        assert joglekar_window(1.0, 1e-6) == pytest.approx(0.0)
+
+    def test_biolek_depends_on_current_direction(self):
+        at_top_forward = biolek_window(1.0, current_a=1e-6)
+        at_top_backward = biolek_window(1.0, current_a=-1e-6)
+        assert at_top_forward == pytest.approx(0.0)
+        assert at_top_backward == pytest.approx(1.0)
+
+    def test_rectangular_blocks_only_at_boundaries(self):
+        assert rectangular_window(0.5, 1e-6) == 1.0
+        assert rectangular_window(1.0, 1e-6) == 0.0
+        assert rectangular_window(0.0, -1e-6) == 0.0
+        assert rectangular_window(0.0, 1e-6) == 1.0
+
+    def test_prodromakis_bounded(self):
+        assert 0.0 <= prodromakis_window(0.5, 1e-6) <= 1.0
+
+    def test_registry_lookup(self):
+        assert get_window("biolek") is biolek_window
+        with pytest.raises(DeviceModelError):
+            get_window("nonexistent")
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(DeviceModelError):
+            joglekar_window(0.5, 1e-6, p=0)
+
+
+class TestLinearIonDrift:
+    def test_memristance_interpolates(self, drift_model):
+        p = drift_model.parameters
+        assert drift_model.memristance(DeviceState(0.0)) == pytest.approx(p.r_off_ohm)
+        assert drift_model.memristance(DeviceState(1.0)) == pytest.approx(p.r_on_ohm)
+        middle = drift_model.memristance(DeviceState(0.5))
+        assert p.r_on_ohm < middle < p.r_off_ohm
+
+    def test_current_is_ohmic(self, drift_model):
+        state = DeviceState(0.5)
+        assert drift_model.current(0.4, state) == pytest.approx(
+            2 * drift_model.current(0.2, state), rel=1e-9
+        )
+
+    def test_state_moves_with_positive_bias(self, drift_model):
+        assert drift_model.state_derivative(1.0, DeviceState(0.5)) > 0.0
+
+    def test_state_motion_is_temperature_independent(self, drift_model):
+        cold = drift_model.state_derivative(0.5, DeviceState(0.3, filament_temperature_k=300.0))
+        hot = drift_model.state_derivative(0.5, DeviceState(0.3, filament_temperature_k=500.0))
+        assert cold == pytest.approx(hot)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DeviceModelError):
+            LinearIonDriftParameters(r_on_ohm=1e6, r_off_ohm=1e3)
+
+    def test_window_shapes_boundary(self):
+        model = LinearIonDriftModel(LinearIonDriftParameters(window="joglekar"))
+        assert model.state_derivative(1.0, DeviceState(1.0)) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestYakopcic:
+    def test_conduction_polarity_asymmetry(self):
+        model = YakopcicModel()
+        state = DeviceState(0.5)
+        assert abs(model.current(0.5, state)) > abs(model.current(-0.5, state))
+
+    def test_no_motion_below_threshold(self):
+        model = YakopcicModel()
+        assert model.state_derivative(0.5, DeviceState(0.5)) == 0.0
+        assert model.state_derivative(-0.5, DeviceState(0.5)) == 0.0
+
+    def test_motion_above_threshold(self):
+        model = YakopcicModel()
+        assert model.state_derivative(1.0, DeviceState(0.5)) > 0.0
+        assert model.state_derivative(-1.0, DeviceState(0.5)) < 0.0
+
+    def test_boundary_damping(self):
+        model = YakopcicModel()
+        inside = model.state_derivative(1.0, DeviceState(0.5))
+        near_top = model.state_derivative(1.0, DeviceState(0.99))
+        assert near_top < inside
+
+    def test_hrs_state_keeps_finite_conductance(self):
+        model = YakopcicModel()
+        state = model.hrs_state()
+        assert state.x > 0.0
+        assert model.current(0.2, state) > 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DeviceModelError):
+            YakopcicParameters(x_n=0.9, x_p=0.1)
+
+
+class TestDeviceBaseHelpers:
+    def test_bit_round_trip(self, jart_model):
+        assert bit_from_state(jart_model.state_from_bit(1)) == 1
+        assert bit_from_state(jart_model.state_from_bit(0)) == 0
+
+    def test_bit_encoding_can_be_inverted(self, jart_model):
+        state = jart_model.state_from_bit(1, lrs_is_one=False)
+        assert state.x == pytest.approx(0.0)
+        assert bit_from_state(state, lrs_is_one=False) == 1
+
+    def test_invalid_bit_rejected(self, jart_model):
+        with pytest.raises(DeviceModelError):
+            jart_model.state_from_bit(2)
+
+    def test_clamp_state(self, jart_model):
+        assert jart_model.clamp_state(-0.5) == 0.0
+        assert jart_model.clamp_state(1.5) == 1.0
+        assert jart_model.clamp_state(0.25) == 0.25
+
+    def test_conductance_positive(self, jart_model):
+        state = DeviceState(0.5, 300.0)
+        assert jart_model.conductance(0.3, state) > 0.0
+
+    def test_resistance_of_near_open_device(self, drift_model):
+        # Extremely small read voltage should still return a finite resistance.
+        assert drift_model.resistance(DeviceState(0.0), read_voltage_v=0.2) > 0.0
+
+    def test_state_copy_is_independent(self):
+        state = DeviceState(0.3, 350.0)
+        clone = state.copy()
+        clone.x = 0.9
+        assert state.x == pytest.approx(0.3)

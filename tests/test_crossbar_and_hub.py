@@ -1,0 +1,154 @@
+"""Tests for the CrossbarArray, the crosstalk hub and the thermal snapshot."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import CrossbarArray, CrosstalkHub, write_bias
+from repro.config import CrossbarGeometry
+from repro.errors import ConfigurationError, GeometryError
+from repro.thermal import AnalyticCouplingModel, UniformCouplingModel
+
+
+class TestCrosstalkHub:
+    @pytest.fixture
+    def hub(self, paper_geometry):
+        return CrosstalkHub(AnalyticCouplingModel(paper_geometry), 300.0)
+
+    def test_cold_array_produces_no_crosstalk(self, hub):
+        temperatures = np.full((5, 5), 300.0)
+        assert np.allclose(hub.additional_temperatures(temperatures), 0.0)
+
+    def test_single_hot_cell_heats_neighbours(self, hub):
+        temperatures = np.full((5, 5), 300.0)
+        temperatures[2, 2] = 950.0
+        additional = hub.additional_temperatures(temperatures)
+        assert additional[2, 2] == pytest.approx(0.0)
+        assert additional[2, 3] == pytest.approx(0.115 * 650.0, rel=0.1)
+        assert additional[0, 0] < additional[2, 3]
+
+    def test_contributions_add_linearly(self, hub):
+        base = np.full((5, 5), 300.0)
+        one = base.copy(); one[2, 1] = 800.0
+        other = base.copy(); other[2, 3] = 800.0
+        both = base.copy(); both[2, 1] = 800.0; both[2, 3] = 800.0
+        combined = hub.additional_temperatures(both)
+        summed = hub.additional_temperatures(one) + hub.additional_temperatures(other)
+        assert np.allclose(combined, summed)
+
+    def test_aggressor_contribution_helper(self, hub):
+        value = hub.aggressor_contribution((2, 2), (2, 3), 950.0)
+        assert value == pytest.approx(0.115 * 650.0, rel=0.1)
+
+    def test_cells_below_ambient_are_clamped(self, hub):
+        temperatures = np.full((5, 5), 280.0)
+        assert np.allclose(hub.additional_temperatures(temperatures), 0.0)
+
+    def test_shape_mismatch_rejected(self, hub):
+        with pytest.raises(ConfigurationError):
+            hub.additional_temperatures(np.full((3, 3), 300.0))
+
+
+class TestCrossbarArrayState:
+    def test_initial_state_is_hrs(self, small_crossbar):
+        assert np.allclose(small_crossbar.state_map(), 0.0)
+        assert np.all(small_crossbar.bit_map() == 0)
+
+    def test_set_and_get_state(self, small_crossbar):
+        small_crossbar.set_state((1, 1), 0.8)
+        assert small_crossbar.get_state((1, 1)).x == pytest.approx(0.8)
+
+    def test_set_state_clamps(self, small_crossbar):
+        small_crossbar.set_state((0, 0), 1.7)
+        assert small_crossbar.get_state((0, 0)).x == 1.0
+
+    def test_bit_round_trip(self, small_crossbar):
+        small_crossbar.set_bit((2, 2), 1)
+        assert small_crossbar.get_bit((2, 2)) == 1
+        small_crossbar.set_bit((2, 2), 0)
+        assert small_crossbar.get_bit((2, 2)) == 0
+
+    def test_initialise_bits_pattern(self, small_crossbar):
+        pattern = np.array([[1, 0, 1], [0, 1, 0], [1, 0, 1]])
+        small_crossbar.initialise_bits(pattern)
+        assert np.array_equal(small_crossbar.bit_map(), pattern)
+
+    def test_initialise_bits_rejects_wrong_shape(self, small_crossbar):
+        with pytest.raises(ConfigurationError):
+            small_crossbar.initialise_bits(np.zeros((2, 2), dtype=int))
+
+    def test_copy_and_restore_states(self, small_crossbar):
+        small_crossbar.set_state((0, 1), 0.6)
+        snapshot = small_crossbar.copy_states()
+        small_crossbar.set_state((0, 1), 0.1)
+        small_crossbar.restore_states(snapshot)
+        assert small_crossbar.get_state((0, 1)).x == pytest.approx(0.6)
+
+    def test_out_of_range_cell_rejected(self, small_crossbar):
+        with pytest.raises(GeometryError):
+            small_crossbar.set_state((5, 5), 1.0)
+
+    def test_coupling_geometry_mismatch_rejected(self, paper_geometry):
+        wrong = AnalyticCouplingModel(CrossbarGeometry(rows=3, columns=3))
+        with pytest.raises(GeometryError):
+            CrossbarArray(geometry=paper_geometry, coupling=wrong)
+
+
+class TestThermalSnapshot:
+    def test_reproduces_fig2a_operating_point(self, paper_crossbar):
+        paper_crossbar.set_state((2, 2), 1.0)
+        bias = write_bias(paper_crossbar.geometry, [(2, 2)], 1.05)
+        snapshot = paper_crossbar.thermal_snapshot(bias)
+        assert 800.0 < snapshot.cell_temperature((2, 2)) < 1050.0
+        assert 340.0 < snapshot.cell_temperature((2, 3)) < 420.0
+        assert snapshot.cell_temperature((0, 0)) < snapshot.cell_temperature((2, 3))
+
+    def test_snapshot_updates_device_temperatures(self, paper_crossbar):
+        paper_crossbar.set_state((2, 2), 1.0)
+        bias = write_bias(paper_crossbar.geometry, [(2, 2)], 1.05)
+        snapshot = paper_crossbar.thermal_snapshot(bias)
+        assert paper_crossbar.get_state((2, 2)).filament_temperature_k == pytest.approx(
+            snapshot.cell_temperature((2, 2))
+        )
+        paper_crossbar.reset_temperatures()
+        assert paper_crossbar.get_state((2, 2)).filament_temperature_k == pytest.approx(300.0)
+
+    def test_crosstalk_separated_from_self_heating(self, paper_crossbar):
+        paper_crossbar.set_state((2, 2), 1.0)
+        bias = write_bias(paper_crossbar.geometry, [(2, 2)], 1.05)
+        snapshot = paper_crossbar.thermal_snapshot(bias)
+        # The victim's temperature is dominated by crosstalk, the aggressor's
+        # by its own dissipation.
+        victim_crosstalk = snapshot.crosstalk_temperatures_k[2, 3]
+        victim_rise = snapshot.cell_temperature((2, 3)) - 300.0
+        assert victim_crosstalk == pytest.approx(victim_rise, abs=10.0)
+        aggressor_crosstalk = snapshot.crosstalk_temperatures_k[2, 2]
+        aggressor_rise = snapshot.cell_temperature((2, 2)) - 300.0
+        assert aggressor_crosstalk < 0.1 * aggressor_rise
+
+    def test_idle_bias_keeps_array_at_ambient(self, small_crossbar):
+        from repro.circuit import idle_bias
+
+        snapshot = small_crossbar.thermal_snapshot(idle_bias(small_crossbar.geometry))
+        assert np.allclose(snapshot.filament_temperatures_k, 300.0, atol=1.0)
+
+    def test_uniform_coupling_alternative(self, small_geometry):
+        crossbar = CrossbarArray(
+            geometry=small_geometry, coupling=UniformCouplingModel(small_geometry, alpha=0.2)
+        )
+        crossbar.set_state((1, 1), 1.0)
+        bias = write_bias(small_geometry, [(1, 1)], 1.05)
+        snapshot = crossbar.thermal_snapshot(bias)
+        assert snapshot.cell_temperature((1, 2)) > 350.0
+        # Diagonal neighbours receive no direct aggressor coupling under the
+        # uniform model; only the (sub-kelvin) self-heating of half-selected
+        # cells leaks through to them.
+        assert snapshot.crosstalk_temperatures_k[0, 0] < 1.0
+        assert snapshot.crosstalk_temperatures_k[0, 0] < 0.05 * snapshot.crosstalk_temperatures_k[1, 2]
+
+    def test_invalid_iteration_count_rejected(self, small_crossbar):
+        from repro.circuit import idle_bias
+
+        with pytest.raises(ConfigurationError):
+            small_crossbar.thermal_snapshot(idle_bias(small_crossbar.geometry), max_iterations=0)

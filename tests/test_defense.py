@@ -1,0 +1,180 @@
+"""Tests for the countermeasure suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CrossbarGeometry, PulseConfig
+from repro.defense import (
+    HammerCounterDetector,
+    ProbabilisticRefresh,
+    RefreshPolicy,
+    ThermalGuard,
+    ThermalGuardPolicy,
+    evaluate_defenses,
+    minimum_refresh_interval,
+    neighbour_cells,
+    pulses_survivable_with_refresh,
+    refresh_cell,
+)
+from repro.devices import DeviceState, JartVcmModel
+from repro.errors import ConfigurationError
+from repro.thermal import AnalyticCouplingModel
+
+
+class TestDetection:
+    def test_neighbour_cells_of_centre(self, paper_geometry):
+        assert set(neighbour_cells(paper_geometry, (2, 2))) == {(2, 1), (2, 3), (1, 2), (3, 2)}
+
+    def test_neighbour_cells_of_corner(self, paper_geometry):
+        assert set(neighbour_cells(paper_geometry, (0, 0))) == {(0, 1), (1, 0)}
+
+    def test_counter_triggers_at_threshold(self, paper_geometry):
+        detector = HammerCounterDetector(paper_geometry, threshold=10, window_writes=1000)
+        triggers = [detector.observe_write((2, 2)) for _ in range(25)]
+        fired = [t for t in triggers if t is not None]
+        assert len(fired) == 2  # at write 10 and write 20
+        assert fired[0].victim_cells == neighbour_cells(paper_geometry, (2, 2))
+
+    def test_counter_ignores_distributed_writes(self, paper_geometry):
+        detector = HammerCounterDetector(paper_geometry, threshold=10, window_writes=1000)
+        for index in range(30):
+            cell = (index % 5, (index // 5) % 5)
+            assert detector.observe_write(cell) is None
+
+    def test_window_reset_clears_counters(self, paper_geometry):
+        detector = HammerCounterDetector(paper_geometry, threshold=10, window_writes=12)
+        # Six hammer writes, then six unrelated writes roll the window over,
+        # then six more hammer writes: no single window sees ten of them.
+        for _ in range(6):
+            detector.observe_write((2, 2))
+        for index in range(6):
+            detector.observe_write((0, index % 5))
+        for _ in range(6):
+            detector.observe_write((2, 2))
+        assert detector.writes_observed() == 18
+        assert len(detector.requests) == 0
+
+    def test_counter_invalid_config(self, paper_geometry):
+        with pytest.raises(ConfigurationError):
+            HammerCounterDetector(paper_geometry, threshold=0)
+        with pytest.raises(ConfigurationError):
+            HammerCounterDetector(paper_geometry, threshold=100, window_writes=10)
+
+    def test_probabilistic_refresh_rate(self, paper_geometry):
+        para = ProbabilisticRefresh(paper_geometry, probability=0.01, seed=7)
+        for _ in range(10_000):
+            para.observe_write((2, 2))
+        assert 50 <= len(para.requests) <= 200
+        assert para.expected_writes_between_refreshes() == pytest.approx(100.0)
+
+    def test_probabilistic_refresh_deterministic_with_seed(self, paper_geometry):
+        a = ProbabilisticRefresh(paper_geometry, probability=0.05, seed=42)
+        b = ProbabilisticRefresh(paper_geometry, probability=0.05, seed=42)
+        for _ in range(200):
+            a.observe_write((1, 1))
+            b.observe_write((1, 1))
+        assert len(a.requests) == len(b.requests)
+
+
+class TestRefresh:
+    def test_refresh_rewrites_drifted_cell(self, jart_model):
+        state = DeviceState(x=0.3, filament_temperature_k=350.0)
+        outcome = refresh_cell(jart_model, state, stored_bit=0, policy=RefreshPolicy(), ambient_temperature_k=300.0)
+        assert outcome.rewritten
+        assert state.x == pytest.approx(0.0)
+        assert state.filament_temperature_k == pytest.approx(300.0)
+
+    def test_refresh_skips_clean_cell(self, jart_model):
+        state = DeviceState(x=0.01, filament_temperature_k=300.0)
+        outcome = refresh_cell(jart_model, state, stored_bit=0, policy=RefreshPolicy(), ambient_temperature_k=300.0)
+        assert not outcome.rewritten
+
+    def test_refresh_interval_logic(self):
+        assert pulses_survivable_with_refresh(pulses_to_flip=5000, refresh_interval_pulses=1000)
+        assert not pulses_survivable_with_refresh(pulses_to_flip=5000, refresh_interval_pulses=10_000)
+        assert minimum_refresh_interval(5000) == 2500
+        with pytest.raises(ConfigurationError):
+            minimum_refresh_interval(0)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RefreshPolicy(interval_pulses=0)
+        with pytest.raises(ConfigurationError):
+            RefreshPolicy(rewrite_threshold_x=2.0)
+
+
+class TestThermalGuard:
+    @pytest.fixture
+    def guard(self, paper_geometry):
+        return ThermalGuard(
+            paper_geometry,
+            AnalyticCouplingModel(paper_geometry),
+            policy=ThermalGuardPolicy(max_neighbour_rise_k=10.0, averaging_window_s=10e-6),
+            aggressor_rise_k=650.0,
+        )
+
+    def test_first_write_allowed(self, guard):
+        decision = guard.request_write((2, 2), time_s=0.0, pulse_length_s=50e-9)
+        assert decision.allowed
+
+    def test_sustained_hammering_gets_throttled(self, guard):
+        time_s = 0.0
+        throttled = False
+        for _ in range(10_000):
+            decision = guard.request_write((2, 2), time_s=time_s, pulse_length_s=50e-9)
+            if not decision.allowed:
+                throttled = True
+                break
+            time_s += 100e-9
+        assert throttled
+        assert guard.throttled_writes >= 1
+
+    def test_slow_writes_never_throttled(self, guard):
+        time_s = 0.0
+        for _ in range(200):
+            decision = guard.request_write((2, 2), time_s=time_s, pulse_length_s=50e-9)
+            assert decision.allowed
+            time_s += 10e-6  # very low duty cycle
+        assert guard.throttled_writes == 0
+
+    def test_duty_cycle_limit_below_attack_duty_cycle(self, guard):
+        limit = guard.maximum_sustained_duty_cycle((2, 2))
+        assert 0.0 < limit < 0.5
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalGuardPolicy(max_neighbour_rise_k=0.0)
+
+
+class TestDefenseEvaluation:
+    @pytest.fixture(scope="class")
+    def evaluation(self):
+        return evaluate_defenses(pulse=PulseConfig(length_s=50e-9), max_pulses=2_000_000)
+
+    def test_baseline_attack_succeeds(self, evaluation):
+        assert evaluation.baseline.flipped
+
+    def test_all_defences_evaluated(self, evaluation):
+        names = {outcome.name for outcome in evaluation.outcomes}
+        assert names == {"v_third_bias", "victim_refresh", "thermal_guard", "secded_ecc"}
+
+    def test_refresh_defeats_attack(self, evaluation):
+        assert evaluation.outcome("victim_refresh").attack_defeated
+
+    def test_v_third_slows_attack_substantially(self, evaluation):
+        outcome = evaluation.outcome("v_third_bias")
+        assert outcome.attack_defeated or outcome.slowdown_factor > 10.0
+
+    def test_thermal_guard_limits_duty_cycle(self, evaluation):
+        outcome = evaluation.outcome("thermal_guard")
+        assert outcome.attack_defeated
+
+    def test_ecc_survives_but_doubles_cost(self, evaluation):
+        outcome = evaluation.outcome("secded_ecc")
+        assert not outcome.attack_defeated
+        assert outcome.slowdown_factor == pytest.approx(2.0)
+
+    def test_unknown_defence_lookup_rejected(self, evaluation):
+        with pytest.raises(ConfigurationError):
+            evaluation.outcome("does_not_exist")

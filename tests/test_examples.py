@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example must run to completion.
+
+The examples double as documentation; running them in-process (with argv
+pinned) guarantees they stay in sync with the public API.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "thermal_map.py",
+    "attack_patterns.py",
+    "privilege_escalation.py",
+    "countermeasures.py",
+    "spacing_study.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_to_completion(script, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output) > 200, f"example {script} produced suspiciously little output"
+
+
+def test_every_example_file_is_covered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)

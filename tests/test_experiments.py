@@ -1,0 +1,103 @@
+"""Tests for the figure-reproduction experiments (reduced, fast operating points).
+
+The full-size sweeps are exercised by the benchmark harness; these tests run
+smaller versions of each experiment so the shapes are continuously verified
+by the plain test suite as well.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    FIG2A_PAPER_REFERENCE,
+    calibration_report,
+    decades_spanned,
+    monotonically_decreasing,
+    run_bias_scheme_ablation,
+    run_device_model_ablation,
+    run_fig2a,
+    run_fig3a,
+    run_fig3b,
+    run_fig3c,
+    run_fig3d,
+    run_scenarios,
+    fig2a_experiment,
+)
+
+
+class TestFig2a:
+    def test_circuit_method_matches_paper_regime(self):
+        outcome = run_fig2a(method="circuit")
+        assert outcome.aggressor_temperature_k == pytest.approx(
+            FIG2A_PAPER_REFERENCE["aggressor_k"], rel=0.15
+        )
+        assert (
+            FIG2A_PAPER_REFERENCE["diagonal_neighbour_min_k"] - 25.0
+            <= outcome.same_line_neighbour_k
+            <= FIG2A_PAPER_REFERENCE["same_line_neighbour_max_k"] + 25.0
+        )
+
+    def test_network_method_runs(self):
+        outcome = run_fig2a(method="network")
+        assert outcome.aggressor_temperature_k > 600.0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_fig2a(method="comsol")
+
+    def test_experiment_wrapper_exposes_metadata(self):
+        result = fig2a_experiment()
+        assert result.name == "fig2a"
+        assert len(result.rows) == 5
+        assert result.metadata["aggressor_temperature_k"] > 800.0
+
+
+class TestFig3Sweeps:
+    def test_fig3a_reduced_sweep_shape(self):
+        result = run_fig3a(pulse_lengths_s=(10e-9, 50e-9, 100e-9))
+        pulses = [float(v) for v in result.column("pulses_to_flip")]
+        assert all(result.column("flipped"))
+        assert monotonically_decreasing(pulses)
+        assert 0.5 <= decades_spanned(pulses) <= 1.5
+
+    def test_fig3b_reduced_sweep_shape(self):
+        result = run_fig3b(spacings_m=(10e-9, 90e-9), pulse_lengths_s=(50e-9,))
+        pulses = {row["electrode_spacing_nm"]: row["pulses_to_flip"] for row in result.rows}
+        assert pulses[10.0] < pulses[90.0] / 5
+
+    def test_fig3c_reduced_sweep_shape(self):
+        result = run_fig3c(temperatures_k=(273.0, 373.0), pulse_lengths_s=(50e-9,))
+        pulses = {row["ambient_temperature_k"]: row["pulses_to_flip"] for row in result.rows}
+        assert pulses[373.0] < pulses[273.0] / 100
+
+    def test_fig3d_pattern_ordering(self):
+        result = run_fig3d(pattern_names=("single", "double_row"))
+        pulses = {row["pattern"]: row["pulses_to_flip"] for row in result.rows}
+        assert pulses["double_row"] < pulses["single"]
+
+
+class TestScenarioAndAblationExperiments:
+    def test_scenarios_table(self):
+        result = run_scenarios(pulse_length_s=50e-9)
+        by_name = {row["scenario"]: row for row in result.rows}
+        assert by_name["privilege_escalation"]["success"]
+        assert by_name["denial_of_service"]["success"]
+        assert result.metadata["pulses_to_flip_one_bit"] > 100
+
+    def test_device_model_ablation(self):
+        result = run_device_model_ablation()
+        by_model = {row["model"]: row for row in result.rows}
+        assert by_model["jart_vcm"]["thermal_acceleration"] > 50.0
+        assert by_model["linear_ion_drift"]["thermal_acceleration"] == pytest.approx(1.0)
+
+    def test_bias_scheme_ablation(self):
+        result = run_bias_scheme_ablation(max_pulses=2_000_000)
+        by_scheme = {row["scheme"]: row for row in result.rows}
+        assert by_scheme["v_third"]["pulses_to_flip"] > by_scheme["v_half"]["pulses_to_flip"]
+
+    def test_calibration_report_anchors_hold(self):
+        result = calibration_report()
+        assert all(result.column("within_tolerance"))
+        assert result.metadata["resistance_window"] > 100.0

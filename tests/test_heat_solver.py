@@ -1,0 +1,99 @@
+"""Tests for the finite-volume heat and current-continuity solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CrossbarGeometry, ThermalSolverConfig
+from repro.errors import GeometryError
+from repro.thermal import HeatSolver, build_voxel_model
+
+
+@pytest.fixture(scope="module")
+def solver():
+    geometry = CrossbarGeometry(
+        rows=3, columns=3, substrate_thickness_m=80e-9, insulator_thickness_m=40e-9
+    )
+    config = ThermalSolverConfig(lateral_resolution_m=30e-9, vertical_resolution_m=30e-9)
+    model = build_voxel_model(geometry, config)
+    return HeatSolver(model, ambient_temperature_k=300.0)
+
+
+class TestHeatSolve:
+    def test_no_power_means_ambient_everywhere(self, solver):
+        field = solver.solve({})
+        assert np.allclose(field.values_k, 300.0, atol=1e-6)
+
+    def test_heated_cell_is_hottest(self, solver):
+        field = solver.solve({(1, 1): 100e-6})
+        temperature_map = field.cell_temperature_map()
+        assert temperature_map[1, 1] == temperature_map.max()
+        assert field.cell_temperature((1, 1)) > 320.0
+
+    def test_all_cells_above_ambient(self, solver):
+        field = solver.solve({(1, 1): 100e-6})
+        assert np.all(field.rise_map() > 0.0)
+
+    def test_linearity_in_power(self, solver):
+        low = solver.solve({(1, 1): 50e-6}).rise_map()
+        high = solver.solve({(1, 1): 100e-6}).rise_map()
+        assert np.allclose(high, 2.0 * low, rtol=1e-6)
+
+    def test_superposition_of_two_sources(self, solver):
+        combined = solver.solve({(0, 0): 60e-6, (2, 2): 60e-6}).rise_map()
+        first = solver.solve({(0, 0): 60e-6}).rise_map()
+        second = solver.solve({(2, 2): 60e-6}).rise_map()
+        assert np.allclose(combined, first + second, rtol=1e-6)
+
+    def test_symmetry_of_centre_source(self, solver):
+        temperature_map = solver.solve({(1, 1): 100e-6}).cell_temperature_map()
+        assert temperature_map[1, 0] == pytest.approx(temperature_map[1, 2], rel=0.02)
+        assert temperature_map[0, 1] == pytest.approx(temperature_map[2, 1], rel=0.02)
+
+    def test_negative_power_rejected(self, solver):
+        with pytest.raises(GeometryError):
+            solver.solve({(1, 1): -1e-6})
+
+    def test_unknown_cell_rejected(self, solver):
+        with pytest.raises(GeometryError):
+            solver.solve({(7, 7): 1e-6})
+
+    def test_same_line_neighbour_hotter_than_diagonal(self, solver):
+        temperature_map = solver.solve({(1, 1): 100e-6}).cell_temperature_map()
+        same_line = temperature_map[1, 2]
+        diagonal = temperature_map[2, 2]
+        assert same_line > diagonal
+
+    def test_max_temperature_at_least_cell_probe(self, solver):
+        field = solver.solve({(1, 1): 100e-6})
+        assert field.max_temperature_k >= field.cell_temperature((1, 1))
+
+
+class TestPotentialSolve:
+    def test_contact_current_matches_power(self, solver):
+        solution = solver.solve_potential((1, 1), 1.0)
+        assert solution.total_current_a > 0.0
+        assert solution.total_power_w == pytest.approx(
+            solution.total_current_a * 1.0, rel=0.05
+        )
+
+    def test_potential_bounded_by_contacts(self, solver):
+        solution = solver.solve_potential((1, 1), 1.0)
+        active = solver.model.sigma > 0
+        assert solution.potential_v[active].max() <= 1.0 + 1e-6
+        assert solution.potential_v[active].min() >= -1e-6
+
+    def test_joule_heating_non_negative(self, solver):
+        solution = solver.solve_potential((1, 1), 1.0)
+        assert np.all(solution.joule_heating_w >= -1e-18)
+
+    def test_electrothermal_couples_heating_to_temperature(self, solver):
+        temperature, potential = solver.solve_electrothermal((1, 1), 1.0)
+        assert temperature.cell_temperature((1, 1)) > 310.0
+        assert potential.total_power_w > 0.0
+
+    def test_current_scales_with_voltage(self, solver):
+        low = solver.solve_potential((1, 1), 0.5).total_current_a
+        high = solver.solve_potential((1, 1), 1.0).total_current_a
+        assert high == pytest.approx(2.0 * low, rel=1e-3)

@@ -1,0 +1,174 @@
+"""Cross-module integration tests.
+
+These tie the whole stack together: the fast quasi-static attack path against
+the full transient engine, the no-hammering control experiment, end-to-end
+bit corruption visible through the memory controller, and the physics-to-
+system-level hand-off used by the scenarios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attack import NeuroHammer, hammer_once, single_aggressor
+from repro.circuit import (
+    CrossbarArray,
+    MemoryController,
+    StimulusSchedule,
+    StimulusSegment,
+    TransientSimulator,
+    write_bias,
+)
+from repro.config import AttackConfig, CrossbarGeometry, PulseConfig
+from repro.memory import profile_from_attack_result, ReramMemory, AddressMapping
+
+
+class TestFastPathAgainstTransient:
+    """The quasi-static campaign must agree with the pulse-by-pulse engine."""
+
+    @pytest.fixture(scope="class")
+    def hot_geometry(self):
+        # A very vulnerable operating point (tight spacing, hot ambient) keeps
+        # the pulse count small enough for the transient engine.
+        return CrossbarGeometry(electrode_spacing_m=10e-9)
+
+    def test_pulse_counts_agree_within_factor_two(self, hot_geometry):
+        ambient = 373.0
+        pulse = PulseConfig(length_s=50e-9)
+        pattern = single_aggressor(hot_geometry)
+        config = AttackConfig(
+            aggressors=[pattern.aggressors[0]],
+            victim=pattern.victim,
+            pulse=pulse,
+            ambient_temperature_k=ambient,
+            max_pulses=10_000,
+        )
+
+        fast_attack = NeuroHammer(CrossbarArray(geometry=hot_geometry, ambient_temperature_k=ambient))
+        fast = fast_attack.run(pattern=pattern, config=config)
+
+        transient_attack = NeuroHammer(CrossbarArray(geometry=hot_geometry, ambient_temperature_k=ambient))
+        slow = transient_attack.run_transient(pattern=pattern, config=config, max_pulses=200)
+
+        assert fast.flipped and slow.flipped
+        assert fast.pulses <= 2 * slow.pulses
+        assert slow.pulses <= 2 * fast.pulses
+
+    def test_both_paths_flip_only_the_victim(self, hot_geometry):
+        ambient = 373.0
+        pattern = single_aggressor(hot_geometry)
+        config = AttackConfig(
+            aggressors=[pattern.aggressors[0]],
+            victim=pattern.victim,
+            pulse=PulseConfig(length_s=50e-9),
+            ambient_temperature_k=ambient,
+            max_pulses=500,
+        )
+        crossbar = CrossbarArray(geometry=hot_geometry, ambient_temperature_k=ambient)
+        attack = NeuroHammer(crossbar)
+        result = attack.run_transient(pattern=pattern, config=config, max_pulses=200)
+        assert result.flipped
+        # Every half-selected neighbour of the aggressor is a potential victim
+        # (they all share a line with it); cells that share no line with the
+        # aggressor see neither voltage stress nor meaningful crosstalk and
+        # must stay firmly in their state.
+        aggressor = pattern.aggressors[0]
+        state_map = crossbar.state_map()
+        for cell in crossbar.cells():
+            if cell in pattern.aggressors:
+                continue
+            shares_line = cell[0] == aggressor[0] or cell[1] == aggressor[1]
+            if not shares_line:
+                assert state_map[cell] < 0.5, f"cell {cell} should not have flipped"
+
+
+class TestControlExperiments:
+    def test_no_flip_without_hammering(self):
+        """Half-select stress alone must not flip within the attack's budget."""
+        hammered = hammer_once(pulse_length_s=50e-9)
+        assert hammered.flipped
+
+        geometry = CrossbarGeometry()
+        crossbar = CrossbarArray(geometry=geometry)
+        # Same victim, same half-select voltage, but the aggressor stays HRS
+        # (so it dissipates almost nothing and delivers no crosstalk).
+        attack = NeuroHammer(crossbar)
+        pattern = single_aggressor(geometry)
+        config = AttackConfig(
+            aggressors=[pattern.aggressors[0]],
+            victim=pattern.victim,
+            pulse=PulseConfig(length_s=50e-9),
+            max_pulses=10 * hammered.pulses,
+        )
+        attack.prepare(pattern)
+        crossbar.set_state(pattern.aggressors[0], 0.0)  # aggressor left in HRS
+        point = attack.phase_operating_point(pattern, pattern.phases[0], 1.05)
+        assert point.victim_crosstalk_k < 5.0
+
+    def test_attack_acceleration_factor_is_large(self):
+        """The hammered flip must be orders of magnitude faster than the
+        unhammered half-select disturbance at the same operating point."""
+        from repro.devices import JartVcmModel, pulses_to_switch
+
+        model = JartVcmModel()
+        hammered = pulses_to_switch(model, 0.525, 50e-9, 0.0, 0.5, crosstalk_temperature_k=75.0)
+        unhammered = pulses_to_switch(
+            model, 0.525, 50e-9, 0.0, 0.5, crosstalk_temperature_k=0.0,
+            max_pulses=200 * hammered.pulses,
+        )
+        assert hammered.flipped
+        assert (not unhammered.flipped) or unhammered.pulses > 100 * hammered.pulses
+
+
+class TestSystemLevelHandOff:
+    def test_flip_visible_through_memory_controller(self):
+        """A full transient attack corrupts the bit the controller reads back."""
+        geometry = CrossbarGeometry(electrode_spacing_m=10e-9)
+        crossbar = CrossbarArray(geometry=geometry, ambient_temperature_k=373.0)
+        controller = MemoryController(crossbar)
+        pattern = single_aggressor(geometry)
+
+        # Victim stores a 0 (HRS); aggressor stores a 1 (LRS).
+        crossbar.set_bit(pattern.victim, 0)
+        crossbar.set_bit(pattern.aggressors[0], 1)
+        assert controller.read(pattern.victim).bit == 0
+
+        attack = NeuroHammer(crossbar)
+        config = AttackConfig(
+            aggressors=[pattern.aggressors[0]],
+            victim=pattern.victim,
+            pulse=PulseConfig(length_s=50e-9),
+            ambient_temperature_k=373.0,
+            max_pulses=500,
+        )
+        result = attack.run_transient(pattern=pattern, config=config, max_pulses=200)
+        assert result.flipped
+        assert controller.read(pattern.victim).bit == 1
+        # The aggressor's own content is untouched.
+        assert controller.read(pattern.aggressors[0]).bit == 1
+
+    def test_physics_profile_feeds_memory_model(self):
+        """The circuit-level pulse count drives the behavioural memory model."""
+        physics = hammer_once(pulse_length_s=50e-9)
+        profile = profile_from_attack_result(physics.pulses, 100e-9)
+        memory = ReramMemory(
+            mapping=AddressMapping(rows=32, columns=32, tiles_per_bank=2, banks=1),
+            disturbance=profile,
+        )
+        aggressor_address, aggressor_bit = 64, 0
+        # One pulse short of the threshold: no flip.
+        assert memory.hammer(aggressor_address, aggressor_bit, physics.pulses - 1) == []
+        # Crossing the threshold produces the flip.
+        flips = memory.hammer(aggressor_address, aggressor_bit, 1)
+        assert flips
+
+    def test_write_disturbs_are_absent_in_normal_operation(self):
+        """Writing every cell of a small array once must not corrupt others."""
+        geometry = CrossbarGeometry(rows=3, columns=3)
+        crossbar = CrossbarArray(geometry=geometry)
+        controller = MemoryController(crossbar, write_pulse=PulseConfig(length_s=2e-6))
+        pattern = np.array([[1, 0, 1], [0, 1, 0], [1, 0, 1]])
+        for (row, column) in geometry.iter_cells():
+            controller.write((row, column), int(pattern[row, column]))
+        assert np.array_equal(controller.read_all(), pattern)

@@ -1,0 +1,170 @@
+"""Tests for the ReRAM memory model, page tables and the isolation auditor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AddressingError
+from repro.memory import (
+    AddressMapping,
+    DisturbanceProfile,
+    HammingSecDed,
+    Page,
+    PageTable,
+    PageTableEntry,
+    PhysicalMemoryManager,
+    ReramMemory,
+    audit_isolation,
+    profile_from_attack_result,
+)
+
+
+@pytest.fixture
+def memory():
+    mapping = AddressMapping(rows=32, columns=32, tiles_per_bank=4, banks=1)
+    profile = DisturbanceProfile(same_line_pulses=100, pulse_period_s=100e-9)
+    return ReramMemory(mapping=mapping, disturbance=profile)
+
+
+class TestReramMemory:
+    def test_write_read_round_trip(self, memory):
+        memory.write_byte(10, 0xA5)
+        assert memory.read_byte(10) == 0xA5
+
+    def test_block_round_trip(self, memory):
+        memory.write_block(0x20, b"hello world")
+        assert memory.read_block(0x20, 11) == b"hello world"
+
+    def test_invalid_accesses_rejected(self, memory):
+        with pytest.raises(AddressingError):
+            memory.write_byte(0, 300)
+        with pytest.raises(AddressingError):
+            memory.read_byte(memory.mapping.capacity_bytes)
+        with pytest.raises(AddressingError):
+            memory.hammer(0, 0, 0)
+
+    def test_hammering_below_threshold_does_nothing(self, memory):
+        flips = memory.hammer(64, 0, 50)
+        assert flips == []
+        assert memory.flip_log == []
+
+    def test_hammering_accumulates_across_calls(self, memory):
+        first = memory.hammer(64, 0, 60)
+        second = memory.hammer(64, 0, 60)
+        assert first == []
+        assert second  # 120 accumulated pulses exceed the 100-pulse threshold
+
+    def test_flips_only_affect_adjacent_vulnerable_bits(self, memory):
+        flips = memory.hammer(64, 0, 200)
+        assert flips
+        aggressor = memory.mapping.locate_bit(64, 0)
+        for flip in flips:
+            victim = memory.mapping.locate_bit(flip.byte_address, flip.bit_index)
+            assert abs(victim.row - aggressor.row) + abs(victim.column - aggressor.column) == 1
+            assert flip.old_bit == 0 and flip.new_bit == 1
+
+    def test_stored_ones_do_not_flip_under_set_disturbance(self, memory):
+        # Fill the neighbourhood with ones, which are stored as LRS and are
+        # not vulnerable to further SET disturbance.
+        for address in range(56, 80):
+            memory.write_byte(address, 0xFF)
+        flips = memory.hammer(64, 0, 500)
+        assert flips == []
+
+    def test_genuine_write_resets_disturbance_counter(self, memory):
+        memory.hammer(64, 0, 60)
+        memory.write_byte(64, 0x00)  # re-programs the hammered cells
+        flips = memory.hammer(64, 0, 60)
+        assert flips == []
+
+    def test_hammer_time(self, memory):
+        assert memory.hammer_time_s(1000) == pytest.approx(1000 * 100e-9)
+
+    def test_profile_from_attack_result(self):
+        profile = profile_from_attack_result(5655, 100e-9)
+        assert profile.same_line_pulses == 5655
+        assert profile.pulse_period_s == pytest.approx(100e-9)
+
+
+class TestEccProtectedMemory:
+    @pytest.fixture
+    def protected(self):
+        mapping = AddressMapping(rows=32, columns=32, tiles_per_bank=4, banks=1)
+        profile = DisturbanceProfile(same_line_pulses=10, pulse_period_s=100e-9)
+        return ReramMemory(
+            mapping=mapping, disturbance=profile, ecc=HammingSecDed(64), ecc_word_bytes=8
+        )
+
+    def test_single_flip_corrected_on_read(self, protected):
+        protected.write_block(0x40, bytes(8))
+        aggressors = protected.mapping.aggressor_addresses_for(0x40, 0)
+        outside = [(a, b) for a, b in aggressors if not 0x40 <= a < 0x48][0]
+        flips = protected.hammer(outside[0], outside[1], 20)
+        landed = [f for f in flips if 0x40 <= f.byte_address < 0x48]
+        assert landed, "expected a flip inside the protected word"
+        assert protected.read_block(0x40, 8) == bytes(8)
+        assert protected.ecc_corrections >= 1
+
+
+class TestPageTableAndIsolation:
+    def test_pte_encode_decode_round_trip(self):
+        entry = PageTableEntry(present=True, writable=True, user=False, frame_number=42)
+        assert PageTableEntry.decode(entry.encode()) == entry
+
+    def test_translate_present_page(self, memory):
+        table = PageTable(memory, base_address=0, entries=8, page_size=256)
+        table.write_entry(2, PageTableEntry(present=True, writable=True, user=True, frame_number=5))
+        physical, entry = table.translate(2 * 256 + 17)
+        assert physical == 5 * 256 + 17
+        assert entry.frame_number == 5
+
+    def test_translate_missing_page_faults(self, memory):
+        table = PageTable(memory, base_address=0, entries=8, page_size=256)
+        with pytest.raises(AddressingError):
+            table.translate(7 * 256)
+
+    def test_page_table_stored_in_memory(self, memory):
+        table = PageTable(memory, base_address=64, entries=4, page_size=256)
+        table.write_entry(0, PageTableEntry(True, False, True, frame_number=3))
+        raw = int.from_bytes(memory.read_block(64, 8), "little")
+        assert PageTableEntry.decode(raw).frame_number == 3
+
+    def test_frame_allocation_and_ownership(self):
+        manager = PhysicalMemoryManager(total_frames=4)
+        page = manager.allocate("attacker", kind="data")
+        assert manager.owner_of(page.frame_number) == "attacker"
+        assert manager.frames_of("attacker") == [page]
+        assert manager.page_tables_of("kernel") == []
+
+    def test_allocation_exhaustion(self):
+        manager = PhysicalMemoryManager(total_frames=1)
+        manager.allocate("a")
+        with pytest.raises(AddressingError):
+            manager.allocate("b")
+
+    def test_isolation_audit_clean_and_violated(self, memory):
+        manager = PhysicalMemoryManager(total_frames=8, page_size=256)
+        own_frame = manager.allocate("proc", kind="data")
+        foreign_frame = manager.allocate("other", kind="data")
+        table = PageTable(memory, base_address=0, entries=8, page_size=256)
+        table.write_entry(0, PageTableEntry(True, True, True, own_frame.frame_number))
+        report = audit_isolation({"proc": table}, manager)
+        assert report.intact
+
+        table.write_entry(1, PageTableEntry(True, True, True, foreign_frame.frame_number))
+        report = audit_isolation({"proc": table}, manager)
+        assert not report.intact
+        assert report.violations_of("proc")[0].kind == "foreign_frame"
+
+    def test_writable_page_table_mapping_is_a_violation(self, memory):
+        manager = PhysicalMemoryManager(total_frames=8, page_size=256)
+        pt_frame = manager.allocate("proc", kind="page_table")
+        table = PageTable(memory, base_address=0, entries=8, page_size=256)
+        table.write_entry(0, PageTableEntry(True, True, True, pt_frame.frame_number))
+        report = audit_isolation({"proc": table}, manager)
+        assert not report.intact
+        assert report.violations[0].kind == "page_table_reachable"
+
+    def test_misaligned_page_table_rejected(self, memory):
+        with pytest.raises(AddressingError):
+            PageTable(memory, base_address=3, entries=4)

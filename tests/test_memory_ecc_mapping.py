@@ -1,0 +1,126 @@
+"""Tests for the ECC codec and the physical address mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AddressingError, EccError
+from repro.memory import AddressMapping, BitLocation, HammingSecDed
+
+
+class TestHammingSecDed:
+    @pytest.fixture(scope="class")
+    def codec(self):
+        return HammingSecDed(data_bits=16)
+
+    def test_clean_round_trip(self, codec):
+        data = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1]
+        result = codec.decode(codec.encode(data))
+        assert list(result.data_bits) == data
+        assert not result.corrected
+        assert not result.double_error_detected
+
+    def test_single_error_corrected_everywhere(self, codec):
+        data = [i % 2 for i in range(16)]
+        codeword = codec.encode(data)
+        for position in range(codec.codeword_bits):
+            corrupted = list(codeword)
+            corrupted[position] ^= 1
+            result = codec.decode(corrupted)
+            assert list(result.data_bits) == data, f"failed to correct flip at {position}"
+            assert result.corrected
+            assert not result.double_error_detected
+
+    def test_double_error_detected_not_miscorrected(self, codec):
+        data = [0] * 16
+        codeword = codec.encode(data)
+        corrupted = list(codeword)
+        corrupted[0] ^= 1
+        corrupted[5] ^= 1
+        result = codec.decode(corrupted)
+        assert result.double_error_detected
+
+    def test_integer_round_trip(self, codec):
+        for value in (0, 1, 0xBEEF & 0xFFFF, 0xFFFF):
+            decoded, result = codec.decode_int(codec.encode_int(value))
+            assert decoded == value
+            assert not result.double_error_detected
+
+    def test_parity_separation_round_trip(self, codec):
+        data = [1] * 16
+        codeword = codec.encode(data)
+        parity = codec.parity_of(codeword)
+        rebuilt = codec.assemble(data, parity)
+        assert rebuilt == codeword
+
+    def test_codeword_length(self):
+        codec = HammingSecDed(data_bits=64)
+        assert codec.parity_bits == 7
+        assert codec.codeword_bits == 64 + 7 + 1
+
+    def test_invalid_inputs_rejected(self, codec):
+        with pytest.raises(EccError):
+            codec.encode([0] * 5)
+        with pytest.raises(EccError):
+            codec.decode([0] * 3)
+        with pytest.raises(EccError):
+            codec.encode_int(1 << 20)
+        with pytest.raises(EccError):
+            HammingSecDed(data_bits=0)
+
+
+class TestAddressMapping:
+    @pytest.fixture(scope="class")
+    def mapping(self):
+        return AddressMapping(rows=16, columns=16, tiles_per_bank=4, banks=2)
+
+    def test_capacity(self, mapping):
+        assert mapping.bits_per_tile == 256
+        assert mapping.capacity_bytes == 256 // 8 * 4 * 2
+
+    def test_forward_inverse_bijection(self, mapping):
+        for address in range(0, mapping.capacity_bytes, 7):
+            for bit in (0, 3, 7):
+                location = mapping.locate_bit(address, bit)
+                assert mapping.address_of(location) == (address, bit)
+
+    def test_consecutive_bits_are_same_row_neighbours(self, mapping):
+        a = mapping.locate_bit(0, 0)
+        b = mapping.locate_bit(0, 1)
+        assert a.row == b.row
+        assert abs(a.column - b.column) == 1
+
+    def test_adjacent_bits_share_a_line(self, mapping):
+        location = mapping.locate_bit(10, 4)
+        for neighbour in mapping.physically_adjacent_bits(location):
+            assert neighbour.bank == location.bank and neighbour.tile == location.tile
+            assert (neighbour.row == location.row) != (neighbour.column == location.column)
+
+    def test_interior_bit_has_four_neighbours(self, mapping):
+        # Choose a bit well inside the tile.
+        location = BitLocation(bank=0, tile=0, row=8, column=8)
+        assert len(mapping.physically_adjacent_bits(location)) == 4
+
+    def test_corner_bit_has_two_neighbours(self, mapping):
+        location = BitLocation(bank=0, tile=0, row=0, column=0)
+        assert len(mapping.physically_adjacent_bits(location)) == 2
+
+    def test_aggressor_addresses_exclude_victim(self, mapping):
+        aggressors = mapping.aggressor_addresses_for(10, 4)
+        assert (10, 4) not in aggressors
+        assert 2 <= len(aggressors) <= 4
+
+    def test_locate_byte_returns_eight_bits(self, mapping):
+        assert len(mapping.locate_byte(3)) == 8
+
+    def test_out_of_range_rejected(self, mapping):
+        with pytest.raises(AddressingError):
+            mapping.locate_bit(mapping.capacity_bytes, 0)
+        with pytest.raises(AddressingError):
+            mapping.locate_bit(0, 9)
+        with pytest.raises(AddressingError):
+            mapping.address_of(BitLocation(bank=9, tile=0, row=0, column=0))
+
+    def test_columns_must_hold_whole_bytes(self):
+        with pytest.raises(AddressingError):
+            AddressMapping(columns=12)

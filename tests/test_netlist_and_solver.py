@@ -1,0 +1,146 @@
+"""Tests for the crossbar netlist and the nonlinear nodal solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    BiasPattern,
+    CrossbarSolver,
+    build_crossbar_netlist,
+    write_bias,
+)
+from repro.config import CrossbarGeometry, WireParameters
+from repro.devices import DeviceState, JartVcmModel, LinearIonDriftModel
+from repro.errors import GeometryError
+
+
+class TestNetlist:
+    def test_node_and_element_counts(self, small_geometry):
+        netlist = build_crossbar_netlist(small_geometry)
+        rows, columns = small_geometry.rows, small_geometry.columns
+        # One driver node + one crosspoint node per line element.
+        assert netlist.node_count == rows * (columns + 1) + columns * (rows + 1)
+        assert len(netlist.devices) == rows * columns
+        assert len(netlist.resistors) == rows * columns * 2
+        assert len(netlist.drivers) == rows + columns
+
+    def test_device_lookup(self, small_geometry):
+        netlist = build_crossbar_netlist(small_geometry)
+        device = netlist.device_at((1, 2))
+        assert device.cell == (1, 2)
+        assert device.wordline_node == "wl_1_2"
+        assert device.bitline_node == "bl_1_2"
+
+    def test_driver_lookup(self, small_geometry):
+        netlist = build_crossbar_netlist(small_geometry)
+        driver = netlist.driver_for("row", 1)
+        assert driver.node == "row_drv_1"
+        with pytest.raises(GeometryError):
+            netlist.driver_for("row", 9)
+
+    def test_out_of_range_device_rejected(self, small_geometry):
+        netlist = build_crossbar_netlist(small_geometry)
+        with pytest.raises(GeometryError):
+            netlist.device_at((5, 5))
+
+    def test_wire_parameters_respected(self, small_geometry):
+        wires = WireParameters(segment_resistance_ohm=7.0, driver_resistance_ohm=120.0)
+        netlist = build_crossbar_netlist(small_geometry, wires)
+        assert netlist.resistors[0].resistance_ohm == pytest.approx(7.0)
+        assert netlist.drivers[0].series_resistance_ohm == pytest.approx(120.0)
+
+    def test_resistor_conductance(self, small_geometry):
+        netlist = build_crossbar_netlist(small_geometry)
+        resistor = netlist.resistors[0]
+        assert resistor.conductance_s == pytest.approx(1.0 / resistor.resistance_ohm)
+
+
+class TestSolver:
+    @pytest.fixture
+    def solver(self, small_geometry):
+        netlist = build_crossbar_netlist(small_geometry)
+        return CrossbarSolver(netlist, JartVcmModel()), small_geometry
+
+    def _hrs_states(self, geometry):
+        model = JartVcmModel()
+        return {cell: model.hrs_state() for cell in geometry.iter_cells()}
+
+    def test_selected_cell_sees_nearly_full_voltage(self, solver):
+        engine, geometry = solver
+        states = self._hrs_states(geometry)
+        op = engine.solve(write_bias(geometry, [(1, 1)], 1.05), states)
+        assert op.cell_voltage((1, 1)) == pytest.approx(1.05, abs=0.05)
+
+    def test_half_selected_cells_see_half_voltage(self, solver):
+        engine, geometry = solver
+        states = self._hrs_states(geometry)
+        op = engine.solve(write_bias(geometry, [(1, 1)], 1.05), states)
+        assert op.cell_voltage((1, 2)) == pytest.approx(0.525, abs=0.05)
+        assert op.cell_voltage((0, 1)) == pytest.approx(0.525, abs=0.05)
+
+    def test_unselected_cells_see_no_voltage(self, solver):
+        engine, geometry = solver
+        states = self._hrs_states(geometry)
+        op = engine.solve(write_bias(geometry, [(1, 1)], 1.05), states)
+        assert abs(op.cell_voltage((0, 0))) < 0.05
+
+    def test_kcl_residual_small(self, solver):
+        engine, geometry = solver
+        states = self._hrs_states(geometry)
+        op = engine.solve(write_bias(geometry, [(1, 1)], 1.05), states)
+        assert op.residual_a < 1e-9
+
+    def test_lrs_aggressor_draws_more_current(self, solver):
+        engine, geometry = solver
+        states = self._hrs_states(geometry)
+        bias = write_bias(geometry, [(1, 1)], 1.05)
+        hrs_current = engine.solve(bias, states).cell_current((1, 1))
+        states[(1, 1)] = JartVcmModel().lrs_state()
+        lrs_current = engine.solve(bias, states).cell_current((1, 1))
+        assert lrs_current > 50.0 * hrs_current
+
+    def test_wire_resistance_causes_ir_drop(self, small_geometry):
+        lossy = CrossbarSolver(
+            build_crossbar_netlist(small_geometry, WireParameters(segment_resistance_ohm=200.0, driver_resistance_ohm=500.0)),
+            JartVcmModel(),
+        )
+        model = JartVcmModel()
+        states = {cell: model.lrs_state() for cell in small_geometry.iter_cells()}
+        op = lossy.solve(write_bias(small_geometry, [(1, 1)], 1.05), states)
+        assert op.cell_voltage((1, 1)) < 1.0
+
+    def test_floating_lines_allowed(self, solver):
+        engine, geometry = solver
+        states = self._hrs_states(geometry)
+        bias = BiasPattern(row_voltages_v={1: 1.0}, column_voltages_v={1: 0.0})
+        op = engine.solve(bias, states)
+        assert op.cell_voltage((1, 1)) == pytest.approx(1.0, abs=0.05)
+        # Cells on floating lines float near the driven potential's divider.
+        assert -1.0 <= op.cell_voltage((0, 0)) <= 1.0
+
+    def test_power_is_voltage_times_current(self, solver):
+        engine, geometry = solver
+        states = self._hrs_states(geometry)
+        op = engine.solve(write_bias(geometry, [(1, 1)], 1.05), states)
+        assert op.cell_power((1, 1)) == pytest.approx(
+            abs(op.cell_voltage((1, 1)) * op.cell_current((1, 1)))
+        )
+        assert op.total_power_w >= op.cell_power((1, 1))
+
+    def test_works_with_other_device_models(self, small_geometry):
+        model = LinearIonDriftModel()
+        engine = CrossbarSolver(build_crossbar_netlist(small_geometry), model)
+        states = {cell: model.hrs_state() for cell in small_geometry.iter_cells()}
+        op = engine.solve(write_bias(small_geometry, [(0, 0)], 1.0), states)
+        assert op.cell_voltage((0, 0)) == pytest.approx(1.0, abs=0.05)
+
+    def test_warm_start_reuses_previous_solution(self, solver):
+        engine, geometry = solver
+        states = self._hrs_states(geometry)
+        bias = write_bias(geometry, [(1, 1)], 1.05)
+        first = engine.solve(bias, states)
+        second = engine.solve(bias, states)
+        assert second.iterations <= first.iterations
+        assert second.cell_voltage((1, 1)) == pytest.approx(first.cell_voltage((1, 1)), abs=1e-6)

@@ -1,0 +1,153 @@
+"""Tests for the NeuroHammer attack engine (fast path and analysis helpers)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.attack import (
+    NeuroHammer,
+    hammer_once,
+    minimum_alpha_to_flip,
+    narrate_attack,
+    single_aggressor,
+    switching_rate,
+    thermal_acceleration_factor,
+)
+from repro.attack.patterns import double_sided_row
+from repro.circuit import CrossbarArray
+from repro.config import AttackConfig, CrossbarGeometry, PulseConfig
+from repro.devices import JartVcmModel
+from repro.errors import AttackError, ConfigurationError
+
+
+class TestHammerOnce:
+    def test_default_operating_point_flips(self):
+        result = hammer_once(pulse_length_s=50e-9)
+        assert result.flipped
+        assert 1_000 <= result.pulses <= 50_000
+        assert result.victim == (2, 3)
+        assert result.aggressors == ((2, 2),)
+        assert result.victim_final_x >= 0.5
+
+    def test_longer_pulses_need_fewer_pulses(self):
+        short = hammer_once(pulse_length_s=10e-9)
+        long = hammer_once(pulse_length_s=100e-9)
+        assert short.pulses > long.pulses
+        # ...but about the same cumulative stress time.
+        assert short.stress_time_s == pytest.approx(long.stress_time_s, rel=0.2)
+
+    def test_tight_spacing_is_more_vulnerable(self):
+        dense = hammer_once(pulse_length_s=50e-9, electrode_spacing_m=10e-9)
+        sparse = hammer_once(pulse_length_s=50e-9, electrode_spacing_m=90e-9)
+        assert dense.pulses < sparse.pulses / 5
+
+    def test_hot_ambient_is_more_vulnerable(self):
+        cold = hammer_once(pulse_length_s=50e-9, ambient_temperature_k=273.0)
+        hot = hammer_once(pulse_length_s=50e-9, ambient_temperature_k=373.0)
+        assert hot.pulses < cold.pulses / 100
+
+    def test_v_third_scheme_mitigates(self):
+        v_half = hammer_once(pulse_length_s=50e-9, bias_scheme="v_half")
+        v_third = hammer_once(pulse_length_s=50e-9, bias_scheme="v_third", max_pulses=1_000_000)
+        assert v_third.pulses > 5 * v_half.pulses
+
+    def test_budget_exhaustion_reports_no_flip(self):
+        result = hammer_once(pulse_length_s=50e-9, max_pulses=10)
+        assert not result.flipped
+        assert result.pulses <= 10
+
+    def test_result_bookkeeping(self):
+        result = hammer_once(pulse_length_s=50e-9)
+        assert result.pulse_length_s == pytest.approx(50e-9)
+        assert result.wall_clock_s >= result.stress_time_s
+        assert result.hammer_energy_j > 0.0
+        assert result.pulses_per_aggressor == pytest.approx(result.pulses)
+        assert len(result.phase_points) == 1
+        point = result.phase_points[0]
+        assert 0.4 < point.victim_voltage_v < 0.6
+        assert point.victim_crosstalk_k > 40.0
+        assert point.aggressor_temperature_k > 800.0
+
+
+class TestNeuroHammerEngine:
+    def test_prepare_sets_aggressors_lrs_victim_hrs(self, paper_crossbar):
+        attack = NeuroHammer(paper_crossbar)
+        pattern = single_aggressor(paper_crossbar.geometry)
+        attack.prepare(pattern)
+        assert paper_crossbar.get_state(pattern.aggressors[0]).x == 1.0
+        assert paper_crossbar.get_state(pattern.victim).x == 0.0
+
+    def test_double_sided_pattern_stronger_than_single(self, paper_geometry):
+        single_result = hammer_once(pulse_length_s=50e-9)
+        crossbar = CrossbarArray(geometry=paper_geometry)
+        attack = NeuroHammer(crossbar)
+        pattern = double_sided_row(paper_geometry)
+        config = AttackConfig(
+            aggressors=list(pattern.aggressors),
+            victim=pattern.victim,
+            pulse=PulseConfig(length_s=50e-9),
+        )
+        double_result = attack.run(pattern=pattern, config=config)
+        assert double_result.flipped
+        assert double_result.pulses < single_result.pulses
+
+    def test_ambient_mismatch_rejected(self, paper_crossbar):
+        attack = NeuroHammer(paper_crossbar)
+        config = AttackConfig(ambient_temperature_k=350.0)
+        with pytest.raises(ConfigurationError):
+            attack.run(config=config)
+
+    def test_multi_aggressor_config_needs_victim(self, paper_crossbar):
+        attack = NeuroHammer(paper_crossbar)
+        config = AttackConfig(aggressors=[(2, 1), (2, 3)])
+        with pytest.raises(AttackError):
+            attack.run(config=config)
+
+    def test_custom_config_pattern(self, paper_crossbar):
+        attack = NeuroHammer(paper_crossbar)
+        config = AttackConfig(
+            aggressors=[(1, 1)], victim=(1, 2), pulse=PulseConfig(length_s=50e-9)
+        )
+        result = attack.run(config=config)
+        assert result.flipped
+        assert result.victim == (1, 2)
+
+
+class TestAnalysisHelpers:
+    def test_switching_rate_monotone_in_temperature(self, jart_model):
+        assert switching_rate(jart_model, 0.525, 400.0) > switching_rate(jart_model, 0.525, 320.0)
+
+    def test_acceleration_factor_large_at_victim_temperature(self, jart_model):
+        factor = thermal_acceleration_factor(jart_model, 0.525, hot_temperature_k=375.0)
+        assert factor > 100.0
+
+    def test_acceleration_factor_is_one_without_heating(self, jart_model):
+        assert thermal_acceleration_factor(jart_model, 0.525, hot_temperature_k=300.0) == pytest.approx(1.0)
+
+    def test_minimum_alpha_bisects(self, jart_model):
+        alpha = minimum_alpha_to_flip(
+            jart_model, pulse_length_s=50e-9, pulse_budget=10_000, aggressor_rise_k=650.0
+        )
+        assert alpha is not None
+        assert 0.0 < alpha < 0.5
+        # A bigger budget needs less coupling.
+        relaxed = minimum_alpha_to_flip(
+            jart_model, pulse_length_s=50e-9, pulse_budget=1_000_000, aggressor_rise_k=650.0
+        )
+        assert relaxed < alpha
+
+    def test_minimum_alpha_rejects_bad_budget(self, jart_model):
+        with pytest.raises(AttackError):
+            minimum_alpha_to_flip(jart_model, 50e-9, 0, 650.0)
+
+    def test_narrative_is_consistent(self):
+        narrative = narrate_attack(pulse_length_s=50e-9)
+        assert narrative.aggressor_temperature_k > 800.0
+        assert narrative.victim_crosstalk_k > 40.0
+        assert narrative.acceleration_factor > 100.0
+        assert narrative.pulses_to_flip * narrative.pulse_length_s == pytest.approx(
+            narrative.time_to_flip_s, rel=0.05
+        )
+        assert len(narrative.as_lines()) == 4

@@ -1,0 +1,168 @@
+"""Tests for pulse/stimulus descriptions and the write-bias schemes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import (
+    FULL_SELECTED,
+    HALF_SELECTED,
+    UNSELECTED,
+    BiasPattern,
+    PulseTrain,
+    RectangularPulse,
+    StimulusSchedule,
+    StimulusSegment,
+    classify_cells,
+    half_select_voltage,
+    half_selected_cells,
+    hammer_schedule,
+    idle_bias,
+    read_bias,
+    write_bias,
+)
+from repro.config import CrossbarGeometry, PulseConfig
+from repro.errors import ConfigurationError
+
+
+class TestRectangularPulse:
+    def test_voltage_profile(self):
+        pulse = RectangularPulse(amplitude_v=1.05, length_s=50e-9, idle_s=50e-9)
+        assert pulse.voltage_at(10e-9) == pytest.approx(1.05)
+        assert pulse.voltage_at(60e-9) == 0.0
+        assert pulse.period_s == pytest.approx(100e-9)
+
+    def test_from_config(self):
+        pulse = RectangularPulse.from_config(PulseConfig(length_s=20e-9, duty_cycle=0.25))
+        assert pulse.length_s == pytest.approx(20e-9)
+        assert pulse.idle_s == pytest.approx(60e-9)
+
+    def test_invalid_pulse_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RectangularPulse(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            RectangularPulse(1.0, 1e-9, idle_s=-1e-9)
+
+
+class TestPulseTrain:
+    def test_totals(self):
+        train = PulseTrain(RectangularPulse(1.05, 50e-9, 50e-9), count=100)
+        assert train.total_duration_s == pytest.approx(10e-6)
+        assert train.total_stress_s == pytest.approx(5e-6)
+
+    def test_voltage_at_repeats(self):
+        train = PulseTrain(RectangularPulse(1.0, 50e-9, 50e-9), count=3)
+        assert train.voltage_at(120e-9) == pytest.approx(1.0)
+        assert train.voltage_at(170e-9) == 0.0
+        assert train.voltage_at(1.0) == 0.0
+
+    def test_iteration_yields_start_times(self):
+        train = PulseTrain(RectangularPulse(1.0, 50e-9, 50e-9), count=3)
+        starts = [start for start, _ in train]
+        assert starts == pytest.approx([0.0, 100e-9, 200e-9])
+
+    def test_empty_train_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PulseTrain(RectangularPulse(1.0, 1e-9), count=0)
+
+
+class TestStimulusSchedule:
+    def test_append_in_order(self):
+        schedule = StimulusSchedule()
+        schedule.append(StimulusSegment(0.0, 1e-9, label="a"))
+        schedule.append(StimulusSegment(1e-9, 1e-9, label="b"))
+        assert len(schedule) == 2
+        assert schedule.end_s == pytest.approx(2e-9)
+
+    def test_append_after_chains_segments(self):
+        schedule = StimulusSchedule()
+        schedule.append_after(5e-9, label="first")
+        segment = schedule.append_after(5e-9, label="second")
+        assert segment.start_s == pytest.approx(5e-9)
+
+    def test_out_of_order_rejected(self):
+        schedule = StimulusSchedule()
+        schedule.append(StimulusSegment(10e-9, 1e-9))
+        with pytest.raises(ConfigurationError):
+            schedule.append(StimulusSegment(0.0, 1e-9))
+
+    def test_hammer_schedule_structure(self):
+        pulse = PulseConfig(length_s=50e-9, duty_cycle=0.5)
+        schedule = hammer_schedule(pulse, count=3, payload_active="bias")
+        labels = [segment.label for segment in schedule]
+        assert labels == ["hammer", "idle"] * 3
+        assert schedule.end_s == pytest.approx(3 * pulse.period_s)
+
+    def test_hammer_schedule_full_duty_cycle_has_no_idle(self):
+        pulse = PulseConfig(length_s=50e-9, duty_cycle=1.0)
+        schedule = hammer_schedule(pulse, count=2, payload_active="bias")
+        assert [segment.label for segment in schedule] == ["hammer", "hammer"]
+
+
+class TestBiasSchemes:
+    def test_v_half_voltages(self, paper_geometry):
+        bias = write_bias(paper_geometry, [(2, 2)], 1.05, scheme="v_half")
+        assert bias.row_voltage(2) == pytest.approx(1.05)
+        assert bias.column_voltage(2) == pytest.approx(0.0)
+        assert bias.row_voltage(0) == pytest.approx(0.525)
+        assert bias.column_voltage(4) == pytest.approx(0.525)
+
+    def test_nominal_cell_voltages_v_half(self, paper_geometry):
+        bias = write_bias(paper_geometry, [(2, 2)], 1.05, scheme="v_half")
+        assert bias.nominal_cell_voltage((2, 2)) == pytest.approx(1.05)
+        assert bias.nominal_cell_voltage((2, 3)) == pytest.approx(0.525)
+        assert bias.nominal_cell_voltage((0, 0)) == pytest.approx(0.0)
+
+    def test_v_third_limits_half_select_stress(self, paper_geometry):
+        bias = write_bias(paper_geometry, [(2, 2)], 1.05, scheme="v_third")
+        assert bias.nominal_cell_voltage((2, 2)) == pytest.approx(1.05)
+        assert abs(bias.nominal_cell_voltage((2, 3))) == pytest.approx(1.05 / 3.0)
+        assert abs(bias.nominal_cell_voltage((0, 0))) == pytest.approx(1.05 / 3.0)
+
+    def test_half_select_voltage_helper(self):
+        assert half_select_voltage(1.05, "v_half") == pytest.approx(0.525)
+        assert half_select_voltage(1.05, "v_third") == pytest.approx(0.35)
+        with pytest.raises(ConfigurationError):
+            half_select_voltage(1.05, "v_quarter")
+
+    def test_read_and_idle_bias(self, paper_geometry):
+        read = read_bias(paper_geometry, (1, 1), 0.2)
+        assert read.nominal_cell_voltage((1, 1)) == pytest.approx(0.2)
+        idle = idle_bias(paper_geometry)
+        assert all(v == 0.0 for v in idle.row_voltages_v.values())
+
+    def test_scaled_pattern(self, paper_geometry):
+        bias = write_bias(paper_geometry, [(2, 2)], 1.0).scaled(0.5)
+        assert bias.row_voltage(2) == pytest.approx(0.5)
+
+    def test_unknown_scheme_rejected(self, paper_geometry):
+        with pytest.raises(ConfigurationError):
+            write_bias(paper_geometry, [(2, 2)], 1.05, scheme="bogus")
+
+    def test_empty_targets_rejected(self, paper_geometry):
+        with pytest.raises(ConfigurationError):
+            write_bias(paper_geometry, [], 1.05)
+
+
+class TestCellClassification:
+    def test_single_target_classification(self, paper_geometry):
+        classification = classify_cells(paper_geometry, [(2, 2)])
+        assert classification[(2, 2)] == FULL_SELECTED
+        assert classification[(2, 3)] == HALF_SELECTED
+        assert classification[(0, 2)] == HALF_SELECTED
+        assert classification[(0, 0)] == UNSELECTED
+
+    def test_half_selected_count_single_target(self, paper_geometry):
+        victims = half_selected_cells(paper_geometry, [(2, 2)])
+        # 4 other cells in the row + 4 other cells in the column.
+        assert len(victims) == 8
+
+    def test_two_targets_in_same_row_stay_safe(self, paper_geometry):
+        classification = classify_cells(paper_geometry, [(2, 1), (2, 3)])
+        fully = [cell for cell, kind in classification.items() if kind == FULL_SELECTED]
+        assert set(fully) == {(2, 1), (2, 3)}
+
+    def test_diagonal_targets_create_unintended_full_selects(self, paper_geometry):
+        classification = classify_cells(paper_geometry, [(1, 1), (2, 2)])
+        fully = {cell for cell, kind in classification.items() if kind == FULL_SELECTED}
+        assert (1, 2) in fully and (2, 1) in fully

@@ -1,0 +1,94 @@
+"""Tests for the RowHammer baseline and the Sec. VI attack scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attack import (
+    DenialOfServiceScenario,
+    DramCellParameters,
+    PrivilegeEscalationScenario,
+    RowHammerModel,
+    compare_attacks,
+)
+from repro.errors import ConfigurationError
+from repro.memory import DisturbanceProfile
+
+
+class TestRowHammerBaseline:
+    def test_double_sided_needs_fewer_activations(self):
+        model = RowHammerModel()
+        assert model.activations_to_flip(double_sided=True) < model.activations_to_flip(double_sided=False)
+
+    def test_activation_count_in_literature_range(self):
+        # RowHammer bit flips are reported from tens of thousands to a few
+        # hundred thousand activations.
+        activations = RowHammerModel().activations_to_flip(double_sided=True)
+        assert 10_000 < activations < 1_000_000
+
+    def test_fits_in_refresh_window(self):
+        estimate = RowHammerModel().estimate(double_sided=True)
+        assert estimate.fits_in_refresh_window
+        assert estimate.attack_time_s < 64e-3
+
+    def test_stronger_disturbance_flips_sooner(self):
+        weak = RowHammerModel(DramCellParameters(disturbance_per_activation=1e-6))
+        strong = RowHammerModel(DramCellParameters(disturbance_per_activation=1e-5))
+        assert strong.activations_to_flip() < weak.activations_to_flip()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DramCellParameters(disturbance_per_activation=0.0)
+        with pytest.raises(ConfigurationError):
+            DramCellParameters(sense_threshold_v=2.0)
+
+    def test_comparison_ratios(self):
+        comparison = compare_attacks(neurohammer_pulses=5000, neurohammer_time_s=5e-4)
+        assert comparison.pulse_ratio > 1.0
+        assert comparison.rowhammer_activations > comparison.neurohammer_pulses
+
+
+class TestPrivilegeEscalation:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        profile = DisturbanceProfile(same_line_pulses=5000, pulse_period_s=100e-9)
+        return PrivilegeEscalationScenario(disturbance=profile).run()
+
+    def test_attack_succeeds(self, outcome):
+        assert outcome.success
+
+    def test_isolation_intact_before_and_violated_after(self, outcome):
+        assert outcome.isolation_before is not None and outcome.isolation_before.intact
+        assert outcome.isolation_after is not None and not outcome.isolation_after.intact
+        assert outcome.isolation_after.violations_of("attacker")
+
+    def test_secret_exfiltrated(self, outcome):
+        assert outcome.payload == b"TOP-SECRET-KEY!!"
+
+    def test_pulse_accounting(self, outcome):
+        assert outcome.total_pulses >= 5000
+        assert outcome.attack_time_s == pytest.approx(outcome.total_pulses * 100e-9, rel=1e-6)
+
+    def test_steps_are_narrated(self, outcome):
+        assert len(outcome.steps) >= 5
+        assert any("hammering" in step.description for step in outcome.steps)
+
+    def test_weak_disturbance_still_models_cost(self):
+        profile = DisturbanceProfile(same_line_pulses=123_456, pulse_period_s=100e-9)
+        outcome = PrivilegeEscalationScenario(disturbance=profile).run()
+        assert outcome.success
+        assert outcome.total_pulses >= 123_456
+
+
+class TestDenialOfService:
+    def test_two_flips_defeat_secded(self):
+        profile = DisturbanceProfile(same_line_pulses=2000, pulse_period_s=100e-9)
+        outcome = DenialOfServiceScenario(disturbance=profile).run()
+        assert outcome.success
+        assert outcome.total_pulses >= 2 * 2000
+
+    def test_memory_reports_uncorrectable_error(self):
+        profile = DisturbanceProfile(same_line_pulses=1000, pulse_period_s=100e-9)
+        scenario = DenialOfServiceScenario(disturbance=profile)
+        scenario.run()
+        assert scenario.memory.ecc_detected_failures >= 1

@@ -1,0 +1,131 @@
+"""Tests for the material library and the crossbar voxelisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CrossbarGeometry, ThermalSolverConfig
+from repro.errors import ConfigurationError, GeometryError
+from repro.thermal import (
+    DEFAULT_STACK,
+    HAFNIUM_OXIDE,
+    PLATINUM,
+    REGION_BOTTOM_ELECTRODE,
+    REGION_FILAMENT,
+    REGION_OXIDE,
+    REGION_SUBSTRATE,
+    REGION_TOP_ELECTRODE,
+    Material,
+    build_voxel_model,
+    filament_material,
+)
+
+
+class TestMaterials:
+    def test_default_stack_complete(self):
+        roles = DEFAULT_STACK.as_dict()
+        assert set(roles) == {
+            "substrate", "insulator", "bottom_electrode", "oxide", "top_electrode", "ambient"
+        }
+        assert all(material.thermal_conductivity_w_per_mk > 0 for material in roles.values())
+
+    def test_electrodes_are_conductors_oxide_is_not(self):
+        assert PLATINUM.is_conductor
+        assert not HAFNIUM_OXIDE.is_conductor
+
+    def test_invalid_material_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Material("bad", thermal_conductivity_w_per_mk=0.0)
+        with pytest.raises(ConfigurationError):
+            Material("bad", thermal_conductivity_w_per_mk=1.0, electrical_conductivity_s_per_m=-1.0)
+
+    def test_filament_material_carries_target_current(self):
+        material = filament_material(
+            target_current_a=290e-6, voltage_v=1.05, filament_radius_m=15e-9, filament_height_m=5e-9
+        )
+        area = np.pi * (15e-9) ** 2
+        resistance = 5e-9 / (material.electrical_conductivity_s_per_m * area)
+        assert 1.05 / resistance == pytest.approx(290e-6, rel=1e-6)
+
+    def test_filament_material_wiedemann_franz_floor(self):
+        material = filament_material(1e-6, 1.05, 15e-9, 5e-9)
+        assert material.thermal_conductivity_w_per_mk >= HAFNIUM_OXIDE.thermal_conductivity_w_per_mk
+
+    def test_filament_material_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            filament_material(-1e-6, 1.0, 15e-9, 5e-9)
+
+
+class TestVoxelModel:
+    @pytest.fixture
+    def model(self, thin_stack_geometry, coarse_thermal_config):
+        return build_voxel_model(thin_stack_geometry, coarse_thermal_config)
+
+    def test_every_cell_has_a_filament(self, model, thin_stack_geometry):
+        assert set(model.filament_masks) == set(thin_stack_geometry.iter_cells())
+        for mask in model.filament_masks.values():
+            assert mask.any()
+
+    def test_regions_present(self, model):
+        present = set(np.unique(model.region))
+        assert {REGION_SUBSTRATE, REGION_BOTTOM_ELECTRODE, REGION_OXIDE,
+                REGION_FILAMENT, REGION_TOP_ELECTRODE} <= present
+
+    def test_conductivities_positive_everywhere_thermally(self, model):
+        assert np.all(model.kappa > 0.0)
+
+    def test_oxide_is_electrically_insulating(self, model):
+        assert np.all(model.sigma[model.region == REGION_OXIDE] == 0.0)
+        assert np.all(model.sigma[model.region == REGION_SUBSTRATE] == 0.0)
+
+    def test_electrodes_are_electrically_conducting(self, model):
+        assert np.all(model.sigma[model.region == REGION_TOP_ELECTRODE] > 0.0)
+        assert np.all(model.sigma[model.region == REGION_BOTTOM_ELECTRODE] > 0.0)
+
+    def test_probe_index_lies_in_filament(self, model):
+        for cell in model.filament_masks:
+            index = model.probe_index(cell)
+            assert model.filament_masks[cell][index]
+
+    def test_line_masks_have_expected_region(self, model):
+        top = model.top_line_mask(1)
+        bottom = model.bottom_line_mask(1)
+        assert top.any() and bottom.any()
+        assert np.all(model.region[top] == REGION_TOP_ELECTRODE)
+        assert np.all(model.region[bottom] == REGION_BOTTOM_ELECTRODE)
+
+    def test_unknown_cell_rejected(self, model):
+        with pytest.raises(GeometryError):
+            model.filament_indices((9, 9))
+
+    def test_layer_spans_cover_z_axis(self, model):
+        spans = sorted(model.layer_spans.values())
+        assert spans[0][0] == 0
+        assert spans[-1][1] == model.z_axis.count
+        # Layers must be contiguous and non-overlapping.
+        for (start_a, stop_a), (start_b, stop_b) in zip(spans, spans[1:]):
+            assert stop_a == start_b
+
+    def test_lrs_cells_selection_changes_filament_conductivity(self, thin_stack_geometry, coarse_thermal_config):
+        selected = (1, 1)
+        model = build_voxel_model(
+            thin_stack_geometry, coarse_thermal_config, lrs_cells=[selected], hrs_conductivity_ratio=1e-3
+        )
+        lrs_sigma = model.sigma[model.filament_masks[selected]].max()
+        hrs_sigma = model.sigma[model.filament_masks[(0, 0)]].max()
+        assert lrs_sigma > 100.0 * hrs_sigma
+
+    def test_axis_helpers(self, model):
+        axis = model.x_axis
+        assert axis.count == len(axis.centres_m)
+        assert axis.length_m == pytest.approx(float(axis.widths_m.sum()))
+        assert axis.locate(axis.centres_m[0]) == 0
+        assert axis.locate(axis.centres_m[-1]) == axis.count - 1
+
+    def test_voxel_volume_positive(self, model):
+        assert model.voxel_volume_m3(0, 0, 0) > 0.0
+
+    def test_region_fraction_sums_to_one(self, model):
+        total = sum(model.region_fraction(code) for code in np.unique(model.region))
+        assert total == pytest.approx(1.0)

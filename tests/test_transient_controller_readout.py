@@ -1,0 +1,165 @@
+"""Tests for the transient engine, the memory controller and the read path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    CrossbarArray,
+    MemoryController,
+    StimulusOperation,
+    StimulusSchedule,
+    StimulusSegment,
+    TransientSimulator,
+    read_margin,
+    sneak_path_report,
+    write_bias,
+)
+from repro.config import CrossbarGeometry, PulseConfig
+from repro.errors import ConfigurationError
+
+
+class TestTransient:
+    def test_full_write_flips_target_and_only_target(self, small_crossbar):
+        geometry = small_crossbar.geometry
+        bias = write_bias(geometry, [(1, 1)], 1.05)
+        schedule = StimulusSchedule()
+        schedule.append(StimulusSegment(0.0, 5e-6, label="write", payload=bias))
+        simulator = TransientSimulator(small_crossbar)
+        result = simulator.run(schedule, stop_on_flip_of=(1, 1))
+        flip = result.first_flip((1, 1))
+        assert flip is not None
+        assert flip.direction == "set"
+        # No other cell flipped.
+        assert all(event.cell == (1, 1) for event in result.flip_events)
+        assert small_crossbar.get_state((1, 1)).x >= 0.5
+        assert small_crossbar.get_state((0, 0)).x < 0.1
+
+    def test_idle_schedule_changes_nothing(self, small_crossbar):
+        schedule = StimulusSchedule()
+        schedule.append(StimulusSegment(0.0, 1e-6, label="idle", payload=None))
+        result = TransientSimulator(small_crossbar).run(schedule)
+        assert not result.flip_events
+        assert np.allclose(small_crossbar.state_map(), 0.0)
+
+    def test_trace_records_requested_quantities(self, small_crossbar):
+        bias = write_bias(small_crossbar.geometry, [(0, 0)], 1.05)
+        schedule = StimulusSchedule()
+        schedule.append(StimulusSegment(0.0, 1e-6, label="write", payload=bias))
+        result = TransientSimulator(small_crossbar).run(schedule)
+        assert len(result.trace) >= 1
+        states = result.trace.cell_series((0, 0), "state")
+        assert states[-1] >= states[0]
+        assert result.trace.cell_series((0, 0), "temperature")[-1] > 0
+        with pytest.raises(ConfigurationError):
+            result.trace.cell_series((0, 0), "bogus")
+
+    def test_invalid_payload_rejected(self, small_crossbar):
+        schedule = StimulusSchedule()
+        schedule.append(StimulusSegment(0.0, 1e-9, label="junk", payload="not-a-bias"))
+        with pytest.raises(ConfigurationError):
+            TransientSimulator(small_crossbar).run(schedule)
+
+    def test_invalid_thresholds_rejected(self, small_crossbar):
+        with pytest.raises(ConfigurationError):
+            TransientSimulator(small_crossbar, flip_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            TransientSimulator(small_crossbar, max_dx_per_step=0.9)
+
+
+class TestMemoryController:
+    @pytest.fixture
+    def controller(self, small_crossbar):
+        return MemoryController(small_crossbar, write_pulse=PulseConfig(length_s=2e-6))
+
+    def test_write_and_read_back_one(self, controller):
+        outcome = controller.write((1, 1), 1)
+        assert outcome.success
+        assert outcome.pulses_used >= 1
+        assert controller.read((1, 1)).bit == 1
+
+    def test_write_zero_is_idempotent_on_fresh_cell(self, controller):
+        outcome = controller.write((0, 2), 0)
+        assert outcome.success
+        assert outcome.pulses_used == 0
+        assert controller.read((0, 2)).bit == 0
+
+    def test_write_then_erase(self, controller):
+        controller.write((1, 1), 1)
+        outcome = controller.write((1, 1), 0)
+        assert outcome.success
+        assert controller.read((1, 1)).bit == 0
+
+    def test_read_all_matches_bit_map(self, controller, small_crossbar):
+        small_crossbar.set_bit((0, 0), 1)
+        small_crossbar.set_bit((2, 2), 1)
+        bits = controller.read_all()
+        assert np.array_equal(bits, small_crossbar.bit_map())
+
+    def test_read_reports_resistance(self, controller, small_crossbar):
+        small_crossbar.set_bit((1, 0), 1)
+        lrs_read = controller.read((1, 0))
+        hrs_read = controller.read((1, 2))
+        assert lrs_read.resistance_ohm < hrs_read.resistance_ohm
+
+    def test_init_file_round_trip(self, controller, small_crossbar, tmp_path):
+        pattern = np.array([[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+        controller.load_init(pattern)
+        path = tmp_path / "init.json"
+        controller.save_init(path)
+        small_crossbar.initialise_states(default_x=0.0)
+        controller.load_init(path)
+        assert np.array_equal(small_crossbar.bit_map(), pattern)
+
+    def test_run_stimuli_sequence(self, controller):
+        operations = [
+            StimulusOperation(kind="write", cell=(0, 0), value=1),
+            StimulusOperation(kind="read", cell=(0, 0)),
+            StimulusOperation(kind="hammer", cell=(0, 0), value=3),
+        ]
+        results = controller.run_stimuli(operations)
+        assert results[0].success
+        assert results[1].bit == 1
+        assert len(results[2]) == 3  # three hammer segments scheduled
+
+    def test_hammer_schedule_uses_write_bias(self, controller):
+        schedule = controller.hammer((1, 1), 2)
+        assert len(schedule) == 2
+        assert schedule.segments[0].payload.nominal_cell_voltage((1, 1)) == pytest.approx(1.05)
+
+    def test_invalid_inputs_rejected(self, controller):
+        with pytest.raises(ConfigurationError):
+            controller.write((0, 0), 2)
+        with pytest.raises(ConfigurationError):
+            controller.hammer((0, 0), 0)
+        with pytest.raises(ConfigurationError):
+            StimulusOperation(kind="erase", cell=(0, 0))
+
+
+class TestReadout:
+    def test_read_margin_separates_states(self, small_crossbar):
+        margin = read_margin(small_crossbar, (1, 1))
+        assert margin.ratio > 10.0
+        assert margin.margin_a > 0.0
+        assert margin.hrs_current_a < margin.midpoint_a < margin.lrs_current_a
+
+    def test_read_margin_restores_states(self, small_crossbar):
+        small_crossbar.set_bit((1, 1), 1)
+        before = small_crossbar.state_map().copy()
+        read_margin(small_crossbar, (1, 1))
+        assert np.allclose(small_crossbar.state_map(), before)
+
+    def test_sneak_paths_reduce_but_keep_window(self, small_crossbar):
+        report = sneak_path_report(small_crossbar, (1, 1))
+        assert report.sneak_current_a >= 0.0
+        assert report.isolated_lrs_current_a > report.isolated_hrs_current_a
+        assert not report.window_closed
+
+    def test_sneak_paths_grow_with_array_size(self):
+        small = CrossbarArray(geometry=CrossbarGeometry(rows=3, columns=3))
+        large = CrossbarArray(geometry=CrossbarGeometry(rows=5, columns=5))
+        assert (
+            sneak_path_report(large, large.centre_cell()).sneak_current_a
+            >= sneak_path_report(small, small.centre_cell()).sneak_current_a
+        )

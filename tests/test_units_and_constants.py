@@ -1,0 +1,46 @@
+"""Tests for the unit helpers and physical constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants, units
+
+
+class TestUnits:
+    def test_length_round_trip(self):
+        assert units.to_nm(units.nm(50)) == pytest.approx(50)
+        assert units.um(1) == pytest.approx(1e-6)
+
+    def test_time_round_trip(self):
+        assert units.to_ns(units.ns(75)) == pytest.approx(75)
+        assert units.to_us(units.us(3)) == pytest.approx(3)
+        assert units.ms(2) == pytest.approx(2e-3)
+
+    def test_current_and_power(self):
+        assert units.uA(290) == pytest.approx(290e-6)
+        assert units.to_uA(1e-3) == pytest.approx(1000)
+        assert units.to_uW(units.uW(320)) == pytest.approx(320)
+
+    def test_temperature_conversion(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+        assert units.kelvin_to_celsius(373.15) == pytest.approx(100.0)
+        assert units.celsius_to_kelvin(units.kelvin_to_celsius(300.0)) == pytest.approx(300.0)
+
+
+class TestConstants:
+    def test_boltzmann_consistency(self):
+        # k_B [J/K] / e [C] must equal k_B [eV/K].
+        ratio = constants.BOLTZMANN_J_PER_K / constants.ELEMENTARY_CHARGE_C
+        assert ratio == pytest.approx(constants.BOLTZMANN_EV_PER_K, rel=1e-6)
+
+    def test_paper_defaults(self):
+        assert constants.DEFAULT_SET_VOLTAGE_V == pytest.approx(1.05)
+        assert constants.DEFAULT_AMBIENT_TEMPERATURE_K == pytest.approx(300.0)
+
+    def test_zero_celsius(self):
+        assert constants.ZERO_CELSIUS_K == pytest.approx(273.15)
+
+    def test_thermal_voltage_at_room_temperature(self):
+        thermal_voltage = constants.BOLTZMANN_EV_PER_K * 300.0
+        assert 0.025 < thermal_voltage < 0.027

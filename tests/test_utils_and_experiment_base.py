@@ -1,0 +1,120 @@
+"""Tests for the reporting utilities and the experiment framework."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentResult,
+    decades_spanned,
+    monotonically_decreasing,
+    monotonically_increasing,
+)
+from repro.utils import (
+    ascii_table,
+    configure_console_logging,
+    format_value,
+    get_logger,
+    log_ascii_chart,
+    matrix_heatmap,
+    to_csv,
+)
+
+
+class TestTables:
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["name", "value"], [("a", 1), ("long-name", 2.5)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # all lines equal width
+
+    def test_format_value_scientific_for_extremes(self):
+        assert "e" in format_value(1.23e-7)
+        assert "e" in format_value(4.56e8)
+        assert format_value(3.5) == "3.5"
+        assert format_value(True) == "yes"
+
+    def test_log_chart_contains_all_labels(self):
+        chart = log_ascii_chart(["a", "b", "c"], [10, 1000, 100000], title="demo")
+        assert "demo" in chart
+        for label in ("a", "b", "c"):
+            assert label in chart
+
+    def test_log_chart_handles_non_positive(self):
+        chart = log_ascii_chart(["a", "b"], [0, 100])
+        assert "n/a" in chart
+        assert log_ascii_chart(["a"], [0]) == "(no positive data to chart)"
+
+    def test_log_chart_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            log_ascii_chart(["a"], [1, 2])
+
+    def test_matrix_heatmap_shape(self):
+        text = matrix_heatmap([[300.0, 310.0], [320.0, 947.2]])
+        assert len(text.splitlines()) == 2
+        assert "947.2" in text
+
+    def test_to_csv_escapes_commas(self):
+        csv_text = to_csv(["a", "b"], [("x,y", 'quote"d')])
+        assert '"x,y"' in csv_text
+        assert '"quote""d"' in csv_text
+
+
+class TestLogging:
+    def test_logger_namespace(self):
+        assert get_logger().name == "repro"
+        assert get_logger("thermal").name == "repro.thermal"
+        assert get_logger("repro.attack").name == "repro.attack"
+
+    def test_console_configuration_is_idempotent(self):
+        first = configure_console_logging()
+        handler_count = len(first.handlers)
+        second = configure_console_logging()
+        assert len(second.handlers) == handler_count
+
+
+class TestExperimentResult:
+    @pytest.fixture
+    def result(self):
+        result = ExperimentResult(
+            name="demo", description="demo experiment", columns=["x", "y"]
+        )
+        result.add_row(x=1, y=10.0)
+        result.add_row(x=2, y=100.0)
+        result.add_row(x=3, y=1000.0, extra="note")
+        return result
+
+    def test_add_row_extends_columns(self, result):
+        assert result.columns == ["x", "y", "extra"]
+        assert len(result.rows) == 3
+
+    def test_column_access(self, result):
+        assert result.column("y") == [10.0, 100.0, 1000.0]
+        with pytest.raises(ExperimentError):
+            result.column("missing")
+
+    def test_table_and_chart_render(self, result):
+        assert "demo" not in result.to_table()  # table has no title, only data
+        assert "x" in result.to_table()
+        chart = result.to_chart("x", "y")
+        assert "1" in chart and "#" in chart
+
+    def test_csv_and_json_export(self, result, tmp_path):
+        json_path = result.save(tmp_path)
+        assert json_path.exists()
+        payload = json.loads(json_path.read_text())
+        assert payload["name"] == "demo"
+        assert len(payload["rows"]) == 3
+        csv_text = (tmp_path / "demo.csv").read_text()
+        assert csv_text.splitlines()[0] == "x,y,extra"
+
+    def test_shape_helpers(self):
+        assert monotonically_decreasing([5, 4, 3])
+        assert not monotonically_decreasing([3, 4])
+        assert monotonically_increasing([1, 1, 2])
+        assert not monotonically_increasing([2, 1])
+        assert decades_spanned([10, 1000]) == pytest.approx(2.0)
+        assert decades_spanned([]) == 0.0
