@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Campaign engine demo: a declarative sweep with caching and a worker pool.
+
+Builds a small grid campaign (pulse length x ambient temperature on a 3x3
+crossbar), runs it through the campaign runner twice against an on-disk
+result cache — the second pass is answered entirely from disk — and then
+draws a seeded random sample over the same parameter space, the kind of
+many-configuration study a hardware RowHammer harness would schedule.
+
+Run with:  python examples/campaign_sweep.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.campaign import CampaignRunner, CampaignSpec, ResultCache, summarise, to_experiment_result
+
+
+def grid_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="grid-demo",
+        mode="grid",
+        simulation={"geometry": {"rows": 3, "columns": 3}},
+        attack={"aggressors": [[1, 1]], "victim": [1, 2]},
+        axes=[
+            {"path": "attack.pulse.length_s", "values": [10e-9, 30e-9, 50e-9]},
+            {"path": "attack.ambient_temperature_k", "values": [298.0, 348.0]},
+        ],
+    )
+
+
+def random_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="random-demo",
+        mode="random",
+        samples=4,
+        seed=2022,
+        simulation={"geometry": {"rows": 3, "columns": 3}},
+        attack={"aggressors": [[1, 1]], "victim": [1, 2]},
+        axes=[
+            {"path": "attack.pulse.length_s", "low": 10e-9, "high": 100e-9, "log": True},
+            {"path": "attack.ambient_temperature_k", "low": 273.0, "high": 373.0},
+        ],
+    )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        spec = grid_spec()
+
+        print("=== grid campaign, first run (computes every point) ===")
+        report = CampaignRunner(spec, cache=cache, workers=2).run()
+        print(report.summary())
+        print()
+        print(to_experiment_result(spec, report).to_table())
+        print()
+
+        print("=== same campaign again (served from the result cache) ===")
+        rerun = CampaignRunner(spec, cache=cache).run()
+        print(rerun.summary())
+        assert rerun.cached_count == len(rerun.records)
+        print()
+
+        print("=== seeded random sweep over the same space ===")
+        random_report = CampaignRunner(random_spec(), cache=cache).run()
+        print(to_experiment_result(random_spec(), random_report).to_table())
+        print()
+        summary = summarise(random_report)
+        print(
+            f"success rate {summary['success_rate']:.0%}, "
+            f"min pulses to flip {summary['min_pulses_to_flip']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,9 +16,26 @@ Typical entry points::
 
     from repro.experiments import run_fig3a
     print(run_fig3a().to_table())
+
+Large parameter studies go through the campaign engine, which fans a
+declarative sweep out over a worker pool and caches every point on disk so
+re-runs and interrupted campaigns are incremental::
+
+    from repro import CampaignRunner, CampaignSpec, ResultCache
+    spec = CampaignSpec(
+        name="pulse-study",
+        axes=[{"path": "attack.pulse.length_s",
+               "values": [10e-9, 50e-9, 100e-9]}],
+    )
+    report = CampaignRunner(spec, cache=ResultCache(".repro-cache"), workers=4).run()
+    print(report.summary())
+
+The same engine backs the command line: ``python -m repro run-fig 3a`` and
+``python -m repro campaign run spec.json --workers 4``.
 """
 
 from .attack import AttackResult, NeuroHammer, hammer_once
+from .campaign import CampaignReport, CampaignRunner, CampaignSpec, ResultCache, SweepAxis
 from .circuit import CrossbarArray, MemoryController
 from .config import (
     AttackConfig,
@@ -29,7 +46,7 @@ from .config import (
     WireParameters,
 )
 from .devices import DeviceState, JartVcmModel, JartVcmParameters
-from .errors import ReproError
+from .errors import CampaignError, ReproError
 from .thermal import AnalyticCouplingModel, HeatSolver, build_voxel_model, extract_alpha_values
 
 __version__ = "1.0.0"
@@ -55,4 +72,10 @@ __all__ = [
     "build_voxel_model",
     "extract_alpha_values",
     "ReproError",
+    "CampaignError",
+    "CampaignSpec",
+    "SweepAxis",
+    "CampaignRunner",
+    "CampaignReport",
+    "ResultCache",
 ]

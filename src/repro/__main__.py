@@ -1,0 +1,8 @@
+"""Allow ``python -m repro`` to drive the command-line interface."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""Reduction of raw campaign job records into experiment tables and stats.
+
+A :class:`~repro.campaign.runner.CampaignReport` is a flat list of job
+records; this module turns it back into the
+:class:`~repro.experiments.base.ExperimentResult` tables the rest of the
+repository (benchmarks, examples, CSV/JSON export) already understands, plus
+summary statistics over the whole sweep — success rates and the minimum
+pulses-to-flip observed, the campaign-level analogue of the per-figure
+headline numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import CampaignError
+from .runner import CampaignReport, JobRecord
+from .spec import CampaignSpec
+
+#: Builds one table row from a successful job record.
+RowBuilder = Callable[[JobRecord], Dict[str, Any]]
+
+#: Result fields included in generically aggregated tables, in display order.
+GENERIC_RESULT_COLUMNS = (
+    "pulses",
+    "flipped",
+    "victim_temperature_k",
+    "victim_final_x",
+    "stress_time_s",
+)
+
+
+def ensure_complete(report: CampaignReport) -> None:
+    """Raise :class:`CampaignError` if any point errored or timed out."""
+    failed = report.failed_records
+    if failed:
+        details = "; ".join(
+            f"point {record.index} [{record.status}]: {record.error}" for record in failed[:5]
+        )
+        more = f" (+{len(failed) - 5} more)" if len(failed) > 5 else ""
+        raise CampaignError(
+            f"campaign {report.spec_name!r}: {len(failed)} of {len(report.records)} points failed: "
+            f"{details}{more}"
+        )
+
+
+def generic_row(record: JobRecord) -> Dict[str, Any]:
+    """Default row shape: swept values (by leaf name) plus key result fields.
+
+    Columns are named after the path leaf; when two axes share a leaf the
+    full dotted path is used so neither dimension is silently overwritten.
+    """
+    leaf_owners: Dict[str, List[str]] = {}
+    for path in record.overrides:
+        leaf_owners.setdefault(path.rsplit(".", 1)[-1], []).append(path)
+    row: Dict[str, Any] = {}
+    for path, value in record.overrides.items():
+        leaf = path.rsplit(".", 1)[-1]
+        row[leaf if len(leaf_owners[leaf]) == 1 else path] = value
+    result = record.result or {}
+    for column in GENERIC_RESULT_COLUMNS:
+        if column in result:
+            row[column] = result[column]
+    return row
+
+
+def experiment_row_builder(experiment: str) -> Optional[RowBuilder]:
+    """Figure-specific row builder for a spec's ``experiment`` tag, if any."""
+    # Imported lazily: the experiments package imports this module at import
+    # time, so a top-level import here would be circular.
+    from ..experiments import fig3a_pulse_length, fig3c_ambient_temperature
+
+    registry: Dict[str, RowBuilder] = {
+        "fig3a": fig3a_pulse_length.row_from_record,
+        "fig3c": fig3c_ambient_temperature.row_from_record,
+    }
+    return registry.get(experiment)
+
+
+def to_experiment_result(
+    spec: CampaignSpec,
+    report: CampaignReport,
+    row_builder: Optional[RowBuilder] = None,
+    description: Optional[str] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+):
+    """Reduce a report into an :class:`~repro.experiments.base.ExperimentResult`.
+
+    Failed points abort the reduction — a partially aggregated figure is
+    worse than an explicit error.  ``row_builder`` defaults to the figure
+    preset matching ``spec.experiment``, falling back to :func:`generic_row`.
+    """
+    from ..experiments.base import ExperimentResult
+
+    ensure_complete(report)
+    if row_builder is None:
+        row_builder = experiment_row_builder(spec.experiment) or generic_row
+    result = ExperimentResult(
+        name=spec.experiment if spec.experiment != "attack" else spec.name,
+        description=description or f"Campaign {spec.name!r} ({spec.mode} sweep, {len(report.records)} points)",
+        columns=[],
+        metadata={"campaign": campaign_metadata(spec, report), **(metadata or {})},
+    )
+    for record in report.ok_records:
+        result.add_row(**row_builder(record))
+    return result
+
+
+def campaign_metadata(spec: CampaignSpec, report: CampaignReport) -> Dict[str, Any]:
+    """Provenance block recorded into aggregated results."""
+    return {
+        "name": spec.name,
+        "mode": spec.mode,
+        "axes": [axis.path for axis in spec.axes],
+        "points": len(report.records),
+        "cached": report.cached_count,
+        "duration_s": report.duration_s,
+    }
+
+
+def summarise(report: CampaignReport) -> Dict[str, Any]:
+    """Summary statistics over a campaign: outcome counts and flip stats.
+
+    ``min_pulses_to_flip`` is the campaign's headline number — the cheapest
+    observed attack across the whole sweep; ``success_rate`` is the fraction
+    of executed points whose victim actually flipped.
+    """
+    counts = report.counts()
+    flipped = [
+        record.result["pulses"]
+        for record in report.ok_records
+        if record.result and record.result.get("flipped")
+    ]
+    summary: Dict[str, Any] = {
+        "spec_name": report.spec_name,
+        "experiment": report.experiment,
+        **counts,
+        "duration_s": report.duration_s,
+        "success_rate": (len(flipped) / counts["ok"]) if counts["ok"] else 0.0,
+        "min_pulses_to_flip": min(flipped) if flipped else None,
+        "max_pulses_to_flip": max(flipped) if flipped else None,
+        "geomean_pulses_to_flip": (
+            math.exp(sum(math.log(p) for p in flipped) / len(flipped)) if flipped else None
+        ),
+    }
+    return summary
+
+
+def scenario_success_rates(report: CampaignReport) -> Dict[str, Dict[str, Any]]:
+    """Per-scenario success statistics, grouping points by their overrides.
+
+    Points sharing the same override signature (e.g. the same bias scheme in
+    a zip sweep over schemes and pulse lengths) are treated as one scenario.
+    """
+    groups: Dict[str, List[JobRecord]] = {}
+    for record in report.ok_records:
+        label = ", ".join(f"{k.rsplit('.', 1)[-1]}={v!r}" for k, v in sorted(record.overrides.items()))
+        groups.setdefault(label or "default", []).append(record)
+    rates: Dict[str, Dict[str, Any]] = {}
+    for label, records in groups.items():
+        flips = [r for r in records if r.result and r.result.get("flipped")]
+        rates[label] = {
+            "points": len(records),
+            "flipped": len(flips),
+            "success_rate": len(flips) / len(records) if records else 0.0,
+        }
+    return rates

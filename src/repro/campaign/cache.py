@@ -1,0 +1,141 @@
+"""Content-addressed on-disk cache for campaign job results.
+
+Every campaign point hashes its materialised configuration together with the
+library version (:func:`repro.campaign.spec.point_key`); the cache stores one
+JSON file per key.  Re-running a campaign therefore only computes the points
+that are missing, and a campaign interrupted half-way resumes for free — the
+runner simply skips every key that already resolves.
+
+Writes go through a temp-file-plus-rename so a crash mid-write can never
+leave a truncated entry behind; unreadable entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import string
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from ..errors import CampaignError
+
+_KEY_ALPHABET = set(string.hexdigits)
+
+
+class ResultCache:
+    """A directory of ``<key>.json`` result files keyed by content hash."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise CampaignError(f"result cache root {self.root} exists and is not a directory")
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # key/path handling
+    # ------------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem path of one cache entry."""
+        if not key or not set(key) <= _KEY_ALPHABET:
+            raise CampaignError(f"invalid cache key {key!r}; expected a hex digest")
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # read/write
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the cached payload for ``key``, or ``None`` on a miss.
+
+        A corrupt or unreadable entry counts as a miss so that a damaged
+        cache degrades to recomputation instead of failing the campaign.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return None
+        if not isinstance(payload, dict):
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Atomically store ``payload`` under ``key``; returns the entry path.
+
+        The temp file name is unique per writer so concurrent campaigns
+        sharing one cache cannot clobber each other's in-flight writes; the
+        final ``os.replace`` makes last-writer-wins the worst case.
+        """
+        path = self.path_for(key)
+        text = json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+        fd, tmp_name = tempfile.mkstemp(prefix=f"{key}.", suffix=".tmp", dir=self.root)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        return path
+
+    def delete(self, key: str) -> bool:
+        """Drop one entry; returns True if it existed."""
+        path = self.path_for(key)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number of entries removed."""
+        removed = 0
+        for path in self._entry_paths():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def _entry_paths(self) -> List[Path]:
+        return sorted(self.root.glob("*.json"))
+
+    def keys(self) -> List[str]:
+        """All keys currently stored."""
+        return [path.stem for path in self._entry_paths()]
+
+    def contains(self, key: str) -> bool:
+        """True if an entry for ``key`` exists on disk."""
+        return self.path_for(key).exists()
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count and total size of the cache directory."""
+        paths = self._entry_paths()
+        return {
+            "root": str(self.root),
+            "entries": len(paths),
+            "bytes": sum(path.stat().st_size for path in paths),
+        }
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        return len(self._entry_paths())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r}, entries={len(self)})"

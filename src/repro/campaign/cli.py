@@ -1,0 +1,230 @@
+"""`python -m repro` / `repro` — the unified reproduction command line.
+
+Subcommands::
+
+    repro run-fig {2a,3a,3b,3c,3d} [--save DIR] [--chart] [--workers N] [--cache DIR]
+    repro campaign run SPEC.json [--workers N] [--cache DIR] [--no-cache]
+                                 [--timeout S] [--chunksize N] [--save DIR] [--json]
+    repro campaign status SPEC.json [--cache DIR]
+    repro version
+
+``run-fig`` regenerates one paper figure and prints its table (figures 3a and
+3c execute through the campaign engine and accept ``--workers``/``--cache``);
+``campaign run`` executes an arbitrary sweep spec through the worker pool
+with the result cache, and ``campaign status`` reports how much of a spec is
+already answered by the cache without computing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import ReproError
+from .aggregate import summarise, to_experiment_result
+from .cache import ResultCache
+from .runner import CampaignRunner
+from .spec import CampaignSpec
+
+#: Default on-disk cache used by ``campaign run`` unless --no-cache is given.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Figures 3a/3c run through the campaign engine and accept workers/cache.
+CAMPAIGN_FIGURES = ("3a", "3c")
+
+
+def _figure_registry() -> Dict[str, Callable[..., Any]]:
+    """Figure id -> experiment callable, imported lazily to keep startup light."""
+    from ..experiments import fig2a_experiment, run_fig3a, run_fig3b, run_fig3c, run_fig3d
+
+    return {
+        "2a": fig2a_experiment,
+        "3a": run_fig3a,
+        "3b": run_fig3b,
+        "3c": run_fig3c,
+        "3d": run_fig3d,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The complete argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NeuroHammer reproduction: regenerate paper figures and run attack campaigns.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fig = subparsers.add_parser("run-fig", help="regenerate one paper figure")
+    fig.add_argument("figure", choices=sorted(_FIGURE_IDS), help="figure to regenerate")
+    fig.add_argument("--save", metavar="DIR", help="also write CSV/JSON exports into DIR")
+    fig.add_argument("--chart", action="store_true", help="print an ASCII chart next to the table")
+    fig.add_argument("--workers", type=int, default=0, help="worker processes (figures 3a/3c only)")
+    fig.add_argument("--cache", metavar="DIR", help="result cache directory (figures 3a/3c only)")
+    fig.set_defaults(handler=_cmd_run_fig)
+
+    campaign = subparsers.add_parser("campaign", help="run or inspect a sweep campaign")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    run = campaign_sub.add_parser("run", help="execute a campaign spec through the worker pool")
+    run.add_argument("spec", help="path to a CampaignSpec JSON file")
+    run.add_argument("--workers", type=int, default=0, help="worker processes (0 = serial)")
+    run.add_argument("--cache", metavar="DIR", default=None, help=f"cache directory (default {DEFAULT_CACHE_DIR})")
+    run.add_argument("--no-cache", action="store_true", help="disable the result cache entirely")
+    run.add_argument("--timeout", type=float, default=None, metavar="S", help="per-job timeout in seconds")
+    run.add_argument(
+        "--chunksize", type=int, default=1,
+        help="jobs handed to a worker at a time (no effect with --timeout: jobs then dispatch singly)",
+    )
+    run.add_argument("--save", metavar="DIR", help="write the aggregated CSV/JSON exports into DIR")
+    run.add_argument("--json", action="store_true", help="print the full report as JSON instead of a table")
+    run.set_defaults(handler=_cmd_campaign_run)
+
+    status = campaign_sub.add_parser("status", help="report cache coverage of a spec")
+    status.add_argument("spec", help="path to a CampaignSpec JSON file")
+    status.add_argument("--cache", metavar="DIR", default=None, help=f"cache directory (default {DEFAULT_CACHE_DIR})")
+    status.set_defaults(handler=_cmd_campaign_status)
+
+    version = subparsers.add_parser("version", help="print the library version")
+    version.set_defaults(handler=_cmd_version)
+    return parser
+
+
+_FIGURE_IDS = ("2a", "3a", "3b", "3c", "3d")
+
+
+def _load_spec(path: str) -> CampaignSpec:
+    spec_path = Path(path)
+    if not spec_path.exists():
+        raise ReproError(f"campaign spec {path!r} does not exist")
+    try:
+        return CampaignSpec.from_json(spec_path)
+    except ReproError:
+        raise
+    except (ValueError, TypeError) as exc:
+        raise ReproError(f"campaign spec {path!r} is not a valid spec: {exc}") from exc
+
+
+def _open_cache(cache_dir: Optional[str], disabled: bool = False) -> Optional[ResultCache]:
+    if disabled:
+        return None
+    return ResultCache(cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR)
+
+
+# ----------------------------------------------------------------------
+# subcommand handlers
+# ----------------------------------------------------------------------
+
+
+def _cmd_run_fig(args: argparse.Namespace) -> int:
+    registry = _figure_registry()
+    experiment = registry[args.figure]
+    kwargs: Dict[str, Any] = {}
+    if args.figure in CAMPAIGN_FIGURES:
+        kwargs["workers"] = args.workers
+        if args.cache:
+            kwargs["cache"] = ResultCache(args.cache)
+    elif args.workers or args.cache:
+        print(f"note: --workers/--cache only apply to figures {'/'.join(CAMPAIGN_FIGURES)}; ignored")
+    result = experiment(**kwargs)
+    print(result.to_table())
+    if args.chart and result.rows:
+        numeric = [
+            column
+            for column in result.columns[1:]
+            if isinstance(result.rows[0].get(column), (int, float))
+            and not isinstance(result.rows[0].get(column), bool)
+        ]
+        if numeric:
+            print()
+            print(result.to_chart(result.columns[0], numeric[0]))
+    if args.save:
+        path = result.save(args.save)
+        print(f"saved {result.name} exports next to {path}")
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.spec)
+    cache = _open_cache(args.cache, disabled=args.no_cache)
+    runner = CampaignRunner(
+        spec,
+        cache=cache,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        chunksize=args.chunksize,
+    )
+    report = runner.run()
+    summary = summarise(report)
+    result = to_experiment_result(spec, report) if not report.failed_records else None
+
+    if args.json:
+        print(json.dumps({"summary": summary, "report": report.to_dict()}, indent=2, default=str))
+    else:
+        print(report.summary())
+        if result is not None and result.rows:
+            print()
+            print(result.to_table())
+        for record in report.failed_records:
+            print(f"FAILED point {record.index} ({record.status}): {record.error}")
+        rate = summary["success_rate"]
+        print()
+        print(
+            f"success rate {rate:.0%}"
+            + (
+                f", min pulses to flip {summary['min_pulses_to_flip']}"
+                if summary["min_pulses_to_flip"] is not None
+                else ""
+            )
+        )
+    if args.save and result is not None:
+        path = result.save(args.save)
+        print(f"saved campaign exports next to {path}")
+    return 1 if report.failed_records else 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.spec)
+    cache = _open_cache(args.cache)
+    runner = CampaignRunner(spec, cache=cache)
+    status = runner.status()
+    print(
+        f"campaign {status['spec_name']!r}: {status['cached']}/{status['total']} points cached, "
+        f"{status['missing']} to compute"
+    )
+    for label in status["missing_points"][:10]:
+        print(f"  missing: {label}")
+    if status["missing"] > 10:
+        print(f"  ... and {status['missing'] - 10} more")
+    return 0
+
+
+def _cmd_version(args: argparse.Namespace) -> int:
+    from .. import __version__
+
+    print(__version__)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro`` and ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); not an error of ours.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,365 @@
+"""Campaign execution: serial and multiprocessing fan-out with a result cache.
+
+The unit of work is one :class:`~repro.campaign.spec.CampaignPoint`.  Every
+point is executed by the same module-level :func:`run_campaign_job` function
+whether the campaign runs serially or through a worker pool, so the two paths
+are bit-identical by construction — the pool only changes *where* the function
+runs, never *what* it computes.
+
+Error handling happens inside the job function: an exception in one point is
+captured into its :class:`JobRecord` instead of tearing down the campaign,
+mirroring how hardware RowHammer harnesses keep a long sweep alive when a
+single configuration misbehaves.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..attack.neurohammer import AttackResult, NeuroHammer
+from ..circuit.crossbar import CrossbarArray
+from ..config import AttackConfig, SimulationConfig
+from ..errors import CampaignError
+from .cache import ResultCache
+from .spec import CampaignPoint, CampaignSpec
+
+#: Payload handed to a (possibly remote) job function.
+JobPayload = Tuple[int, str, Dict[str, Any], Dict[str, Any]]
+
+
+def attack_result_to_dict(result: AttackResult) -> Dict[str, Any]:
+    """Flatten an :class:`AttackResult` into a JSON-serialisable record."""
+    return {
+        "pattern": result.pattern_name,
+        "victim": list(result.victim),
+        "aggressors": [list(cell) for cell in result.aggressors],
+        "flipped": bool(result.flipped),
+        "pulses": int(result.pulses),
+        "stress_time_s": float(result.stress_time_s),
+        "wall_clock_s": float(result.wall_clock_s),
+        "victim_final_x": float(result.victim_final_x),
+        "victim_temperature_k": float(result.victim_temperature_k),
+        "pulse_length_s": float(result.pulse_length_s),
+        "ambient_temperature_k": float(result.ambient_temperature_k),
+        "hammer_energy_j": float(result.hammer_energy_j),
+    }
+
+
+def execute_point(job: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one materialised campaign point and return its result record.
+
+    This is the campaign equivalent of :func:`repro.attack.hammer_once`: the
+    crossbar is built from the point's simulation config at the attack's
+    ambient temperature, and the fast quasi-static engine runs the attack.
+    """
+    simulation = SimulationConfig.from_dict(job["simulation"])
+    attack = AttackConfig.from_dict(job["attack"])
+    crossbar = CrossbarArray(
+        geometry=simulation.geometry,
+        wires=simulation.wires,
+        ambient_temperature_k=attack.ambient_temperature_k,
+    )
+    outcome = NeuroHammer(crossbar).run(config=attack)
+    return attack_result_to_dict(outcome)
+
+
+@dataclass
+class JobRecord:
+    """Outcome of one campaign point: a result, an error, or a timeout."""
+
+    index: int
+    key: str
+    status: str  # "ok" | "error" | "timeout"
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    duration_s: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "key": self.key,
+            "status": self.status,
+            "overrides": self.overrides,
+            "result": self.result,
+            "error": self.error,
+            "duration_s": self.duration_s,
+            "cached": self.cached,
+        }
+
+
+def run_campaign_job(payload: JobPayload) -> JobRecord:
+    """Execute one job payload, capturing any exception into the record."""
+    index, key, job, overrides = payload
+    start = time.perf_counter()
+    try:
+        result = execute_point(job)
+    except Exception as exc:  # noqa: BLE001 — one bad point must not kill the sweep
+        return JobRecord(
+            index=index,
+            key=key,
+            status="error",
+            overrides=overrides,
+            error=f"{type(exc).__name__}: {exc}",
+            duration_s=time.perf_counter() - start,
+        )
+    return JobRecord(
+        index=index,
+        key=key,
+        status="ok",
+        overrides=overrides,
+        result=result,
+        duration_s=time.perf_counter() - start,
+    )
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate outcome of one campaign run, ordered by point index."""
+
+    spec_name: str
+    experiment: str
+    records: List[JobRecord] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def ok_records(self) -> List[JobRecord]:
+        return [record for record in self.records if record.ok]
+
+    @property
+    def failed_records(self) -> List[JobRecord]:
+        return [record for record in self.records if not record.ok]
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for record in self.records if record.cached)
+
+    @property
+    def computed_count(self) -> int:
+        return sum(1 for record in self.records if not record.cached)
+
+    def counts(self) -> Dict[str, int]:
+        """Point counts per status plus cache hits."""
+        counts = {"total": len(self.records), "ok": 0, "error": 0, "timeout": 0}
+        for record in self.records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        counts["cached"] = self.cached_count
+        return counts
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        counts = self.counts()
+        return (
+            f"campaign {self.spec_name!r}: {counts['total']} points, "
+            f"{counts['ok']} ok ({counts['cached']} cached), "
+            f"{counts['error']} errors, {counts['timeout']} timeouts "
+            f"in {self.duration_s:.2f}s"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec_name": self.spec_name,
+            "experiment": self.experiment,
+            "duration_s": self.duration_s,
+            "counts": self.counts(),
+            "records": [record.to_dict() for record in self.records],
+        }
+
+
+class CampaignRunner:
+    """Executes a :class:`CampaignSpec` serially or over a worker pool.
+
+    ``workers=0`` (or 1) selects the serial path; ``workers >= 2`` fans the
+    pending points out over a :mod:`multiprocessing` pool.  With a
+    :class:`~repro.campaign.cache.ResultCache` attached, previously computed
+    points are served from disk and only the missing ones are executed, which
+    also makes interrupted campaigns resumable.
+
+    ``timeout_s`` bounds the wall-clock wait per job; a point that exceeds it
+    is recorded with status ``"timeout"`` and its pool is torn down so
+    stragglers cannot outlive the campaign.  Because a timeout can only be
+    enforced across a process boundary, setting ``timeout_s`` routes even a
+    ``workers=0`` run through a single-process pool.  ``chunksize`` batches
+    job dispatch on the no-timeout pool path only; with a timeout, jobs are
+    dispatched one at a time so each gets its own deadline.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        cache: Optional[ResultCache] = None,
+        workers: Optional[int] = 0,
+        timeout_s: Optional[float] = None,
+        chunksize: int = 1,
+        job_fn: Callable[[JobPayload], JobRecord] = run_campaign_job,
+    ):
+        if workers is None:
+            workers = 0
+        if workers < 0:
+            raise CampaignError("workers must be >= 0")
+        if timeout_s is not None and timeout_s <= 0:
+            raise CampaignError("timeout_s must be positive")
+        if chunksize < 1:
+            raise CampaignError("chunksize must be >= 1")
+        self.spec = spec
+        self.cache = cache
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.chunksize = chunksize
+        self.job_fn = job_fn
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> CampaignReport:
+        """Materialise the spec, execute missing points, return the report."""
+        start = time.perf_counter()
+        points = self.spec.materialise()
+        records: Dict[int, JobRecord] = {}
+        pending: List[CampaignPoint] = []
+        for point in points:
+            cached = self._lookup(point)
+            if cached is not None:
+                records[point.index] = cached
+            else:
+                pending.append(point)
+
+        if pending:
+            payloads = [(p.index, p.key, p.job, p.overrides) for p in pending]
+            # A timeout can only be enforced on a job running in a separate
+            # process, so timeout_s forces the pool path even at workers<=1.
+            if self.workers >= 2 or self.timeout_s is not None:
+                computed = self._iter_parallel(payloads)
+            else:
+                computed = self._iter_serial(payloads)
+            # Records are cached as they complete, so an interrupted campaign
+            # keeps every finished point and resumes from there.
+            for record in computed:
+                records[record.index] = record
+                self._store(record)
+
+        report = CampaignReport(
+            spec_name=self.spec.name,
+            experiment=self.spec.experiment,
+            records=[records[index] for index in sorted(records)],
+            duration_s=time.perf_counter() - start,
+        )
+        return report
+
+    def status(self) -> Dict[str, Any]:
+        """Cache coverage of the spec without executing anything."""
+        points = self.spec.materialise()
+        cached, missing = [], []
+        for point in points:
+            (cached if self._lookup(point) is not None else missing).append(point)
+        return {
+            "spec_name": self.spec.name,
+            "total": len(points),
+            "cached": len(cached),
+            "missing": len(missing),
+            "missing_points": [point.label() for point in missing],
+        }
+
+    # ------------------------------------------------------------------
+    # execution paths
+    # ------------------------------------------------------------------
+
+    def _iter_serial(self, payloads: Sequence[JobPayload]) -> Iterator[JobRecord]:
+        """Serial fallback — same job function, same records, same bits."""
+        for payload in payloads:
+            yield self.job_fn(payload)
+
+    def _iter_parallel(self, payloads: Sequence[JobPayload]) -> Iterator[JobRecord]:
+        """Fan out over a pool, yielding each record as it completes.
+
+        When a job exceeds ``timeout_s`` its worker is hung, so the pool is
+        torn down and a fresh one is started for the jobs that have not
+        finished yet — a straggler can neither hold a worker slot hostage
+        nor cause queued jobs to be misreported as timed out.  Results that
+        completed before the teardown are collected, not recomputed.
+        """
+        remaining: List[JobPayload] = list(payloads)
+        ctx = multiprocessing.get_context()
+        while remaining:
+            pool = ctx.Pool(processes=max(1, self.workers))
+            restart = False
+            try:
+                if self.timeout_s is None:
+                    yield from pool.imap(self.job_fn, remaining, chunksize=self.chunksize)
+                    remaining = []
+                else:
+                    handles = [(payload, pool.apply_async(self.job_fn, (payload,))) for payload in remaining]
+                    remaining = []
+                    for position, (payload, handle) in enumerate(handles):
+                        index, key, _job, overrides = payload
+                        try:
+                            yield handle.get(timeout=self.timeout_s)
+                        except multiprocessing.TimeoutError:
+                            restart = True
+                            yield JobRecord(
+                                index=index,
+                                key=key,
+                                status="timeout",
+                                overrides=overrides,
+                                error=f"job exceeded timeout of {self.timeout_s}s",
+                                duration_s=self.timeout_s,
+                            )
+                            # Harvest what already finished; everything else
+                            # goes to the fresh pool.
+                            for later_payload, later_handle in handles[position + 1 :]:
+                                if later_handle.ready():
+                                    yield later_handle.get()
+                                else:
+                                    remaining.append(later_payload)
+                            break
+            finally:
+                if restart:
+                    # The straggler is still holding a worker; don't wait.
+                    pool.terminate()
+                else:
+                    pool.close()
+                pool.join()
+
+    # ------------------------------------------------------------------
+    # cache glue
+    # ------------------------------------------------------------------
+
+    def _lookup(self, point: CampaignPoint) -> Optional[JobRecord]:
+        if self.cache is None:
+            return None
+        payload = self.cache.get(point.key)
+        if payload is None or payload.get("status") != "ok" or "result" not in payload:
+            return None
+        return JobRecord(
+            index=point.index,
+            key=point.key,
+            status="ok",
+            overrides=dict(point.overrides),
+            result=payload["result"],
+            duration_s=float(payload.get("duration_s", 0.0)),
+            cached=True,
+        )
+
+    def _store(self, record: JobRecord) -> None:
+        # Only successes are cached: errors and timeouts should be retried
+        # by the next run instead of being replayed from disk.
+        if self.cache is None or not record.ok:
+            return
+        self.cache.put(
+            record.key,
+            {
+                "status": record.status,
+                "result": record.result,
+                "overrides": record.overrides,
+                "duration_s": record.duration_s,
+                "spec_name": self.spec.name,
+                "experiment": self.spec.experiment,
+            },
+        )

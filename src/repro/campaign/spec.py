@@ -1,0 +1,301 @@
+"""Declarative sweep specifications for NeuroHammer attack campaigns.
+
+A campaign is a set of simulation points derived from one base configuration
+(a :class:`~repro.config.SimulationConfig` plus an
+:class:`~repro.config.AttackConfig`) and a list of sweep axes.  Each axis
+addresses one configuration field through a dotted path rooted at
+``simulation`` or ``attack`` (e.g. ``attack.pulse.length_s`` or
+``simulation.geometry.electrode_spacing_m``) and either enumerates explicit
+values or describes a range to sample from.
+
+Three sweep modes are supported:
+
+``grid``
+    The cartesian product of all axis values; the first axis varies slowest
+    (outer loop), matching the nested ``for`` loops the figure experiments
+    historically used.
+``zip``
+    Axes are iterated in lockstep; all axes must have the same length.
+``random``
+    ``samples`` points are drawn with a seeded :class:`random.Random`, so a
+    spec with the same seed always materialises the same campaign.
+
+:meth:`CampaignSpec.materialise` turns the spec into a list of
+:class:`CampaignPoint` objects.  Every point carries the fully validated,
+canonicalised job configuration and a content-addressed key — a SHA-256 hash
+over the job plus the code version — which the result cache and the runner
+use to identify work across processes and across interrupted runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..config import AttackConfig, JsonConfig, SimulationConfig
+from ..errors import CampaignError, ReproError
+
+#: Bump when the job layout changes so stale cache entries are never reused.
+SPEC_FORMAT_VERSION = 1
+
+#: Sweep modes understood by :class:`CampaignSpec`.
+SWEEP_MODES = ("grid", "zip", "random")
+
+#: Root sections a sweep path may address.
+PATH_ROOTS = ("simulation", "attack")
+
+#: Path prefixes the attack job actually consumes.  Sweeping anything else
+#: (e.g. ``simulation.thermal.*``, which the quasi-static engine does not
+#: read) would materialise a full-looking campaign whose points all compute
+#: the same thing, so such axes are rejected up front.
+CONSUMED_PATH_PREFIXES = ("attack.", "simulation.geometry.", "simulation.wires.")
+
+
+def code_version() -> str:
+    """Version string mixed into every point key.
+
+    Results cached by one release are invalidated by the next, because the
+    simulation output may legitimately change between versions.
+    """
+    from .. import __version__
+
+    return __version__
+
+
+@dataclass
+class SweepAxis(JsonConfig):
+    """One swept configuration field.
+
+    Either ``values`` (an explicit list, usable in every mode) or a
+    ``low``/``high`` range (random mode only; ``log=True`` samples uniformly
+    in log-space) must be given.
+    """
+
+    path: str
+    values: Optional[List[Any]] = None
+    low: Optional[float] = None
+    high: Optional[float] = None
+    log: bool = False
+
+    def __post_init__(self) -> None:
+        root = self.path.split(".", 1)[0] if self.path else ""
+        if root not in PATH_ROOTS or "." not in self.path:
+            raise CampaignError(
+                f"axis path {self.path!r} must be a dotted path rooted at one of {PATH_ROOTS}"
+            )
+        if not self.path.startswith(CONSUMED_PATH_PREFIXES):
+            raise CampaignError(
+                f"axis path {self.path!r} is not consumed by the attack job; "
+                f"sweepable paths start with one of {CONSUMED_PATH_PREFIXES}"
+            )
+        has_range = self.low is not None or self.high is not None
+        if self.values is not None:
+            if has_range:
+                raise CampaignError(f"axis {self.path!r}: give either values or a low/high range, not both")
+            if not isinstance(self.values, (list, tuple)) or len(self.values) == 0:
+                raise CampaignError(f"axis {self.path!r}: values must be a non-empty list")
+            self.values = list(self.values)
+        else:
+            if self.low is None or self.high is None:
+                raise CampaignError(f"axis {self.path!r}: needs explicit values or both low and high")
+            if not self.high > self.low:
+                raise CampaignError(f"axis {self.path!r}: high must exceed low")
+            if self.log and self.low <= 0:
+                raise CampaignError(f"axis {self.path!r}: log-space sampling needs a positive low bound")
+
+    @property
+    def is_enumerated(self) -> bool:
+        """True when the axis lists explicit values (required outside random mode)."""
+        return self.values is not None
+
+    def sample(self, rng: random.Random) -> Any:
+        """Draw one value for random-mode sweeps."""
+        if self.values is not None:
+            return rng.choice(self.values)
+        assert self.low is not None and self.high is not None
+        if self.log:
+            return math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One materialised campaign job.
+
+    ``job`` is the canonical, fully validated configuration tree
+    (``{"simulation": {...}, "attack": {...}}``); ``overrides`` records just
+    the swept values that produced it, keyed by axis path; ``key`` is the
+    content hash used for caching and resume.
+    """
+
+    index: int
+    overrides: Dict[str, Any]
+    job: Dict[str, Any]
+    key: str
+
+    def label(self) -> str:
+        """Compact human-readable description of the swept values."""
+        if not self.overrides:
+            return f"point {self.index}"
+        parts = [f"{path.rsplit('.', 1)[-1]}={value!r}" for path, value in self.overrides.items()]
+        return ", ".join(parts)
+
+
+def point_key(job: Mapping[str, Any], version: Optional[str] = None) -> str:
+    """Stable content hash of one job configuration plus the code version."""
+    blob = json.dumps(
+        {
+            "format": SPEC_FORMAT_VERSION,
+            "code": version if version is not None else code_version(),
+            "job": job,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _set_by_path(tree: Dict[str, Any], path: str, value: Any) -> None:
+    """Assign ``value`` at a dotted ``path`` inside a nested config dict."""
+    parts = path.split(".")
+    node = tree
+    for depth, part in enumerate(parts[:-1]):
+        if not isinstance(node, dict) or part not in node:
+            raise CampaignError(f"sweep path {path!r}: unknown section {'.'.join(parts[: depth + 1])!r}")
+        node = node[part]
+    leaf = parts[-1]
+    if not isinstance(node, dict) or leaf not in node:
+        raise CampaignError(f"sweep path {path!r}: unknown configuration field {leaf!r}")
+    node[leaf] = value
+
+
+@dataclass
+class CampaignSpec(JsonConfig):
+    """Declarative description of a parameter-sweep campaign.
+
+    The spec is a plain JSON-serialisable object (see
+    :meth:`~repro.config.JsonConfig.to_json` /
+    :meth:`~repro.config.JsonConfig.from_json`), so campaigns can be launched,
+    resumed and audited from a single file.
+    """
+
+    name: str = "campaign"
+    #: Aggregation preset; ``fig3a``/``fig3c`` reproduce the paper figures,
+    #: anything else aggregates generically.
+    experiment: str = "attack"
+    mode: str = "grid"
+    #: Base overrides for :class:`~repro.config.SimulationConfig`.
+    simulation: Dict[str, Any] = field(default_factory=dict)
+    #: Base overrides for :class:`~repro.config.AttackConfig`.
+    attack: Dict[str, Any] = field(default_factory=dict)
+    axes: List[SweepAxis] = field(default_factory=list)
+    #: Number of points drawn in ``random`` mode.
+    samples: int = 0
+    #: Seed for ``random`` mode; identical seeds materialise identical campaigns.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CampaignError("campaign name must be non-empty")
+        if self.mode not in SWEEP_MODES:
+            raise CampaignError(f"unknown sweep mode {self.mode!r}; expected one of {SWEEP_MODES}")
+        self.axes = [
+            axis if isinstance(axis, SweepAxis) else SweepAxis.from_dict(axis) for axis in self.axes
+        ]
+        seen = set()
+        for axis in self.axes:
+            if axis.path in seen:
+                raise CampaignError(f"duplicate sweep axis {axis.path!r}")
+            seen.add(axis.path)
+        if self.mode == "random":
+            if self.samples < 1:
+                raise CampaignError("random mode needs samples >= 1")
+        else:
+            if self.samples:
+                raise CampaignError(f"samples is only meaningful in random mode, not {self.mode!r}")
+            for axis in self.axes:
+                if not axis.is_enumerated:
+                    raise CampaignError(
+                        f"axis {axis.path!r}: {self.mode} mode needs explicit values, not a range"
+                    )
+            if self.mode == "zip" and self.axes:
+                lengths = {len(axis.values) for axis in self.axes}  # type: ignore[arg-type]
+                if len(lengths) > 1:
+                    raise CampaignError(f"zip mode needs equal-length axes, got lengths {sorted(lengths)}")
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+
+    def point_count(self) -> int:
+        """Number of points the spec will materialise (without materialising)."""
+        if self.mode == "random":
+            return self.samples
+        if not self.axes:
+            return 1
+        if self.mode == "zip":
+            return len(self.axes[0].values)  # type: ignore[arg-type]
+        count = 1
+        for axis in self.axes:
+            count *= len(axis.values)  # type: ignore[arg-type]
+        return count
+
+    def _override_sets(self) -> List[Dict[str, Any]]:
+        """The list of per-point ``{path: value}`` override mappings."""
+        if self.mode == "random":
+            rng = random.Random(self.seed)
+            return [
+                {axis.path: axis.sample(rng) for axis in self.axes} for _ in range(self.samples)
+            ]
+        if not self.axes:
+            return [{}]
+        paths = [axis.path for axis in self.axes]
+        if self.mode == "zip":
+            combos = zip(*[axis.values for axis in self.axes])  # type: ignore[arg-type]
+        else:
+            combos = itertools.product(*[axis.values for axis in self.axes])  # type: ignore[arg-type]
+        return [dict(zip(paths, combo)) for combo in combos]
+
+    def base_job(self) -> Dict[str, Any]:
+        """The validated base configuration tree before any axis override."""
+        try:
+            simulation = SimulationConfig.from_dict(self.simulation)
+            attack = AttackConfig.from_dict(self.attack)
+        except ReproError as exc:
+            raise CampaignError(f"campaign {self.name!r}: invalid base configuration: {exc}") from exc
+        return {"simulation": simulation.to_dict(), "attack": attack.to_dict()}
+
+    def materialise(self) -> List[CampaignPoint]:
+        """Expand the spec into validated, content-addressed campaign points."""
+        base = self.base_job()
+        version = code_version()
+        points: List[CampaignPoint] = []
+        for index, overrides in enumerate(self._override_sets()):
+            tree = json.loads(json.dumps(base))
+            for path, value in overrides.items():
+                _set_by_path(tree, path, value)
+            try:
+                simulation = SimulationConfig.from_dict(tree["simulation"])
+                attack = AttackConfig.from_dict(tree["attack"])
+            except ReproError as exc:
+                raise CampaignError(
+                    f"campaign {self.name!r}: point {index} ({overrides!r}) is invalid: {exc}"
+                ) from exc
+            # Canonicalise through a JSON round-trip so tuples/lists and float
+            # formatting cannot make equal configs hash differently.
+            job = json.loads(
+                json.dumps(
+                    {"simulation": simulation.to_dict(), "attack": attack.to_dict()},
+                    sort_keys=True,
+                )
+            )
+            points.append(
+                CampaignPoint(index=index, overrides=dict(overrides), job=job, key=point_key(job, version))
+            )
+        return points

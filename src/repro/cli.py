@@ -1,0 +1,10 @@
+"""Console entry point for the ``repro`` script.
+
+The implementation lives in :mod:`repro.campaign.cli`; this module only
+anchors the ``repro = repro.cli:main`` console-script declared in
+``setup.py`` and the ``python -m repro`` runner.
+"""
+
+from .campaign.cli import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -37,3 +37,7 @@ class EccError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment/benchmark harness was configured inconsistently."""
+
+
+class CampaignError(ReproError):
+    """A campaign spec, cache or runner was used inconsistently."""

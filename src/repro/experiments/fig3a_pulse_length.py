@@ -5,13 +5,24 @@ scheme, centre-cell attack.  The pulse length is swept from 10 ns to 100 ns
 and the number of hammer pulses until the half-selected neighbour flips is
 recorded; the paper reports roughly 10^4 pulses at 10 ns falling to about
 10^3 at 100 ns.
+
+The sweep is expressed as a :class:`~repro.campaign.spec.CampaignSpec`
+(:func:`campaign_spec`) and executed through the campaign engine, so the same
+figure can be regenerated serially, over a worker pool, or incrementally from
+a result cache — :func:`run_fig3a` with default arguments is the serial path
+and reproduces the historical row-for-row output.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
-from ..attack.neurohammer import hammer_once
+from ..attack.patterns import single_aggressor
+from ..campaign.aggregate import to_experiment_result
+from ..campaign.cache import ResultCache
+from ..campaign.runner import CampaignRunner, JobRecord
+from ..campaign.spec import CampaignSpec
+from ..config import CrossbarGeometry
 from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K
 from ..units import ns
 from .base import ExperimentResult
@@ -27,36 +38,71 @@ PAPER_REFERENCE = {
 }
 
 
+def campaign_spec(
+    pulse_lengths_s: Optional[Sequence[float]] = None,
+    electrode_spacing_m: float = 50e-9,
+    ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K,
+    max_pulses: int = 10_000_000,
+) -> CampaignSpec:
+    """The Fig. 3a sweep as a declarative campaign spec."""
+    pulse_lengths = tuple(pulse_lengths_s) if pulse_lengths_s is not None else DEFAULT_PULSE_LENGTHS_S
+    geometry = CrossbarGeometry(electrode_spacing_m=electrode_spacing_m)
+    pattern = single_aggressor(geometry)
+    return CampaignSpec(
+        name="fig3a",
+        experiment="fig3a",
+        mode="grid",
+        simulation={"geometry": {"electrode_spacing_m": electrode_spacing_m}},
+        attack={
+            "aggressors": [list(pattern.aggressors[0])],
+            "victim": list(pattern.victim),
+            "ambient_temperature_k": ambient_temperature_k,
+            "max_pulses": max_pulses,
+        },
+        axes=[{"path": "attack.pulse.length_s", "values": [float(value) for value in pulse_lengths]}],
+    )
+
+
+def row_from_record(record: JobRecord) -> Dict[str, Any]:
+    """Shape one campaign job record into a Fig. 3a table row."""
+    result = record.result or {}
+    return {
+        "pulse_length_ns": round(result["pulse_length_s"] * 1e9, 3),
+        "pulses_to_flip": result["pulses"],
+        "stress_time_us": result["stress_time_s"] * 1e6,
+        "victim_temperature_k": result["victim_temperature_k"],
+        "flipped": result["flipped"],
+    }
+
+
 def run_fig3a(
     pulse_lengths_s: Optional[Sequence[float]] = None,
     electrode_spacing_m: float = 50e-9,
     ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K,
     max_pulses: int = 10_000_000,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
 ) -> ExperimentResult:
-    """Run the pulse-length sweep and return the figure data."""
-    pulse_lengths = tuple(pulse_lengths_s) if pulse_lengths_s is not None else DEFAULT_PULSE_LENGTHS_S
-    result = ExperimentResult(
-        name="fig3a",
+    """Run the pulse-length sweep and return the figure data.
+
+    ``workers``/``cache`` are forwarded to the campaign runner; the defaults
+    execute serially with no cache, matching the historical behaviour.
+    """
+    spec = campaign_spec(
+        pulse_lengths_s=pulse_lengths_s,
+        electrode_spacing_m=electrode_spacing_m,
+        ambient_temperature_k=ambient_temperature_k,
+        max_pulses=max_pulses,
+    )
+    report = CampaignRunner(spec, cache=cache, workers=workers).run()
+    return to_experiment_result(
+        spec,
+        report,
+        row_builder=row_from_record,
         description="Pulses to trigger a bit-flip vs hammer pulse length",
-        columns=["pulse_length_ns", "pulses_to_flip", "stress_time_us", "victim_temperature_k", "flipped"],
         metadata={
             "electrode_spacing_nm": electrode_spacing_m * 1e9,
             "ambient_temperature_k": ambient_temperature_k,
             "paper_reference": {f"{k * 1e9:.0f}ns": v for k, v in PAPER_REFERENCE.items()},
         },
     )
-    for pulse_length in pulse_lengths:
-        attack = hammer_once(
-            pulse_length_s=pulse_length,
-            electrode_spacing_m=electrode_spacing_m,
-            ambient_temperature_k=ambient_temperature_k,
-            max_pulses=max_pulses,
-        )
-        result.add_row(
-            pulse_length_ns=round(pulse_length * 1e9, 3),
-            pulses_to_flip=attack.pulses,
-            stress_time_us=attack.stress_time_s * 1e6,
-            victim_temperature_k=attack.victim_temperature_k,
-            flipped=attack.flipped,
-        )
-    return result

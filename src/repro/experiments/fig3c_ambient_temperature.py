@@ -4,13 +4,23 @@ Paper setup: 50 nm electrode spacing, pulse lengths 10/30/50 ns, ambient
 temperature from 273 K to 373 K.  The exponential temperature dependence of
 the switching kinetics makes this the strongest lever: the paper reports
 roughly 10^5 pulses at 273 K falling to about 10^2 at 373 K.
+
+Like Fig. 3a, the sweep is a :class:`~repro.campaign.spec.CampaignSpec`
+(:func:`campaign_spec`) executed through the campaign engine: a grid over
+ambient temperature (outer axis) and pulse length (inner axis), matching the
+nested loops the experiment historically used.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
-from ..attack.neurohammer import hammer_once
+from ..attack.patterns import single_aggressor
+from ..campaign.aggregate import to_experiment_result
+from ..campaign.cache import ResultCache
+from ..campaign.runner import CampaignRunner, JobRecord
+from ..campaign.spec import CampaignSpec
+from ..config import CrossbarGeometry
 from ..units import ns
 from .base import ExperimentResult
 
@@ -27,37 +37,73 @@ PAPER_REFERENCE = {
 }
 
 
+def campaign_spec(
+    temperatures_k: Optional[Sequence[float]] = None,
+    pulse_lengths_s: Optional[Sequence[float]] = None,
+    electrode_spacing_m: float = 50e-9,
+    max_pulses: int = 50_000_000,
+) -> CampaignSpec:
+    """The Fig. 3c sweep as a declarative campaign spec."""
+    temperatures = tuple(temperatures_k) if temperatures_k is not None else DEFAULT_TEMPERATURES_K
+    pulse_lengths = tuple(pulse_lengths_s) if pulse_lengths_s is not None else DEFAULT_PULSE_LENGTHS_S
+    geometry = CrossbarGeometry(electrode_spacing_m=electrode_spacing_m)
+    pattern = single_aggressor(geometry)
+    return CampaignSpec(
+        name="fig3c",
+        experiment="fig3c",
+        mode="grid",
+        simulation={"geometry": {"electrode_spacing_m": electrode_spacing_m}},
+        attack={
+            "aggressors": [list(pattern.aggressors[0])],
+            "victim": list(pattern.victim),
+            "max_pulses": max_pulses,
+        },
+        axes=[
+            {"path": "attack.ambient_temperature_k", "values": [float(value) for value in temperatures]},
+            {"path": "attack.pulse.length_s", "values": [float(value) for value in pulse_lengths]},
+        ],
+    )
+
+
+def row_from_record(record: JobRecord) -> Dict[str, Any]:
+    """Shape one campaign job record into a Fig. 3c table row."""
+    result = record.result or {}
+    return {
+        "ambient_temperature_k": result["ambient_temperature_k"],
+        "pulse_length_ns": round(result["pulse_length_s"] * 1e9, 3),
+        "pulses_to_flip": result["pulses"],
+        "victim_temperature_k": result["victim_temperature_k"],
+        "flipped": result["flipped"],
+    }
+
+
 def run_fig3c(
     temperatures_k: Optional[Sequence[float]] = None,
     pulse_lengths_s: Optional[Sequence[float]] = None,
     electrode_spacing_m: float = 50e-9,
     max_pulses: int = 50_000_000,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
 ) -> ExperimentResult:
-    """Run the ambient-temperature sweep and return the figure data."""
-    temperatures = tuple(temperatures_k) if temperatures_k is not None else DEFAULT_TEMPERATURES_K
-    pulse_lengths = tuple(pulse_lengths_s) if pulse_lengths_s is not None else DEFAULT_PULSE_LENGTHS_S
-    result = ExperimentResult(
-        name="fig3c",
+    """Run the ambient-temperature sweep and return the figure data.
+
+    ``workers``/``cache`` are forwarded to the campaign runner; the defaults
+    execute serially with no cache, matching the historical behaviour.
+    """
+    spec = campaign_spec(
+        temperatures_k=temperatures_k,
+        pulse_lengths_s=pulse_lengths_s,
+        electrode_spacing_m=electrode_spacing_m,
+        max_pulses=max_pulses,
+    )
+    report = CampaignRunner(spec, cache=cache, workers=workers).run()
+    return to_experiment_result(
+        spec,
+        report,
+        row_builder=row_from_record,
         description="Pulses to trigger a bit-flip vs ambient temperature",
-        columns=["ambient_temperature_k", "pulse_length_ns", "pulses_to_flip", "victim_temperature_k", "flipped"],
         metadata={
             "electrode_spacing_nm": electrode_spacing_m * 1e9,
             "paper_reference_50ns": PAPER_REFERENCE,
         },
     )
-    for temperature in temperatures:
-        for pulse_length in pulse_lengths:
-            attack = hammer_once(
-                pulse_length_s=pulse_length,
-                electrode_spacing_m=electrode_spacing_m,
-                ambient_temperature_k=temperature,
-                max_pulses=max_pulses,
-            )
-            result.add_row(
-                ambient_temperature_k=temperature,
-                pulse_length_ns=round(pulse_length * 1e9, 3),
-                pulses_to_flip=attack.pulses,
-                victim_temperature_k=attack.victim_temperature_k,
-                flipped=attack.flipped,
-            )
-    return result

@@ -1,0 +1,146 @@
+"""Smoke tests for the `repro` command line (`python -m repro`)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignSpec, ResultCache
+from repro.cli import build_parser, main
+
+#: A 12-point grid (4 pulse lengths x 3 temperatures) on a fast 3x3 crossbar.
+TWELVE_POINT_SPEC = dict(
+    name="cli-grid",
+    mode="grid",
+    simulation={"geometry": {"rows": 3, "columns": 3}},
+    attack={"aggressors": [[1, 1]], "victim": [1, 2]},
+    axes=[
+        {"path": "attack.pulse.length_s", "values": [10e-9, 30e-9, 50e-9, 70e-9]},
+        {"path": "attack.ambient_temperature_k", "values": [298.0, 323.0, 348.0]},
+    ],
+)
+
+
+@pytest.fixture
+def spec_path(tmp_path) -> Path:
+    path = tmp_path / "spec.json"
+    CampaignSpec(**TWELVE_POINT_SPEC).to_json(path)
+    return path
+
+
+class TestParser:
+    def test_every_subcommand_is_wired(self):
+        parser = build_parser()
+        for argv in (
+            ["run-fig", "3a"],
+            ["campaign", "run", "spec.json"],
+            ["campaign", "status", "spec.json"],
+            ["version"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.handler)
+
+    def test_unknown_figure_is_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-fig", "9z"])
+
+
+class TestCampaignRun:
+    def test_twelve_point_grid_through_pool_then_cache(self, spec_path, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        code = main(
+            ["campaign", "run", str(spec_path), "--workers", "2", "--cache", str(cache_dir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "12 points, 12 ok (0 cached)" in out
+        assert "success rate 100%" in out
+
+        # Second invocation must be served (>=90%) from the cache.
+        code = main(["campaign", "run", str(spec_path), "--workers", "2", "--cache", str(cache_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "12 ok (12 cached)" in out
+        assert len(ResultCache(cache_dir)) == 12
+
+    def test_json_report_and_save_exports(self, spec_path, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        save_dir = tmp_path / "out"
+        code = main(
+            [
+                "campaign", "run", str(spec_path),
+                "--cache", str(cache_dir), "--save", str(save_dir), "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out.split("saved campaign exports")[0])
+        assert payload["summary"]["ok"] == 12
+        assert payload["summary"]["success_rate"] == 1.0
+        assert (save_dir / "cli-grid.csv").exists()
+        assert (save_dir / "cli-grid.json").exists()
+
+    def test_no_cache_flag_skips_the_cache(self, spec_path, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["campaign", "run", str(spec_path), "--no-cache"])
+        capsys.readouterr()
+        assert code == 0
+        assert not (tmp_path / ".repro-cache").exists()
+
+    def test_missing_spec_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["campaign", "run", str(tmp_path / "nope.json")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "does not exist" in captured.err
+
+
+class TestCampaignStatus:
+    def test_status_before_and_after_run(self, spec_path, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["campaign", "status", str(spec_path), "--cache", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "0/12 points cached" in out
+        main(["campaign", "run", str(spec_path), "--cache", str(cache_dir)])
+        capsys.readouterr()
+        assert main(["campaign", "status", str(spec_path), "--cache", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "12/12 points cached" in out
+
+
+class TestRunFig:
+    def test_run_fig_3a_smoke(self, tmp_path, capsys):
+        save_dir = tmp_path / "fig"
+        code = main(["run-fig", "3a", "--save", str(save_dir), "--chart"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pulse_length_ns" in out
+        assert (save_dir / "fig3a.csv").exists()
+
+    def test_run_fig_3a_uses_cache_when_asked(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["run-fig", "3a", "--cache", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert len(ResultCache(cache_dir)) == 10
+        assert main(["run-fig", "3a", "--workers", "2", "--cache", str(cache_dir)]) == 0
+        capsys.readouterr()
+
+    def test_version_command(self, capsys):
+        assert main(["version"]) == 0
+        assert capsys.readouterr().out.strip() == "1.0.0"
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "version"],
+            capture_output=True,
+            text=True,
+            cwd=tmp_path,
+            env={"PYTHONPATH": str(Path(__file__).resolve().parents[1] / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0
+        assert proc.stdout.strip() == "1.0.0"

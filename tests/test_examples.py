@@ -21,6 +21,7 @@ EXAMPLES = [
     "privilege_escalation.py",
     "countermeasures.py",
     "spacing_study.py",
+    "campaign_sweep.py",
 ]
 
 
