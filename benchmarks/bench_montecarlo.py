@@ -1,0 +1,87 @@
+"""MONTECARLO — vectorized population throughput versus the scalar loop.
+
+Runs the same seeded Monte-Carlo population once through the NumPy-vectorized
+engine and once through the per-cell scalar reference loop, checks the two
+agree cell-for-cell, and reports the throughput ratio.  This is the headline
+perf number of the variability subsystem: at the default 1000 samples the
+vectorized path must deliver at least a 10x speedup.
+
+``REPRO_BENCH_MC_SAMPLES`` overrides the population size; CI smoke runs use a
+tiny count (agreement is still checked, the 10x bar only applies at >= 1000).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.config import AttackConfig, SimulationConfig
+from repro.montecarlo import MonteCarloConfig, MonteCarloEngine
+
+#: Population size; the acceptance threshold applies at the default 1000.
+N_SAMPLES = int(os.environ.get("REPRO_BENCH_MC_SAMPLES", "1000"))
+
+#: Required vectorized-over-scalar speedup at the full population size.
+REQUIRED_SPEEDUP = 10.0
+
+
+def build_engine() -> MonteCarloEngine:
+    config = MonteCarloConfig(
+        n_samples=N_SAMPLES,
+        seed=7,
+        distributions=[
+            {"path": "device.activation_energy_ev", "kind": "normal",
+             "mean": 1.0, "sigma": 0.01, "relative": True},
+            {"path": "device.series_resistance_ohm", "kind": "normal",
+             "mean": 1.0, "sigma": 0.05, "relative": True},
+            {"path": "attack.pulse.length_s", "kind": "lognormal",
+             "mean": 50e-9, "sigma": 0.2},
+        ],
+    )
+    simulation = SimulationConfig.from_dict({"geometry": {"rows": 3, "columns": 3}})
+    attack = AttackConfig.from_dict(
+        {"aggressors": [[1, 1]], "victim": [1, 2], "max_pulses": 500_000}
+    )
+    return MonteCarloEngine(config, simulation=simulation, attack=attack)
+
+
+def test_bench_montecarlo_vectorized_vs_scalar(benchmark):
+    engine = build_engine()
+    engine.nominal_conditions()  # the one-off circuit solve is common to both paths
+
+    # Warm-up pass, then best-of-three per path so a scheduler hiccup on a
+    # busy runner cannot masquerade as a regression.
+    vectorized = engine.run()
+    vectorized_s = min(_timed(lambda: engine.run()) for _ in range(3))
+    start = time.perf_counter()
+    scalar = run_once(benchmark, lambda: engine.run(vectorized=False))
+    scalar_s = time.perf_counter() - start
+    if N_SAMPLES >= 1000:
+        scalar_s = min(scalar_s, _timed(lambda: engine.run(vectorized=False)))
+
+    assert np.array_equal(vectorized.flipped, scalar.flipped)
+    assert np.array_equal(vectorized.pulses, scalar.pulses)
+
+    speedup = scalar_s / vectorized_s
+    print()
+    print(
+        f"montecarlo n={N_SAMPLES}: vectorized {vectorized_s:.3f}s "
+        f"({N_SAMPLES / vectorized_s:.0f} cells/s), scalar {scalar_s:.3f}s "
+        f"({N_SAMPLES / scalar_s:.0f} cells/s) -> {speedup:.1f}x speedup"
+    )
+    print(f"flip probability {vectorized.flip_probability:.3f}, "
+          f"geomean pulses {vectorized.summary()['geomean_pulses_to_flip']}")
+    if N_SAMPLES >= 1000:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"vectorized path is only {speedup:.1f}x faster than the scalar loop "
+            f"(required {REQUIRED_SPEEDUP:.0f}x at n={N_SAMPLES})"
+        )
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Monte-Carlo variability demo: flip probabilities over a sampled population.
+
+The paper's figures follow one nominal device; this demo asks the statistical
+question that decides real-world severity.  It
+
+1. samples a population of victim cells with realistic device-to-device
+   variation (activation energy, series resistance) plus cycle-to-cycle
+   pulse-length jitter, and evaluates it through the NumPy-vectorized engine,
+2. sweeps a small pulse-length x ambient-temperature plane into a
+   flip-probability map (each grid point is its own population, executed
+   through the campaign runner), and
+3. runs the defender-facing yield scenario: what fraction of whole arrays
+   survives a realistic pulse budget?
+
+Run with:  python examples/montecarlo_flip_probability.py
+"""
+
+from __future__ import annotations
+
+from repro.attack import YieldScenario
+from repro.config import AttackConfig, SimulationConfig
+from repro.montecarlo import MapAxis, MonteCarloConfig, MonteCarloEngine, flip_probability_map
+
+#: A 3x3 crossbar keeps the nominal circuit solve fast for the demo.
+SIMULATION = {"geometry": {"rows": 3, "columns": 3}}
+ATTACK = {"aggressors": [[1, 1]], "victim": [1, 2], "max_pulses": 500_000}
+
+#: A few percent device-to-device variation plus pulse-length jitter.
+DISTRIBUTIONS = [
+    {"path": "device.activation_energy_ev", "kind": "normal",
+     "mean": 1.0, "sigma": 0.01, "relative": True},
+    {"path": "device.series_resistance_ohm", "kind": "normal",
+     "mean": 1.0, "sigma": 0.05, "relative": True},
+    # Relative: multiplies whatever nominal pulse length a study sweeps.
+    {"path": "attack.pulse.length_s", "kind": "lognormal",
+     "mean": 1.0, "sigma": 0.2, "relative": True},
+]
+
+
+def population_study() -> None:
+    config = MonteCarloConfig(n_samples=256, seed=7, distributions=DISTRIBUTIONS)
+    engine = MonteCarloEngine(
+        config,
+        simulation=SimulationConfig.from_dict(SIMULATION),
+        attack=AttackConfig.from_dict(ATTACK),
+    )
+    result = engine.run()
+    summary = result.summary()
+    conditions = result.conditions
+    print("== population study ==")
+    print(
+        f"nominal operating point: victim at {conditions.victim_voltage_v:.3f} V with "
+        f"{conditions.crosstalk_temperature_k:.1f} K crosstalk from the aggressor"
+    )
+    print(
+        f"{summary['flipped']}/{summary['valid']} sampled cells flip "
+        f"(flip probability {summary['flip_probability']:.3f}) in {summary['duration_s']:.2f}s "
+        f"via the {summary['engine']} engine"
+    )
+    print(
+        f"pulses to flip: min {summary['min_pulses_to_flip']}, p10 {summary['p10']:.0f}, "
+        f"p50 {summary['p50']:.0f}, p90 {summary['p90']:.0f}"
+    )
+    print()
+    print(result.to_experiment_result(max_rows=6).to_table())
+    print()
+
+
+def probability_map() -> None:
+    mc_map = flip_probability_map(
+        MapAxis(path="attack.pulse.length_s", values=[20e-9, 40e-9, 60e-9], label="pulse length [s]"),
+        MapAxis(
+            path="attack.ambient_temperature_k",
+            values=[290.0, 310.0, 330.0],
+            label="ambient [K]",
+        ),
+        simulation=SIMULATION,
+        attack=dict(ATTACK, max_pulses=20_000),
+        montecarlo={"n_samples": 48, "seed": 7, "distributions": DISTRIBUTIONS},
+        name="mc-demo-map",
+    )
+    print("== flip-probability map (pulse budget 20k) ==")
+    print(mc_map.to_heatmap())
+    print(f"mean bit-error rate over the plane: {mc_map.bit_error_rate():.3f}")
+    print()
+
+
+def yield_study() -> None:
+    config = MonteCarloConfig(n_samples=128, seed=11, distributions=DISTRIBUTIONS)
+    scenario = YieldScenario(
+        config,
+        simulation=SimulationConfig.from_dict(SIMULATION),
+        attack=AttackConfig.from_dict(ATTACK),
+        cells_per_array=1024,
+        min_yield=0.99,
+    )
+    outcome = scenario.run(pulse_budget=2_000)
+    print("== yield scenario (budget 2k pulses, 1 Kb arrays) ==")
+    for step in outcome.steps:
+        print(f"  - {step.description}")
+    print(f"scenario success (yield requirement met): {outcome.success}")
+
+
+def main() -> None:
+    population_study()
+    probability_map()
+    yield_study()
+
+
+if __name__ == "__main__":
+    main()

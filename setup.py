@@ -13,7 +13,7 @@ README = Path(__file__).with_name("README.md")
 
 setup(
     name="neurohammer-repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of 'NeuroHammer: Inducing Bit-Flips in Memristive "
         "Crossbar Memories' (DATE 2022): electro-thermal crossbar simulation, "
@@ -25,7 +25,7 @@ setup(
     license="MIT",
     packages=find_packages(where="src"),
     package_dir={"": "src"},
-    python_requires=">=3.9",
+    python_requires=">=3.10",
     install_requires=["numpy>=1.20"],
     extras_require={
         "test": ["pytest>=7", "pytest-benchmark>=4", "hypothesis>=6"],

@@ -32,9 +32,26 @@ re-runs and interrupted campaigns are incremental::
 
 The same engine backs the command line: ``python -m repro run-fig 3a`` and
 ``python -m repro campaign run spec.json --workers 4``.
+
+Statistical (device-to-device / cycle-to-cycle) questions go through the
+Monte-Carlo variability engine, which evaluates whole sampled cell
+populations through a NumPy-vectorized device model::
+
+    from repro import MonteCarloConfig, MonteCarloEngine
+    config = MonteCarloConfig(
+        n_samples=2000,
+        distributions=[{"path": "device.activation_energy_ev",
+                        "kind": "normal", "mean": 1.0, "sigma": 0.02,
+                        "relative": True}],
+    )
+    result = MonteCarloEngine(config).run()
+    print(result.flip_probability)
+
+On the command line: ``python -m repro mc run spec.json`` and
+``python -m repro mc map spec.json --workers 4``.
 """
 
-from .attack import AttackResult, NeuroHammer, hammer_once
+from .attack import AttackResult, NeuroHammer, WorstCaseCornerScenario, YieldScenario, hammer_once
 from .campaign import CampaignReport, CampaignRunner, CampaignSpec, ResultCache, SweepAxis
 from .circuit import CrossbarArray, MemoryController
 from .config import (
@@ -46,10 +63,17 @@ from .config import (
     WireParameters,
 )
 from .devices import DeviceState, JartVcmModel, JartVcmParameters
-from .errors import CampaignError, ReproError
+from .errors import CampaignError, MonteCarloError, ReproError
+from .montecarlo import (
+    MonteCarloConfig,
+    MonteCarloEngine,
+    MonteCarloResult,
+    ParameterDistribution,
+    flip_probability_map,
+)
 from .thermal import AnalyticCouplingModel, HeatSolver, build_voxel_model, extract_alpha_values
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -73,9 +97,17 @@ __all__ = [
     "extract_alpha_values",
     "ReproError",
     "CampaignError",
+    "MonteCarloError",
     "CampaignSpec",
     "SweepAxis",
     "CampaignRunner",
     "CampaignReport",
     "ResultCache",
+    "MonteCarloConfig",
+    "MonteCarloEngine",
+    "MonteCarloResult",
+    "ParameterDistribution",
+    "flip_probability_map",
+    "YieldScenario",
+    "WorstCaseCornerScenario",
 ]

@@ -19,6 +19,7 @@ from .patterns import (
     single_aggressor,
     standard_patterns,
 )
+from .reliability import WorstCaseCornerScenario, YieldScenario
 from .rowhammer import (
     AttackComparison,
     DramCellParameters,
@@ -61,4 +62,6 @@ __all__ = [
     "DenialOfServiceScenario",
     "ScenarioResult",
     "ScenarioStep",
+    "YieldScenario",
+    "WorstCaseCornerScenario",
 ]

@@ -62,6 +62,8 @@ class PhaseOperatingPoint:
     aggressor_temperature_k: float
     #: Aggressor cell current of the hottest aggressor [A].
     aggressor_current_a: float
+    #: Cell voltage of that same max-current aggressor [V].
+    aggressor_voltage_v: float = 0.0
 
 
 @dataclass
@@ -152,8 +154,8 @@ class NeuroHammer:
         hottest = max(
             (snapshot.cell_temperature(cell) for cell in phase.aggressors),
         )
-        aggressor_current = max(
-            (abs(snapshot.operating_point.cell_current(cell)) for cell in phase.aggressors),
+        strongest = max(
+            phase.aggressors, key=lambda cell: abs(snapshot.operating_point.cell_current(cell))
         )
         # The solve leaves elevated temperatures in the states; clear them so
         # subsequent phases start from a clean slate.
@@ -163,7 +165,8 @@ class NeuroHammer:
             victim_voltage_v=victim_voltage,
             victim_crosstalk_k=crosstalk,
             aggressor_temperature_k=hottest,
-            aggressor_current_a=aggressor_current,
+            aggressor_current_a=abs(snapshot.operating_point.cell_current(strongest)),
+            aggressor_voltage_v=snapshot.operating_point.cell_voltage(strongest),
         )
 
     # ------------------------------------------------------------------
@@ -333,6 +336,17 @@ class NeuroHammer:
 
     def _pattern_from_config(self, config: AttackConfig) -> AttackPattern:
         geometry = self.crossbar.geometry
+        if config.pattern is not None:
+            from .patterns import standard_patterns
+
+            victim = tuple(config.victim) if config.victim is not None else None
+            patterns = standard_patterns(geometry, victim)
+            if config.pattern not in patterns:
+                raise AttackError(
+                    f"pattern {config.pattern!r} does not fit the {geometry.rows}x{geometry.columns} "
+                    f"crossbar (available: {sorted(patterns)})"
+                )
+            return patterns[config.pattern]
         if config.victim is None and len(config.aggressors) == 1:
             aggressor = tuple(config.aggressors[0])
             victim_column = aggressor[1] + 1 if aggressor[1] + 1 < geometry.columns else aggressor[1] - 1

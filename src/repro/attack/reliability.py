@@ -1,0 +1,161 @@
+"""Yield and reliability scenarios built on the Monte-Carlo engine.
+
+The Sec. VI scenarios (:mod:`repro.attack.scenarios`) ask whether one
+deterministic exploit chain succeeds; these scenarios ask the manufacturing /
+fleet-level question: across device-to-device variation, how exposed is a
+whole memory array?
+
+* :class:`YieldScenario` — the defender's view.  Given a hammer-pulse budget
+  an attacker can realistically spend, what fraction of cells flips, what is
+  the induced bit-error rate, and what fraction of whole arrays survives
+  untouched?  The scenario *succeeds* when the array yield stays above the
+  required threshold.
+* :class:`WorstCaseCornerScenario` — the attacker's view.  Across the sampled
+  population, how cheap does the attack get at the weakest process corner,
+  and does that corner fit inside the pulse budget?  The scenario *succeeds*
+  (for the attacker) when at least the target fraction of cells is flippable
+  within budget.
+
+Both reuse :class:`~repro.attack.scenarios.ScenarioResult` for narration, so
+they print and test exactly like the exploit scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import AttackConfig, SimulationConfig
+from ..errors import AttackError
+from .scenarios import ScenarioResult
+
+
+class YieldScenario:
+    """Array-level yield under a NeuroHammer pulse budget (defender view)."""
+
+    def __init__(
+        self,
+        montecarlo=None,
+        simulation: Optional[SimulationConfig] = None,
+        attack: Optional[AttackConfig] = None,
+        cells_per_array: int = 1024,
+        min_yield: float = 0.99,
+    ):
+        # Imported here: repro.montecarlo imports the attack package.
+        from ..montecarlo.engine import MonteCarloConfig, MonteCarloEngine
+
+        if cells_per_array < 1:
+            raise AttackError("cells_per_array must be at least 1")
+        if not 0.0 < min_yield <= 1.0:
+            raise AttackError("min_yield must be in (0, 1]")
+        self.montecarlo = montecarlo if montecarlo is not None else MonteCarloConfig()
+        self.engine = MonteCarloEngine(self.montecarlo, simulation=simulation, attack=attack)
+        self.cells_per_array = cells_per_array
+        self.min_yield = min_yield
+
+    def run(self, pulse_budget: Optional[int] = None) -> ScenarioResult:
+        """Evaluate the population and report cell BER and array yield."""
+        attack = self.engine.attack
+        budget = pulse_budget if pulse_budget is not None else attack.max_pulses
+        if budget < 1:
+            raise AttackError("pulse_budget must be at least 1")
+        result = ScenarioResult(name="yield", success=False)
+        result.log(
+            f"population: {self.montecarlo.n_samples} sampled victim cells, "
+            f"{len(self.montecarlo.distributions)} varied parameters, seed {self.montecarlo.seed}"
+        )
+        outcome = self.engine.run()
+        result.log(
+            f"evaluated through the {outcome.engine} engine in {outcome.duration_s:.2f}s "
+            f"({outcome.valid_count}/{outcome.n_samples} cells valid)"
+        )
+
+        within_budget = outcome.flipped & outcome.valid & (outcome.pulses <= budget)
+        exposed = int(within_budget.sum())
+        valid = outcome.valid_count
+        cell_ber = exposed / valid if valid else 0.0
+        # A whole array survives when none of its cells flips; cells are
+        # independent draws from the same population.
+        array_yield = float((1.0 - cell_ber) ** self.cells_per_array)
+        result.log(
+            f"under a budget of {budget} pulses, {exposed}/{valid} cells flip "
+            f"(bit-error rate {cell_ber:.4f})",
+            pulses=int(outcome.pulses[within_budget].sum()) if exposed else 0,
+        )
+        result.log(
+            f"array yield at {self.cells_per_array} cells/array: {array_yield:.4f} "
+            f"(required {self.min_yield:.4f})"
+        )
+        result.attack_time_s = float(outcome.wall_clock_s[outcome.valid].max()) if valid else 0.0
+        result.stats = {
+            "pulse_budget": budget,
+            "cells_exposed": exposed,
+            "cells_valid": valid,
+            "cell_bit_error_rate": cell_ber,
+            "cells_per_array": self.cells_per_array,
+            "array_yield": array_yield,
+            "min_yield": self.min_yield,
+        }
+        result.success = array_yield >= self.min_yield
+        result.log(
+            "yield requirement " + ("met — array survives the budget" if result.success else "VIOLATED")
+        )
+        return result
+
+
+class WorstCaseCornerScenario:
+    """Cheapest-corner attack cost across process variation (attacker view)."""
+
+    def __init__(
+        self,
+        montecarlo=None,
+        simulation: Optional[SimulationConfig] = None,
+        attack: Optional[AttackConfig] = None,
+        target_fraction: float = 0.5,
+    ):
+        from ..montecarlo.engine import MonteCarloConfig, MonteCarloEngine
+
+        if not 0.0 < target_fraction <= 1.0:
+            raise AttackError("target_fraction must be in (0, 1]")
+        self.montecarlo = montecarlo if montecarlo is not None else MonteCarloConfig()
+        self.engine = MonteCarloEngine(self.montecarlo, simulation=simulation, attack=attack)
+        self.target_fraction = target_fraction
+
+    def run(self, pulse_budget: Optional[int] = None) -> ScenarioResult:
+        """Find the weakest corner and the budget covering the target fraction."""
+        attack = self.engine.attack
+        budget = pulse_budget if pulse_budget is not None else attack.max_pulses
+        result = ScenarioResult(name="worst_case_corner", success=False)
+        outcome = self.engine.run()
+        result.log(
+            f"evaluated {outcome.n_samples} sampled cells through the {outcome.engine} engine"
+        )
+        flipped = outcome.pulses_to_flip()
+        if flipped.size == 0:
+            result.log("no sampled cell flips within the configured pulse budget — attack defeated")
+            result.stats = {"pulse_budget": budget, "flippable_fraction": 0.0}
+            return result
+
+        cheapest = int(flipped.min())
+        quantile = float(np.quantile(flipped, self.target_fraction))
+        covered = outcome.flipped & outcome.valid & (outcome.pulses <= budget)
+        fraction = float(covered.sum() / outcome.valid_count) if outcome.valid_count else 0.0
+        result.log(
+            f"weakest corner flips after {cheapest} pulses; covering "
+            f"{self.target_fraction:.0%} of cells needs {quantile:.0f} pulses",
+            pulses=cheapest,
+        )
+        result.stats = {
+            "pulse_budget": budget,
+            "cheapest_pulses": cheapest,
+            "pulses_for_target_fraction": quantile,
+            "target_fraction": self.target_fraction,
+            "flippable_fraction": fraction,
+        }
+        result.success = fraction >= self.target_fraction
+        result.log(
+            f"{fraction:.1%} of cells are flippable within {budget} pulses — attack "
+            + ("viable at the target scale" if result.success else "below the target scale")
+        )
+        return result

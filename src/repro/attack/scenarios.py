@@ -54,6 +54,8 @@ class ScenarioResult:
     isolation_after: Optional[IsolationReport] = None
     #: Scenario-specific payload (e.g. the exfiltrated secret).
     payload: Optional[bytes] = None
+    #: Scenario-specific numbers (e.g. yield/BER statistics).
+    stats: Dict[str, object] = field(default_factory=dict)
 
     def log(self, description: str, pulses: int = 0) -> None:
         """Append a narrated step."""

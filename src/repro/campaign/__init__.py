@@ -41,6 +41,8 @@ from .runner import (
     CampaignRunner,
     JobRecord,
     attack_result_to_dict,
+    execute_attack_point,
+    execute_montecarlo_point,
     execute_point,
     run_campaign_job,
 )
@@ -56,6 +58,8 @@ __all__ = [
     "JobRecord",
     "run_campaign_job",
     "execute_point",
+    "execute_attack_point",
+    "execute_montecarlo_point",
     "attack_result_to_dict",
     "ResultCache",
     "to_experiment_result",

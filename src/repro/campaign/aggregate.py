@@ -30,6 +30,18 @@ GENERIC_RESULT_COLUMNS = (
     "stress_time_s",
 )
 
+#: Result fields of Monte-Carlo population records, in display order.
+MONTECARLO_RESULT_COLUMNS = (
+    "n_samples",
+    "flipped",
+    "failed",
+    "flip_probability",
+    "min_pulses_to_flip",
+    "p50",
+    "geomean_pulses_to_flip",
+    "mean_victim_temperature_k",
+)
+
 
 def ensure_complete(report: CampaignReport) -> None:
     """Raise :class:`CampaignError` if any point errored or timed out."""
@@ -59,7 +71,8 @@ def generic_row(record: JobRecord) -> Dict[str, Any]:
         leaf = path.rsplit(".", 1)[-1]
         row[leaf if len(leaf_owners[leaf]) == 1 else path] = value
     result = record.result or {}
-    for column in GENERIC_RESULT_COLUMNS:
+    columns = MONTECARLO_RESULT_COLUMNS if "flip_probability" in result else GENERIC_RESULT_COLUMNS
+    for column in columns:
         if column in result:
             row[column] = result[column]
     return row
@@ -69,11 +82,18 @@ def experiment_row_builder(experiment: str) -> Optional[RowBuilder]:
     """Figure-specific row builder for a spec's ``experiment`` tag, if any."""
     # Imported lazily: the experiments package imports this module at import
     # time, so a top-level import here would be circular.
-    from ..experiments import fig3a_pulse_length, fig3c_ambient_temperature
+    from ..experiments import (
+        fig3a_pulse_length,
+        fig3b_electrode_spacing,
+        fig3c_ambient_temperature,
+        fig3d_attack_patterns,
+    )
 
     registry: Dict[str, RowBuilder] = {
         "fig3a": fig3a_pulse_length.row_from_record,
+        "fig3b": fig3b_electrode_spacing.row_from_record,
         "fig3c": fig3c_ambient_temperature.row_from_record,
+        "fig3d": fig3d_attack_patterns.row_from_record,
     }
     return registry.get(experiment)
 
@@ -127,23 +147,44 @@ def summarise(report: CampaignReport) -> Dict[str, Any]:
     of executed points whose victim actually flipped.
     """
     counts = report.counts()
-    flipped = [
-        record.result["pulses"]
-        for record in report.ok_records
-        if record.result and record.result.get("flipped")
-    ]
     summary: Dict[str, Any] = {
         "spec_name": report.spec_name,
         "experiment": report.experiment,
         **counts,
         "duration_s": report.duration_s,
-        "success_rate": (len(flipped) / counts["ok"]) if counts["ok"] else 0.0,
-        "min_pulses_to_flip": min(flipped) if flipped else None,
-        "max_pulses_to_flip": max(flipped) if flipped else None,
-        "geomean_pulses_to_flip": (
+    }
+    montecarlo = [
+        record.result
+        for record in report.ok_records
+        if record.result and "flip_probability" in record.result
+    ]
+    if montecarlo:
+        # Population points report distributions, not single outcomes: the
+        # success rate is the mean flip probability over the sweep, and the
+        # pulse extremes come from the per-point population extremes.
+        minima = [r["min_pulses_to_flip"] for r in montecarlo if r.get("min_pulses_to_flip") is not None]
+        maxima = [r["max_pulses_to_flip"] for r in montecarlo if r.get("max_pulses_to_flip") is not None]
+        summary.update(
+            success_rate=sum(r["flip_probability"] for r in montecarlo) / len(montecarlo),
+            min_pulses_to_flip=min(minima) if minima else None,
+            max_pulses_to_flip=max(maxima) if maxima else None,
+            geomean_pulses_to_flip=None,
+            samples_evaluated=sum(int(r.get("n_samples", 0)) for r in montecarlo),
+        )
+        return summary
+    flipped = [
+        record.result["pulses"]
+        for record in report.ok_records
+        if record.result and record.result.get("flipped")
+    ]
+    summary.update(
+        success_rate=(len(flipped) / counts["ok"]) if counts["ok"] else 0.0,
+        min_pulses_to_flip=min(flipped) if flipped else None,
+        max_pulses_to_flip=max(flipped) if flipped else None,
+        geomean_pulses_to_flip=(
             math.exp(sum(math.log(p) for p in flipped) / len(flipped)) if flipped else None
         ),
-    }
+    )
     return summary
 
 

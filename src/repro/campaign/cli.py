@@ -6,13 +6,19 @@ Subcommands::
     repro campaign run SPEC.json [--workers N] [--cache DIR] [--no-cache]
                                  [--timeout S] [--chunksize N] [--save DIR] [--json]
     repro campaign status SPEC.json [--cache DIR]
+    repro mc run SPEC.json [--samples N] [--seed N] [--scalar] [--rows N]
+                           [--save DIR] [--json]
+    repro mc map SPEC.json [--workers N] [--cache DIR] [--save DIR] [--json]
     repro version
 
-``run-fig`` regenerates one paper figure and prints its table (figures 3a and
-3c execute through the campaign engine and accept ``--workers``/``--cache``);
+``run-fig`` regenerates one paper figure and prints its table (figures 3a-3d
+execute through the campaign engine and accept ``--workers``/``--cache``);
 ``campaign run`` executes an arbitrary sweep spec through the worker pool
 with the result cache, and ``campaign status`` reports how much of a spec is
-already answered by the cache without computing anything.
+already answered by the cache without computing anything.  ``mc run``
+evaluates one Monte-Carlo cell population from a ``kind="montecarlo"`` spec;
+``mc map`` sweeps a 2-D parameter plane of populations (the spec's two grid
+axes) into a flip-probability map.
 """
 
 from __future__ import annotations
@@ -32,8 +38,8 @@ from .spec import CampaignSpec
 #: Default on-disk cache used by ``campaign run`` unless --no-cache is given.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
-#: Figures 3a/3c run through the campaign engine and accept workers/cache.
-CAMPAIGN_FIGURES = ("3a", "3c")
+#: Figures 3a-3d run through the campaign engine and accept workers/cache.
+CAMPAIGN_FIGURES = ("3a", "3b", "3c", "3d")
 
 
 def _figure_registry() -> Dict[str, Callable[..., Any]]:
@@ -86,6 +92,30 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("spec", help="path to a CampaignSpec JSON file")
     status.add_argument("--cache", metavar="DIR", default=None, help=f"cache directory (default {DEFAULT_CACHE_DIR})")
     status.set_defaults(handler=_cmd_campaign_status)
+
+    mc = subparsers.add_parser("mc", help="Monte-Carlo variability studies")
+    mc_sub = mc.add_subparsers(dest="mc_command", required=True)
+
+    mc_run = mc_sub.add_parser("run", help="evaluate one sampled cell population")
+    mc_run.add_argument("spec", help="path to a kind='montecarlo' CampaignSpec JSON file")
+    mc_run.add_argument("--samples", type=int, default=None, help="override the population size")
+    mc_run.add_argument("--seed", type=int, default=None, help="override the population seed")
+    mc_run.add_argument(
+        "--scalar", action="store_true",
+        help="use the scalar reference engine instead of the vectorized one",
+    )
+    mc_run.add_argument("--rows", type=int, default=16, metavar="N", help="per-cell table rows to print")
+    mc_run.add_argument("--save", metavar="DIR", help="write the population CSV/JSON exports into DIR")
+    mc_run.add_argument("--json", action="store_true", help="print the summary as JSON instead of a table")
+    mc_run.set_defaults(handler=_cmd_mc_run)
+
+    mc_map = mc_sub.add_parser("map", help="flip-probability map over a 2-D parameter plane")
+    mc_map.add_argument("spec", help="path to a kind='montecarlo' grid spec with exactly two axes")
+    mc_map.add_argument("--workers", type=int, default=0, help="worker processes (0 = serial)")
+    mc_map.add_argument("--cache", metavar="DIR", default=None, help="result cache directory")
+    mc_map.add_argument("--save", metavar="DIR", help="write the map CSV/JSON exports into DIR")
+    mc_map.add_argument("--json", action="store_true", help="print the per-point records as JSON")
+    mc_map.set_defaults(handler=_cmd_mc_map)
 
     version = subparsers.add_parser("version", help="print the library version")
     version.set_defaults(handler=_cmd_version)
@@ -198,6 +228,93 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         print(f"  missing: {label}")
     if status["missing"] > 10:
         print(f"  ... and {status['missing'] - 10} more")
+    return 0
+
+
+def _load_montecarlo_spec(path: str) -> CampaignSpec:
+    spec = _load_spec(path)
+    if spec.kind != "montecarlo":
+        raise ReproError(
+            f"spec {path!r} has kind={spec.kind!r}; `repro mc` needs a kind='montecarlo' spec"
+        )
+    return spec
+
+
+def _cmd_mc_run(args: argparse.Namespace) -> int:
+    from ..config import AttackConfig, SimulationConfig
+    from ..montecarlo import MonteCarloConfig, MonteCarloEngine
+
+    spec = _load_montecarlo_spec(args.spec)
+    montecarlo = MonteCarloConfig.from_dict(spec.montecarlo)
+    if args.samples is not None:
+        montecarlo.n_samples = args.samples
+    if args.seed is not None:
+        montecarlo.seed = args.seed
+    engine = MonteCarloEngine(
+        montecarlo,
+        simulation=SimulationConfig.from_dict(spec.simulation),
+        attack=AttackConfig.from_dict(spec.attack),
+    )
+    result = engine.run(vectorized=not args.scalar)
+    summary = result.summary()
+
+    if args.json:
+        print(json.dumps({"summary": summary, "conditions": result.conditions.to_dict()}, indent=2))
+    else:
+        table = result.to_experiment_result(max_rows=args.rows)
+        print(table.to_table())
+        if result.n_samples > args.rows:
+            print(f"... ({result.n_samples - args.rows} more cells)")
+        print()
+        print(
+            f"population {spec.name!r}: {summary['flipped']}/{summary['valid']} cells flipped "
+            f"(flip probability {summary['flip_probability']:.3f}, "
+            f"{summary['failed']} failed) via the {summary['engine']} engine "
+            f"in {summary['duration_s']:.2f}s"
+        )
+        if summary["min_pulses_to_flip"] is not None:
+            print(
+                f"pulses to flip: min {summary['min_pulses_to_flip']}, "
+                f"p50 {summary['p50']:.0f}, p90 {summary['p90']:.0f}, "
+                f"geomean {summary['geomean_pulses_to_flip']:.0f}"
+            )
+    if args.save:
+        path = result.to_experiment_result(max_rows=None).save(args.save)
+        print(f"saved montecarlo exports next to {path}")
+    return 0
+
+
+def _cmd_mc_map(args: argparse.Namespace) -> int:
+    from ..montecarlo import MapAxis, flip_probability_map
+
+    spec = _load_montecarlo_spec(args.spec)
+    if spec.mode != "grid" or len(spec.axes) != 2:
+        raise ReproError("`repro mc map` needs a grid spec with exactly two enumerated axes")
+    x_axis, y_axis = spec.axes
+    mc_map = flip_probability_map(
+        MapAxis(path=x_axis.path, values=list(x_axis.values)),
+        MapAxis(path=y_axis.path, values=list(y_axis.values)),
+        simulation=spec.simulation,
+        attack=spec.attack,
+        montecarlo=spec.montecarlo,
+        name=spec.name,
+        workers=args.workers,
+        cache=ResultCache(args.cache) if args.cache else None,
+    )
+    if args.json:
+        print(mc_map.result.to_json())
+    else:
+        print(mc_map.to_heatmap())
+        print()
+        print(mc_map.result.to_table())
+        print()
+        print(
+            f"map {spec.name!r}: {mc_map.n_samples} cells/point, "
+            f"mean bit-error rate {mc_map.bit_error_rate():.3f}"
+        )
+    if args.save:
+        path = mc_map.result.save(args.save)
+        print(f"saved map exports next to {path}")
     return 0
 
 

@@ -36,8 +36,10 @@ def attack_result_to_dict(result: AttackResult) -> Dict[str, Any]:
         "pattern": result.pattern_name,
         "victim": list(result.victim),
         "aggressors": [list(cell) for cell in result.aggressors],
+        "phases": len(result.phase_points),
         "flipped": bool(result.flipped),
         "pulses": int(result.pulses),
+        "pulses_per_aggressor": float(result.pulses_per_aggressor),
         "stress_time_s": float(result.stress_time_s),
         "wall_clock_s": float(result.wall_clock_s),
         "victim_final_x": float(result.victim_final_x),
@@ -48,11 +50,10 @@ def attack_result_to_dict(result: AttackResult) -> Dict[str, Any]:
     }
 
 
-def execute_point(job: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one materialised campaign point and return its result record.
+def execute_attack_point(job: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one attack point: the campaign equivalent of ``hammer_once``.
 
-    This is the campaign equivalent of :func:`repro.attack.hammer_once`: the
-    crossbar is built from the point's simulation config at the attack's
+    The crossbar is built from the point's simulation config at the attack's
     ambient temperature, and the fast quasi-static engine runs the attack.
     """
     simulation = SimulationConfig.from_dict(job["simulation"])
@@ -64,6 +65,30 @@ def execute_point(job: Dict[str, Any]) -> Dict[str, Any]:
     )
     outcome = NeuroHammer(crossbar).run(config=attack)
     return attack_result_to_dict(outcome)
+
+
+def execute_montecarlo_point(job: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one Monte-Carlo population point and return its summary record."""
+    # Imported lazily: repro.montecarlo builds on the campaign package.
+    from ..montecarlo.engine import MonteCarloConfig, MonteCarloEngine
+
+    simulation = SimulationConfig.from_dict(job["simulation"])
+    attack = AttackConfig.from_dict(job["attack"])
+    montecarlo = MonteCarloConfig.from_dict(job.get("montecarlo", {}))
+    result = MonteCarloEngine(montecarlo, simulation=simulation, attack=attack).run()
+    record = result.summary()
+    record.pop("duration_s", None)  # job duration is tracked by the runner
+    record["conditions"] = result.conditions.to_dict()
+    record["pulse_length_s"] = float(attack.pulse.length_s)
+    record["ambient_temperature_k"] = float(attack.ambient_temperature_k)
+    return record
+
+
+def execute_point(job: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one materialised campaign point according to its job kind."""
+    if job.get("kind", "attack") == "montecarlo":
+        return execute_montecarlo_point(job)
+    return execute_attack_point(job)
 
 
 @dataclass

@@ -2,11 +2,15 @@
 
 A campaign is a set of simulation points derived from one base configuration
 (a :class:`~repro.config.SimulationConfig` plus an
-:class:`~repro.config.AttackConfig`) and a list of sweep axes.  Each axis
-addresses one configuration field through a dotted path rooted at
-``simulation`` or ``attack`` (e.g. ``attack.pulse.length_s`` or
-``simulation.geometry.electrode_spacing_m``) and either enumerates explicit
-values or describes a range to sample from.
+:class:`~repro.config.AttackConfig`, and — for ``kind="montecarlo"``
+campaigns — a :class:`~repro.montecarlo.engine.MonteCarloConfig`) and a list
+of sweep axes.  Each axis addresses one configuration field through a dotted
+path rooted at ``simulation``, ``attack`` or ``montecarlo`` (e.g.
+``attack.pulse.length_s`` or ``simulation.geometry.electrode_spacing_m``)
+and either enumerates explicit values or describes a range to sample from.
+The ``kind`` selects what every point computes: one deterministic attack run
+(``"attack"``, the default) or one sampled-population evaluation through the
+Monte-Carlo engine (``"montecarlo"``).
 
 Three sweep modes are supported:
 
@@ -17,8 +21,10 @@ Three sweep modes are supported:
 ``zip``
     Axes are iterated in lockstep; all axes must have the same length.
 ``random``
-    ``samples`` points are drawn with a seeded :class:`random.Random`, so a
-    spec with the same seed always materialises the same campaign.
+    ``samples`` points are drawn from a seeded child stream of the shared RNG
+    tree (:mod:`repro.utils.rng`), so a spec with the same seed always
+    materialises the same campaign — and the same root-seed convention
+    governs the Monte-Carlo population sampler.
 
 :meth:`CampaignSpec.materialise` turns the spec into a list of
 :class:`CampaignPoint` objects.  Every point carries the fully validated,
@@ -33,27 +39,35 @@ import hashlib
 import itertools
 import json
 import math
-import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+import numpy as np
+
 from ..config import AttackConfig, JsonConfig, SimulationConfig
 from ..errors import CampaignError, ReproError
+from ..utils.rng import child_rng
 
 #: Bump when the job layout changes so stale cache entries are never reused.
-SPEC_FORMAT_VERSION = 1
+SPEC_FORMAT_VERSION = 2
 
 #: Sweep modes understood by :class:`CampaignSpec`.
 SWEEP_MODES = ("grid", "zip", "random")
 
+#: Job kinds the runner can execute per point.
+JOB_KINDS = ("attack", "montecarlo")
+
 #: Root sections a sweep path may address.
-PATH_ROOTS = ("simulation", "attack")
+PATH_ROOTS = ("simulation", "attack", "montecarlo")
 
 #: Path prefixes the attack job actually consumes.  Sweeping anything else
 #: (e.g. ``simulation.thermal.*``, which the quasi-static engine does not
 #: read) would materialise a full-looking campaign whose points all compute
 #: the same thing, so such axes are rejected up front.
 CONSUMED_PATH_PREFIXES = ("attack.", "simulation.geometry.", "simulation.wires.")
+
+#: Additional prefixes consumed by Monte-Carlo jobs.
+MONTECARLO_PATH_PREFIXES = CONSUMED_PATH_PREFIXES + ("montecarlo.",)
 
 
 def code_version() -> str:
@@ -88,11 +102,6 @@ class SweepAxis(JsonConfig):
             raise CampaignError(
                 f"axis path {self.path!r} must be a dotted path rooted at one of {PATH_ROOTS}"
             )
-        if not self.path.startswith(CONSUMED_PATH_PREFIXES):
-            raise CampaignError(
-                f"axis path {self.path!r} is not consumed by the attack job; "
-                f"sweepable paths start with one of {CONSUMED_PATH_PREFIXES}"
-            )
         has_range = self.low is not None or self.high is not None
         if self.values is not None:
             if has_range:
@@ -113,14 +122,18 @@ class SweepAxis(JsonConfig):
         """True when the axis lists explicit values (required outside random mode)."""
         return self.values is not None
 
-    def sample(self, rng: random.Random) -> Any:
-        """Draw one value for random-mode sweeps."""
+    def sample(self, rng: np.random.Generator) -> Any:
+        """Draw one value for random-mode sweeps.
+
+        Values are returned as plain Python objects (never NumPy scalars) so
+        the materialised jobs stay JSON-canonical and hash stably.
+        """
         if self.values is not None:
-            return rng.choice(self.values)
+            return self.values[int(rng.integers(len(self.values)))]
         assert self.low is not None and self.high is not None
         if self.log:
-            return math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
-        return rng.uniform(self.low, self.high)
+            return math.exp(float(rng.uniform(math.log(self.low), math.log(self.high))))
+        return float(rng.uniform(self.low, self.high))
 
 
 @dataclass(frozen=True)
@@ -186,14 +199,20 @@ class CampaignSpec(JsonConfig):
     """
 
     name: str = "campaign"
-    #: Aggregation preset; ``fig3a``/``fig3c`` reproduce the paper figures,
+    #: Aggregation preset; ``fig3a``..``fig3d`` reproduce the paper figures,
     #: anything else aggregates generically.
     experiment: str = "attack"
+    #: What each point computes: a single ``"attack"`` run or a
+    #: ``"montecarlo"`` population evaluation.
+    kind: str = "attack"
     mode: str = "grid"
     #: Base overrides for :class:`~repro.config.SimulationConfig`.
     simulation: Dict[str, Any] = field(default_factory=dict)
     #: Base overrides for :class:`~repro.config.AttackConfig`.
     attack: Dict[str, Any] = field(default_factory=dict)
+    #: Base overrides for :class:`~repro.montecarlo.engine.MonteCarloConfig`
+    #: (``montecarlo`` kind only).
+    montecarlo: Dict[str, Any] = field(default_factory=dict)
     axes: List[SweepAxis] = field(default_factory=list)
     #: Number of points drawn in ``random`` mode.
     samples: int = 0
@@ -203,13 +222,23 @@ class CampaignSpec(JsonConfig):
     def __post_init__(self) -> None:
         if not self.name:
             raise CampaignError("campaign name must be non-empty")
+        if self.kind not in JOB_KINDS:
+            raise CampaignError(f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}")
         if self.mode not in SWEEP_MODES:
             raise CampaignError(f"unknown sweep mode {self.mode!r}; expected one of {SWEEP_MODES}")
+        if self.montecarlo and self.kind != "montecarlo":
+            raise CampaignError("the montecarlo section is only meaningful with kind='montecarlo'")
         self.axes = [
             axis if isinstance(axis, SweepAxis) else SweepAxis.from_dict(axis) for axis in self.axes
         ]
+        consumed = MONTECARLO_PATH_PREFIXES if self.kind == "montecarlo" else CONSUMED_PATH_PREFIXES
         seen = set()
         for axis in self.axes:
+            if not axis.path.startswith(consumed):
+                raise CampaignError(
+                    f"axis path {axis.path!r} is not consumed by a {self.kind} job; "
+                    f"sweepable paths start with one of {consumed}"
+                )
             if axis.path in seen:
                 raise CampaignError(f"duplicate sweep axis {axis.path!r}")
             seen.add(axis.path)
@@ -249,7 +278,10 @@ class CampaignSpec(JsonConfig):
     def _override_sets(self) -> List[Dict[str, Any]]:
         """The list of per-point ``{path: value}`` override mappings."""
         if self.mode == "random":
-            rng = random.Random(self.seed)
+            # One spawn-key child stream of the shared RNG tree (see
+            # repro.utils.rng), so campaign draws and Monte-Carlo populations
+            # are reproducible from the same root-seed convention.
+            rng = child_rng(self.seed, "campaign", "random-sweep")
             return [
                 {axis.path: axis.sample(rng) for axis in self.axes} for _ in range(self.samples)
             ]
@@ -262,14 +294,30 @@ class CampaignSpec(JsonConfig):
             combos = itertools.product(*[axis.values for axis in self.axes])  # type: ignore[arg-type]
         return [dict(zip(paths, combo)) for combo in combos]
 
+    def _validated_job(self, tree: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate one configuration tree and return its canonical dict form."""
+        simulation = SimulationConfig.from_dict(tree["simulation"])
+        attack = AttackConfig.from_dict(tree["attack"])
+        job: Dict[str, Any] = {
+            "kind": self.kind,
+            "simulation": simulation.to_dict(),
+            "attack": attack.to_dict(),
+        }
+        if self.kind == "montecarlo":
+            # Imported lazily: repro.montecarlo builds on the campaign package.
+            from ..montecarlo.engine import MonteCarloConfig
+
+            job["montecarlo"] = MonteCarloConfig.from_dict(tree.get("montecarlo", {})).to_dict()
+        return job
+
     def base_job(self) -> Dict[str, Any]:
         """The validated base configuration tree before any axis override."""
         try:
-            simulation = SimulationConfig.from_dict(self.simulation)
-            attack = AttackConfig.from_dict(self.attack)
+            return self._validated_job(
+                {"simulation": self.simulation, "attack": self.attack, "montecarlo": self.montecarlo}
+            )
         except ReproError as exc:
             raise CampaignError(f"campaign {self.name!r}: invalid base configuration: {exc}") from exc
-        return {"simulation": simulation.to_dict(), "attack": attack.to_dict()}
 
     def materialise(self) -> List[CampaignPoint]:
         """Expand the spec into validated, content-addressed campaign points."""
@@ -281,20 +329,14 @@ class CampaignSpec(JsonConfig):
             for path, value in overrides.items():
                 _set_by_path(tree, path, value)
             try:
-                simulation = SimulationConfig.from_dict(tree["simulation"])
-                attack = AttackConfig.from_dict(tree["attack"])
+                validated = self._validated_job(tree)
             except ReproError as exc:
                 raise CampaignError(
                     f"campaign {self.name!r}: point {index} ({overrides!r}) is invalid: {exc}"
                 ) from exc
             # Canonicalise through a JSON round-trip so tuples/lists and float
             # formatting cannot make equal configs hash differently.
-            job = json.loads(
-                json.dumps(
-                    {"simulation": simulation.to_dict(), "attack": attack.to_dict()},
-                    sort_keys=True,
-                )
-            )
+            job = json.loads(json.dumps(validated, sort_keys=True))
             points.append(
                 CampaignPoint(index=index, overrides=dict(overrides), job=job, key=point_key(job, version))
             )

@@ -212,6 +212,11 @@ class PulseConfig(JsonConfig):
         return self.period_s - self.length_s
 
 
+#: Names accepted by :attr:`AttackConfig.pattern` (the standard pattern set
+#: of :mod:`repro.attack.patterns`).
+STANDARD_PATTERN_NAMES = ("single", "double_row", "double_column", "quad", "row_sweep")
+
+
 @dataclass
 class AttackConfig(JsonConfig):
     """Configuration of a NeuroHammer attack campaign."""
@@ -221,6 +226,11 @@ class AttackConfig(JsonConfig):
     #: Optional explicit victim cell; by default every half-selected cell is a
     #: potential victim and the first one to flip ends the campaign.
     victim: Optional[Tuple[int, int]] = None
+    #: Optional named standard pattern ("single", "double_row", "double_column",
+    #: "quad", "row_sweep").  When set, the pattern's aggressor/victim/phase
+    #: layout is derived from the crossbar geometry (around ``victim`` if
+    #: given) and the ``aggressors`` field is ignored.
+    pattern: Optional[str] = None
     pulse: PulseConfig = field(default_factory=PulseConfig)
     #: Write scheme used to bias the array ("v_half" or "v_third").
     bias_scheme: str = "v_half"
@@ -237,10 +247,14 @@ class AttackConfig(JsonConfig):
         self.aggressors = [tuple(cell) for cell in self.aggressors]  # type: ignore[assignment]
         if self.victim is not None:
             self.victim = tuple(self.victim)  # type: ignore[assignment]
-            if self.victim in self.aggressors:
+            if self.pattern is None and self.victim in self.aggressors:
                 raise ConfigurationError("victim cell cannot also be an aggressor")
         if isinstance(self.pulse, dict):
             self.pulse = PulseConfig.from_dict(self.pulse)
+        if self.pattern is not None and self.pattern not in STANDARD_PATTERN_NAMES:
+            raise ConfigurationError(
+                f"unknown attack pattern {self.pattern!r}; expected one of {STANDARD_PATTERN_NAMES}"
+            )
         if self.bias_scheme not in ("v_half", "v_third"):
             raise ConfigurationError(f"unknown bias scheme {self.bias_scheme!r}")
         if self.ambient_temperature_k <= 0:

@@ -41,3 +41,7 @@ class ExperimentError(ReproError):
 
 class CampaignError(ReproError):
     """A campaign spec, cache or runner was used inconsistently."""
+
+
+class MonteCarloError(ReproError):
+    """A Monte-Carlo population spec or engine was used inconsistently."""

@@ -21,9 +21,11 @@ from .fig2a_thermal_map import PAPER_REFERENCE as FIG2A_PAPER_REFERENCE
 from .fig2a_thermal_map import ThermalMapResult, fig2a_experiment, run_fig2a
 from .fig3a_pulse_length import campaign_spec as fig3a_campaign_spec
 from .fig3a_pulse_length import run_fig3a
+from .fig3b_electrode_spacing import campaign_spec as fig3b_campaign_spec
 from .fig3b_electrode_spacing import run_fig3b
 from .fig3c_ambient_temperature import campaign_spec as fig3c_campaign_spec
 from .fig3c_ambient_temperature import run_fig3c
+from .fig3d_attack_patterns import campaign_spec as fig3d_campaign_spec
 from .fig3d_attack_patterns import run_fig3d
 from .scenarios_table import run_scenarios
 
@@ -39,9 +41,11 @@ __all__ = [
     "run_fig3a",
     "fig3a_campaign_spec",
     "run_fig3b",
+    "fig3b_campaign_spec",
     "run_fig3c",
     "fig3c_campaign_spec",
     "run_fig3d",
+    "fig3d_campaign_spec",
     "run_scenarios",
     "run_alpha_source_ablation",
     "run_device_model_ablation",

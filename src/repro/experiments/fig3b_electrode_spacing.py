@@ -4,13 +4,25 @@ Paper setup: 300 K ambient, pulse lengths 50/75/100 ns, electrode spacing of
 10 nm, 50 nm and 90 nm.  Denser crossbars couple more strongly, so the attack
 needs fewer pulses: the paper reports roughly 10^3 pulses (or below) at 10 nm
 rising towards 10^5 at 90 nm.
+
+The sweep is expressed as a :class:`~repro.campaign.spec.CampaignSpec`
+(:func:`campaign_spec`) and executed through the campaign engine, so the same
+figure can be regenerated serially, over a worker pool, or incrementally from
+a result cache — :func:`run_fig3b` with default arguments is the serial path
+and reproduces the historical row-for-row output (spacing as the outer loop,
+pulse length as the inner loop).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
-from ..attack.neurohammer import hammer_once
+from ..attack.patterns import single_aggressor
+from ..campaign.aggregate import to_experiment_result
+from ..campaign.cache import ResultCache
+from ..campaign.runner import CampaignRunner, JobRecord
+from ..campaign.spec import CampaignSpec
+from ..config import CrossbarGeometry
 from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K
 from ..units import nm, ns
 from .base import ExperimentResult
@@ -28,37 +40,78 @@ PAPER_REFERENCE = {
 }
 
 
+def campaign_spec(
+    spacings_m: Optional[Sequence[float]] = None,
+    pulse_lengths_s: Optional[Sequence[float]] = None,
+    ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K,
+    max_pulses: int = 50_000_000,
+) -> CampaignSpec:
+    """The Fig. 3b sweep as a declarative campaign spec."""
+    spacings = tuple(spacings_m) if spacings_m is not None else DEFAULT_SPACINGS_M
+    pulse_lengths = tuple(pulse_lengths_s) if pulse_lengths_s is not None else DEFAULT_PULSE_LENGTHS_S
+    # The aggressor/victim layout does not depend on the swept spacing, only
+    # on the (fixed) row/column count.
+    pattern = single_aggressor(CrossbarGeometry())
+    return CampaignSpec(
+        name="fig3b",
+        experiment="fig3b",
+        mode="grid",
+        attack={
+            "aggressors": [list(pattern.aggressors[0])],
+            "victim": list(pattern.victim),
+            "ambient_temperature_k": ambient_temperature_k,
+            "max_pulses": max_pulses,
+        },
+        axes=[
+            {
+                "path": "simulation.geometry.electrode_spacing_m",
+                "values": [float(value) for value in spacings],
+            },
+            {"path": "attack.pulse.length_s", "values": [float(value) for value in pulse_lengths]},
+        ],
+    )
+
+
+def row_from_record(record: JobRecord) -> Dict[str, Any]:
+    """Shape one campaign job record into a Fig. 3b table row."""
+    result = record.result or {}
+    spacing_m = record.overrides["simulation.geometry.electrode_spacing_m"]
+    return {
+        "electrode_spacing_nm": round(spacing_m * 1e9, 3),
+        "pulse_length_ns": round(result["pulse_length_s"] * 1e9, 3),
+        "pulses_to_flip": result["pulses"],
+        "victim_temperature_k": result["victim_temperature_k"],
+        "flipped": result["flipped"],
+    }
+
+
 def run_fig3b(
     spacings_m: Optional[Sequence[float]] = None,
     pulse_lengths_s: Optional[Sequence[float]] = None,
     ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K,
     max_pulses: int = 50_000_000,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
 ) -> ExperimentResult:
-    """Run the electrode-spacing sweep and return the figure data."""
-    spacings = tuple(spacings_m) if spacings_m is not None else DEFAULT_SPACINGS_M
-    pulse_lengths = tuple(pulse_lengths_s) if pulse_lengths_s is not None else DEFAULT_PULSE_LENGTHS_S
-    result = ExperimentResult(
-        name="fig3b",
+    """Run the electrode-spacing sweep and return the figure data.
+
+    ``workers``/``cache`` are forwarded to the campaign runner; the defaults
+    execute serially with no cache, matching the historical behaviour.
+    """
+    spec = campaign_spec(
+        spacings_m=spacings_m,
+        pulse_lengths_s=pulse_lengths_s,
+        ambient_temperature_k=ambient_temperature_k,
+        max_pulses=max_pulses,
+    )
+    report = CampaignRunner(spec, cache=cache, workers=workers).run()
+    return to_experiment_result(
+        spec,
+        report,
+        row_builder=row_from_record,
         description="Pulses to trigger a bit-flip vs electrode spacing",
-        columns=["electrode_spacing_nm", "pulse_length_ns", "pulses_to_flip", "victim_temperature_k", "flipped"],
         metadata={
             "ambient_temperature_k": ambient_temperature_k,
             "paper_reference_50ns": {f"{k * 1e9:.0f}nm": v for k, v in PAPER_REFERENCE.items()},
         },
     )
-    for spacing in spacings:
-        for pulse_length in pulse_lengths:
-            attack = hammer_once(
-                pulse_length_s=pulse_length,
-                electrode_spacing_m=spacing,
-                ambient_temperature_k=ambient_temperature_k,
-                max_pulses=max_pulses,
-            )
-            result.add_row(
-                electrode_spacing_nm=round(spacing * 1e9, 3),
-                pulse_length_ns=round(pulse_length * 1e9, 3),
-                pulses_to_flip=attack.pulses,
-                victim_temperature_k=attack.victim_temperature_k,
-                flipped=attack.flipped,
-            )
-    return result

@@ -10,19 +10,71 @@ pattern, the total pulses and the wall-clock time until the victim flips.
 Expected shape: patterns with more simultaneously hot aggressors deliver more
 crosstalk per pulse and therefore need fewer pulses; interleaved patterns
 (quad) trade per-pulse efficiency for a larger heated neighbourhood.
+
+The comparison is expressed as a :class:`~repro.campaign.spec.CampaignSpec`
+sweeping ``attack.pattern`` over the named standard patterns and executed
+through the campaign engine, so it can run serially, over a worker pool, or
+incrementally from a result cache — :func:`run_fig3d` with default arguments
+is the serial path and reproduces the historical row-for-row output.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
-from ..attack.neurohammer import NeuroHammer
 from ..attack.patterns import standard_patterns
-from ..config import AttackConfig, CrossbarGeometry, PulseConfig
+from ..campaign.aggregate import to_experiment_result
+from ..campaign.cache import ResultCache
+from ..campaign.runner import CampaignRunner, JobRecord
+from ..campaign.spec import CampaignSpec
+from ..config import CrossbarGeometry
 from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K
-from ..circuit.crossbar import CrossbarArray
 from ..units import ns
 from .base import ExperimentResult
+
+
+def campaign_spec(
+    pulse_length_s: float = ns(50),
+    electrode_spacing_m: float = 50e-9,
+    ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K,
+    pattern_names: Optional[Sequence[str]] = None,
+    max_pulses: int = 10_000_000,
+) -> CampaignSpec:
+    """The Fig. 3d pattern comparison as a declarative campaign spec."""
+    geometry = CrossbarGeometry(electrode_spacing_m=electrode_spacing_m)
+    patterns = standard_patterns(geometry)
+    if pattern_names is None:
+        names = list(patterns)
+    else:
+        # Preserve the caller's requested ordering (historical behaviour).
+        names = [name for name in pattern_names if name in patterns]
+    return CampaignSpec(
+        name="fig3d",
+        experiment="fig3d",
+        mode="grid",
+        simulation={"geometry": {"electrode_spacing_m": electrode_spacing_m}},
+        attack={
+            "ambient_temperature_k": ambient_temperature_k,
+            "max_pulses": max_pulses,
+            "pulse": {"length_s": pulse_length_s},
+        },
+        axes=[{"path": "attack.pattern", "values": names}],
+    )
+
+
+def row_from_record(record: JobRecord) -> Dict[str, Any]:
+    """Shape one campaign job record into a Fig. 3d table row."""
+    result = record.result or {}
+    return {
+        "pattern": result["pattern"],
+        "aggressors": len(result["aggressors"]),
+        "phases": result["phases"],
+        "pulses_to_flip": result["pulses"],
+        "pulses_per_aggressor": result["pulses_per_aggressor"],
+        "wall_clock_us": result["wall_clock_s"] * 1e6,
+        "victim_temperature_k": result["victim_temperature_k"],
+        "flipped": result["flipped"],
+    }
 
 
 def run_fig3d(
@@ -31,51 +83,30 @@ def run_fig3d(
     ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K,
     pattern_names: Optional[Sequence[str]] = None,
     max_pulses: int = 10_000_000,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
 ) -> ExperimentResult:
-    """Evaluate the attack-pattern set and return the comparison data."""
-    geometry = CrossbarGeometry(electrode_spacing_m=electrode_spacing_m)
-    patterns = standard_patterns(geometry)
-    if pattern_names is not None:
-        patterns = {name: patterns[name] for name in pattern_names if name in patterns}
+    """Evaluate the attack-pattern set and return the comparison data.
 
-    result = ExperimentResult(
-        name="fig3d",
+    ``workers``/``cache`` are forwarded to the campaign runner; the defaults
+    execute serially with no cache, matching the historical behaviour.
+    """
+    spec = campaign_spec(
+        pulse_length_s=pulse_length_s,
+        electrode_spacing_m=electrode_spacing_m,
+        ambient_temperature_k=ambient_temperature_k,
+        pattern_names=pattern_names,
+        max_pulses=max_pulses,
+    )
+    report = CampaignRunner(spec, cache=cache, workers=workers).run()
+    return to_experiment_result(
+        spec,
+        report,
+        row_builder=row_from_record,
         description="Pulses to trigger a bit-flip for different attack patterns",
-        columns=[
-            "pattern",
-            "aggressors",
-            "phases",
-            "pulses_to_flip",
-            "pulses_per_aggressor",
-            "wall_clock_us",
-            "victim_temperature_k",
-            "flipped",
-        ],
         metadata={
             "pulse_length_ns": pulse_length_s * 1e9,
             "electrode_spacing_nm": electrode_spacing_m * 1e9,
             "ambient_temperature_k": ambient_temperature_k,
         },
     )
-    for name, pattern in patterns.items():
-        crossbar = CrossbarArray(geometry=geometry, ambient_temperature_k=ambient_temperature_k)
-        attack = NeuroHammer(crossbar)
-        config = AttackConfig(
-            aggressors=list(pattern.aggressors),
-            victim=pattern.victim,
-            pulse=PulseConfig(length_s=pulse_length_s),
-            ambient_temperature_k=ambient_temperature_k,
-            max_pulses=max_pulses,
-        )
-        outcome = attack.run(pattern=pattern, config=config)
-        result.add_row(
-            pattern=name,
-            aggressors=pattern.aggressor_count,
-            phases=pattern.phase_count,
-            pulses_to_flip=outcome.pulses,
-            pulses_per_aggressor=outcome.pulses_per_aggressor,
-            wall_clock_us=outcome.wall_clock_s * 1e6,
-            victim_temperature_k=outcome.victim_temperature_k,
-            flipped=outcome.flipped,
-        )
-    return result

@@ -1,0 +1,67 @@
+"""Monte-Carlo variability engine: vectorized cell populations and yield maps.
+
+The paper's figures follow one nominal device; this subsystem asks the
+statistical question that decides real-world severity — across
+device-to-device and cycle-to-cycle variation, what fraction of victim cells
+flips under a given pulse budget?
+
+* :mod:`~repro.montecarlo.sampling` — seeded parameter distributions over
+  dotted config paths (``device.activation_energy_ev``,
+  ``attack.pulse.length_s``, ...),
+* :mod:`~repro.montecarlo.vectorized` — NumPy-batched counterparts of the
+  scalar device model, electro-thermal solve and switching kinetics,
+* :mod:`~repro.montecarlo.engine` — :class:`MonteCarloEngine`, evaluating
+  whole sampled populations at once (with a scalar reference path),
+* :mod:`~repro.montecarlo.maps` — flip-probability / bit-error-rate maps over
+  2-D parameter planes, executed through the campaign runner.
+
+Typical use::
+
+    from repro.montecarlo import MonteCarloConfig, MonteCarloEngine
+
+    config = MonteCarloConfig(
+        n_samples=2000,
+        seed=7,
+        distributions=[
+            {"path": "device.activation_energy_ev", "kind": "normal",
+             "mean": 1.0, "sigma": 0.02, "relative": True},
+            {"path": "device.series_resistance_ohm", "kind": "normal",
+             "mean": 1.0, "sigma": 0.05, "relative": True},
+        ],
+    )
+    result = MonteCarloEngine(config).run()
+    print(result.flip_probability, result.summary())
+"""
+
+from .engine import MonteCarloConfig, MonteCarloEngine, MonteCarloResult, NominalConditions
+from .maps import FlipProbabilityMap, MapAxis, flip_probability_map
+from .sampling import ParameterDistribution, PopulationDraw, PopulationSampler
+from .vectorized import (
+    BatchOperatingPoint,
+    BatchPulseCountResult,
+    BatchSwitchingResult,
+    VectorizedJartVcm,
+    pulses_to_switch_batch,
+    solve_operating_point_batch,
+    time_to_switch_batch,
+)
+
+__all__ = [
+    "MonteCarloConfig",
+    "MonteCarloEngine",
+    "MonteCarloResult",
+    "NominalConditions",
+    "ParameterDistribution",
+    "PopulationDraw",
+    "PopulationSampler",
+    "VectorizedJartVcm",
+    "BatchOperatingPoint",
+    "BatchSwitchingResult",
+    "BatchPulseCountResult",
+    "solve_operating_point_batch",
+    "time_to_switch_batch",
+    "pulses_to_switch_batch",
+    "MapAxis",
+    "FlipProbabilityMap",
+    "flip_probability_map",
+]

@@ -1,0 +1,505 @@
+"""The Monte-Carlo population engine.
+
+:class:`MonteCarloEngine` answers the statistical question behind the paper's
+single-trajectory figures: across device-to-device and cycle-to-cycle
+variation, *what fraction* of victim cells flips under a given pulse budget,
+and how are the pulses-to-flip distributed?
+
+The engine anchors every population to the circuit-level physics: the victim
+bias and the aggressor→victim thermal coupling are extracted once from the
+nominal crossbar solve (the same nodal + crosstalk-hub path the
+:class:`~repro.attack.neurohammer.NeuroHammer` engine uses), then the sampled
+population is propagated through the vectorized device model —
+
+1. each sampled cell's aggressor operating point is re-solved (hotter or
+   cooler aggressors deliver more or less crosstalk),
+2. the victim crosstalk is scaled through the nominal coupling ratio,
+3. the batched switching-kinetics integrator counts pulses to flip.
+
+A scalar reference path (``vectorized=False``) runs the identical physics one
+cell at a time through :mod:`repro.devices`; it backs the agreement tests and
+the throughput benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..attack.neurohammer import NeuroHammer
+from ..attack.patterns import AttackPattern
+from ..circuit.crossbar import CrossbarArray
+from ..config import AttackConfig, JsonConfig, SimulationConfig
+from ..devices.jart_vcm import JartVcmModel
+from ..devices.kinetics import pulses_to_switch
+from ..devices.thermal import solve_operating_point
+from ..errors import ConvergenceError, DeviceModelError, MonteCarloError
+from .sampling import ParameterDistribution, PopulationDraw, PopulationSampler
+from .vectorized import VectorizedJartVcm, pulses_to_switch_batch, solve_operating_point_batch
+
+
+@dataclass
+class MonteCarloConfig(JsonConfig):
+    """Configuration of a Monte-Carlo population run."""
+
+    #: Number of sampled victim cells.
+    n_samples: int = 256
+    #: Root seed of the population (see :mod:`repro.utils.rng`).
+    seed: int = 0
+    #: Sampled parameter distributions.
+    distributions: List[ParameterDistribution] = field(default_factory=list)
+    #: Initial normalised state of every victim.
+    x_start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 1:
+            raise MonteCarloError("n_samples must be at least 1")
+        if not 0.0 <= self.x_start <= 1.0:
+            raise MonteCarloError("x_start must lie in [0, 1]")
+        self.distributions = [
+            dist if isinstance(dist, ParameterDistribution) else ParameterDistribution.from_dict(dist)
+            for dist in self.distributions
+        ]
+
+
+@dataclass
+class NominalConditions:
+    """Circuit-level anchor of a population: the nominal operating point."""
+
+    pattern_name: str
+    #: Voltage across the victim during the hammer phase [V].
+    victim_voltage_v: float
+    #: Crosstalk temperature the victim receives at the nominal point [K].
+    crosstalk_temperature_k: float
+    #: Cell voltage of the hottest aggressor [V].
+    aggressor_voltage_v: float
+    #: Self-heating rise of that aggressor above ambient [K].
+    aggressor_rise_k: float
+    #: Victim crosstalk per kelvin of aggressor self-heating rise.
+    coupling_ratio: float
+    ambient_temperature_k: float
+    amplitude_v: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "pattern_name": self.pattern_name,
+            "victim_voltage_v": self.victim_voltage_v,
+            "crosstalk_temperature_k": self.crosstalk_temperature_k,
+            "aggressor_voltage_v": self.aggressor_voltage_v,
+            "aggressor_rise_k": self.aggressor_rise_k,
+            "coupling_ratio": self.coupling_ratio,
+            "ambient_temperature_k": self.ambient_temperature_k,
+            "amplitude_v": self.amplitude_v,
+        }
+
+
+@dataclass
+class MonteCarloResult:
+    """Per-cell outcomes and summary statistics of one population run."""
+
+    n_samples: int
+    seed: int
+    engine: str  # "vectorized" | "scalar"
+    conditions: NominalConditions
+    flipped: np.ndarray
+    pulses: np.ndarray
+    stress_time_s: np.ndarray
+    wall_clock_s: np.ndarray
+    final_x: np.ndarray
+    victim_temperature_k: np.ndarray
+    #: False in lanes whose electro-thermal solve diverged (excluded).
+    valid: np.ndarray
+    duration_s: float = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def valid_count(self) -> int:
+        return int(self.valid.sum())
+
+    @property
+    def flipped_count(self) -> int:
+        return int((self.flipped & self.valid).sum())
+
+    @property
+    def flip_probability(self) -> float:
+        """Fraction of valid cells that flipped within the pulse budget."""
+        valid = self.valid_count
+        return self.flipped_count / valid if valid else 0.0
+
+    def pulses_to_flip(self) -> np.ndarray:
+        """Pulse counts of the cells that actually flipped."""
+        return self.pulses[self.flipped & self.valid]
+
+    def quantiles(self, fractions=(0.1, 0.5, 0.9)) -> Dict[str, Optional[float]]:
+        """Pulses-to-flip quantiles over the flipped sub-population."""
+        flipped = self.pulses_to_flip()
+        if flipped.size == 0:
+            return {f"p{int(fraction * 100)}": None for fraction in fractions}
+        return {
+            f"p{int(fraction * 100)}": float(np.quantile(flipped, fraction))
+            for fraction in fractions
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """The headline statistics of the population."""
+        flipped = self.pulses_to_flip()
+        valid = self.valid
+        summary: Dict[str, Any] = {
+            "engine": self.engine,
+            "n_samples": self.n_samples,
+            "seed": self.seed,
+            "valid": self.valid_count,
+            "failed": self.n_samples - self.valid_count,
+            "flipped": self.flipped_count,
+            "flip_probability": self.flip_probability,
+            "min_pulses_to_flip": int(flipped.min()) if flipped.size else None,
+            "max_pulses_to_flip": int(flipped.max()) if flipped.size else None,
+            "geomean_pulses_to_flip": (
+                float(np.exp(np.mean(np.log(flipped)))) if flipped.size else None
+            ),
+            "mean_victim_temperature_k": (
+                float(self.victim_temperature_k[valid].mean()) if valid.any() else None
+            ),
+            "duration_s": self.duration_s,
+        }
+        summary.update(self.quantiles())
+        return summary
+
+    def to_experiment_result(self, max_rows: Optional[int] = 64):
+        """Per-cell table (first ``max_rows`` cells) with the summary attached."""
+        from ..experiments.base import ExperimentResult
+
+        result = ExperimentResult(
+            name="montecarlo",
+            description=(
+                f"Monte-Carlo population of {self.n_samples} victim cells "
+                f"({self.engine} engine, seed {self.seed})"
+            ),
+            columns=["cell", "flipped", "pulses", "final_x", "victim_temperature_k", "valid"],
+            metadata={"summary": self.summary(), "conditions": self.conditions.to_dict()},
+        )
+        count = self.n_samples if max_rows is None else min(self.n_samples, max_rows)
+        for index in range(count):
+            result.add_row(
+                cell=index,
+                flipped=bool(self.flipped[index]),
+                pulses=int(self.pulses[index]),
+                final_x=float(self.final_x[index]),
+                victim_temperature_k=float(self.victim_temperature_k[index]),
+                valid=bool(self.valid[index]),
+            )
+        return result
+
+
+class MonteCarloEngine:
+    """Evaluates flip statistics over sampled victim-cell populations."""
+
+    def __init__(
+        self,
+        montecarlo: Optional[MonteCarloConfig] = None,
+        simulation: Optional[SimulationConfig] = None,
+        attack: Optional[AttackConfig] = None,
+        pattern: Optional[AttackPattern] = None,
+    ):
+        self.montecarlo = montecarlo if montecarlo is not None else MonteCarloConfig()
+        self.simulation = simulation if simulation is not None else SimulationConfig()
+        self.attack = attack if attack is not None else AttackConfig()
+        self._pattern = pattern
+        self._conditions: Optional[NominalConditions] = None
+        self.sampler = PopulationSampler(self.montecarlo.distributions, seed=self.montecarlo.seed)
+
+    # ------------------------------------------------------------------
+    # nominal circuit anchor
+    # ------------------------------------------------------------------
+
+    def nominal_conditions(self) -> NominalConditions:
+        """Solve (once) the nominal crossbar operating point of the attack."""
+        if self._conditions is not None:
+            return self._conditions
+        crossbar = CrossbarArray(
+            geometry=self.simulation.geometry,
+            wires=self.simulation.wires,
+            ambient_temperature_k=self.attack.ambient_temperature_k,
+        )
+        hammer = NeuroHammer(crossbar)
+        pattern = self._pattern if self._pattern is not None else hammer._pattern_from_config(self.attack)
+        pattern.validate(crossbar.geometry)
+        if len(pattern.phases) != 1:
+            raise MonteCarloError(
+                f"pattern {pattern.name!r} hammers in {len(pattern.phases)} interleaved phases; "
+                "the Monte-Carlo engine models single-phase (simultaneous) patterns"
+            )
+        hammer.prepare(pattern)
+        point = hammer.phase_operating_point(
+            pattern, pattern.phases[0], self.attack.pulse.amplitude_v, self.attack.bias_scheme
+        )
+        # The max-current aggressor's cell voltage anchors the vectorized
+        # aggressor re-solve; its nominal self-heating rise calibrates the
+        # effective coupling ratio (crosstalk per kelvin of aggressor rise).
+        aggressor_voltage = point.aggressor_voltage_v
+        nominal_aggressor = solve_operating_point(
+            crossbar.model,
+            aggressor_voltage,
+            1.0,
+            ambient_temperature_k=self.attack.ambient_temperature_k,
+        )
+        rise = nominal_aggressor.filament_temperature_k - self.attack.ambient_temperature_k
+        coupling_ratio = point.victim_crosstalk_k / rise if rise > 0 else 0.0
+        self._conditions = NominalConditions(
+            pattern_name=pattern.name,
+            victim_voltage_v=point.victim_voltage_v,
+            crosstalk_temperature_k=point.victim_crosstalk_k,
+            aggressor_voltage_v=aggressor_voltage,
+            aggressor_rise_k=rise,
+            coupling_ratio=coupling_ratio,
+            ambient_temperature_k=self.attack.ambient_temperature_k,
+            amplitude_v=self.attack.pulse.amplitude_v,
+        )
+        return self._conditions
+
+    # ------------------------------------------------------------------
+    # population evaluation
+    # ------------------------------------------------------------------
+
+    def _nominals(self, conditions: NominalConditions) -> Dict[str, float]:
+        """Nominal value per sampleable path (consumed by relative draws).
+
+        Derived from the sampler's own path registry, so a path added to
+        :mod:`repro.montecarlo.sampling` automatically gains its nominal here
+        (the attribute chain mirrors the dotted path; ``operating.*`` leaves
+        are attributes of :class:`NominalConditions`).
+        """
+        from dataclasses import fields as dc_fields
+
+        from .sampling import ATTACK_PATHS, OPERATING_PATHS
+
+        device = self._device_base()
+        nominals = {
+            f"device.{f.name}": float(getattr(device, f.name)) for f in dc_fields(type(device))
+        }
+        roots = {"attack": self.attack, "operating": conditions}
+        for path in ATTACK_PATHS + OPERATING_PATHS:
+            root, rest = path.split(".", 1)
+            value = roots[root]
+            for part in rest.split("."):
+                value = getattr(value, part)
+            nominals[path] = float(value)
+        return nominals
+
+    def _device_base(self):
+        """The nominal device parameter set of the population."""
+        return JartVcmModel().parameters
+
+    def sample(self, n_samples: Optional[int] = None) -> PopulationDraw:
+        """Draw the (seeded) population this engine will evaluate."""
+        n = n_samples if n_samples is not None else self.montecarlo.n_samples
+        conditions = self.nominal_conditions()
+        return self.sampler.sample(n, self._nominals(conditions))
+
+    def run(self, n_samples: Optional[int] = None, vectorized: bool = True) -> MonteCarloResult:
+        """Evaluate the population and return per-cell outcomes plus stats."""
+        start = time.perf_counter()
+        n = n_samples if n_samples is not None else self.montecarlo.n_samples
+        conditions = self.nominal_conditions()
+        draw = self.sample(n)
+        if vectorized:
+            result = self._run_vectorized(n, draw, conditions)
+        else:
+            result = self._run_scalar(n, draw, conditions)
+        result.duration_s = time.perf_counter() - start
+        return result
+
+    # -- vectorized path ---------------------------------------------------
+
+    def _run_vectorized(
+        self, n: int, draw: PopulationDraw, conditions: NominalConditions
+    ) -> MonteCarloResult:
+        base = self._device_base()
+        device_overrides = {
+            path.split(".", 1)[1]: values
+            for path, values in draw.values.items()
+            if path.startswith("device.")
+        }
+        model = VectorizedJartVcm(n, base=base, overrides=device_overrides)
+
+        amplitude = draw.get("attack.pulse.amplitude_v", self.attack.pulse.amplitude_v)
+        scale = amplitude / conditions.amplitude_v
+        ambient = draw.get("attack.ambient_temperature_k", self.attack.ambient_temperature_k)
+        aggressor_voltage = conditions.aggressor_voltage_v * scale
+        if "operating.victim_voltage_v" in draw.values:
+            victim_voltage = draw.values["operating.victim_voltage_v"]
+        else:
+            victim_voltage = conditions.victim_voltage_v * scale
+        pulse_length = draw.get("attack.pulse.length_s", self.attack.pulse.length_s)
+        x_target = draw.get("attack.flip_threshold", self.attack.flip_threshold)
+        duty = draw.get("attack.pulse.duty_cycle", self.attack.pulse.duty_cycle)
+
+        # Lanes whose draws fall outside the device model's validity guards
+        # (the conditions the scalar path raises DeviceModelError on) are
+        # excluded up front, so one pathological sample cannot abort the
+        # whole population.
+        usable = (
+            (np.abs(aggressor_voltage) <= 10.0)
+            & (np.abs(victim_voltage) <= 10.0)
+            & (pulse_length > 0.0)
+            & (x_target >= 0.0)
+            & (x_target <= 1.0)
+            & (duty > 0.0)
+            & (duty <= 1.0)
+        )
+
+        flipped = np.zeros(n, dtype=bool)
+        pulses = np.full(n, self.attack.max_pulses, dtype=np.int64)
+        stress = np.zeros(n)
+        wall = np.zeros(n)
+        final_x = np.full(n, self.montecarlo.x_start)
+        temperature = np.asarray(ambient, dtype=np.float64).copy()
+        valid = np.zeros(n, dtype=bool)
+
+        lanes = np.flatnonzero(usable)
+        if lanes.size:
+            sub = model.take(lanes)
+            # Aggressor→victim coupling, re-solved per sampled cell: a sampled
+            # device that runs hotter under the aggressor bias delivers
+            # proportionally more crosstalk to its victim.
+            aggressor = solve_operating_point_batch(
+                sub,
+                aggressor_voltage[lanes],
+                np.ones(lanes.size),
+                ambient_temperature_k=ambient[lanes],
+                raise_on_failure=False,
+            )
+            rise = aggressor.filament_temperature_k - ambient[lanes]
+            if "operating.crosstalk_temperature_k" in draw.values:
+                crosstalk = draw.values["operating.crosstalk_temperature_k"][lanes]
+            else:
+                crosstalk = conditions.coupling_ratio * rise
+            outcome = pulses_to_switch_batch(
+                sub,
+                victim_voltage[lanes],
+                pulse_length[lanes],
+                np.full(lanes.size, self.montecarlo.x_start),
+                x_target[lanes],
+                duty_cycle=duty[lanes],
+                ambient_temperature_k=ambient[lanes],
+                crosstalk_temperature_k=crosstalk,
+                max_pulses=self.attack.max_pulses,
+                raise_on_failure=False,
+            )
+            lane_valid = outcome.converged & aggressor.converged
+            flipped[lanes] = outcome.flipped & lane_valid
+            pulses[lanes] = outcome.pulses
+            stress[lanes] = outcome.stress_time_s
+            wall[lanes] = outcome.wall_clock_s
+            final_x[lanes] = outcome.final_x
+            temperature[lanes] = outcome.final_temperature_k
+            valid[lanes] = lane_valid
+
+        return MonteCarloResult(
+            n_samples=n,
+            seed=self.montecarlo.seed,
+            engine="vectorized",
+            conditions=conditions,
+            flipped=flipped,
+            pulses=pulses,
+            stress_time_s=stress,
+            wall_clock_s=wall,
+            final_x=final_x,
+            victim_temperature_k=temperature,
+            valid=valid,
+        )
+
+    # -- scalar reference path --------------------------------------------
+
+    def _run_scalar(
+        self, n: int, draw: PopulationDraw, conditions: NominalConditions
+    ) -> MonteCarloResult:
+        """The identical physics, one cell at a time through repro.devices.
+
+        This is the pre-vectorization baseline: it exists to validate the
+        batched path element-for-element and to quantify the speedup.
+        """
+        from dataclasses import fields as dc_fields
+
+        from ..devices.jart_vcm import JartVcmParameters
+
+        base = self._device_base()
+        flipped = np.zeros(n, dtype=bool)
+        pulses = np.full(n, self.attack.max_pulses, dtype=np.int64)
+        stress = np.zeros(n)
+        wall = np.zeros(n)
+        final_x = np.full(n, self.montecarlo.x_start)
+        temperature = np.zeros(n)
+        valid = np.ones(n, dtype=bool)
+
+        for index in range(n):
+            values = {
+                f.name: draw.scalar(f"device.{f.name}", index, getattr(base, f.name))
+                for f in dc_fields(JartVcmParameters)
+                if f.name != "charge_number"
+            }
+            model = JartVcmModel(JartVcmParameters(charge_number=base.charge_number, **values))
+            amplitude = draw.scalar("attack.pulse.amplitude_v", index, self.attack.pulse.amplitude_v)
+            scale = amplitude / conditions.amplitude_v
+            ambient = draw.scalar(
+                "attack.ambient_temperature_k", index, self.attack.ambient_temperature_k
+            )
+            temperature[index] = ambient
+            try:
+                aggressor = solve_operating_point(
+                    model,
+                    conditions.aggressor_voltage_v * scale,
+                    1.0,
+                    ambient_temperature_k=ambient,
+                )
+                if "operating.crosstalk_temperature_k" in draw.values:
+                    crosstalk = draw.scalar("operating.crosstalk_temperature_k", index, 0.0)
+                else:
+                    rise = aggressor.filament_temperature_k - ambient
+                    crosstalk = conditions.coupling_ratio * rise
+                if "operating.victim_voltage_v" in draw.values:
+                    victim_voltage = draw.scalar("operating.victim_voltage_v", index, 0.0)
+                else:
+                    victim_voltage = conditions.victim_voltage_v * scale
+                outcome = pulses_to_switch(
+                    model,
+                    victim_voltage,
+                    draw.scalar("attack.pulse.length_s", index, self.attack.pulse.length_s),
+                    self.montecarlo.x_start,
+                    draw.scalar("attack.flip_threshold", index, self.attack.flip_threshold),
+                    duty_cycle=draw.scalar(
+                        "attack.pulse.duty_cycle", index, self.attack.pulse.duty_cycle
+                    ),
+                    ambient_temperature_k=ambient,
+                    crosstalk_temperature_k=crosstalk,
+                    max_pulses=self.attack.max_pulses,
+                )
+            except (ConvergenceError, DeviceModelError):
+                # Thermal runaway or a draw outside the model's validity
+                # guards: the cell is excluded, never the whole population.
+                valid[index] = False
+                continue
+            flipped[index] = outcome.flipped
+            pulses[index] = outcome.pulses
+            stress[index] = outcome.stress_time_s
+            wall[index] = outcome.wall_clock_s
+            final_x[index] = outcome.final_x
+            temperature[index] = outcome.final_temperature_k
+
+        return MonteCarloResult(
+            n_samples=n,
+            seed=self.montecarlo.seed,
+            engine="scalar",
+            conditions=conditions,
+            flipped=flipped & valid,
+            pulses=pulses,
+            stress_time_s=stress,
+            wall_clock_s=wall,
+            final_x=final_x,
+            victim_temperature_k=temperature,
+            valid=valid,
+        )

@@ -1,0 +1,154 @@
+"""Flip-probability and bit-error-rate maps over 2-D parameter planes.
+
+A map evaluates one Monte-Carlo population per grid point of a 2-D plane
+(e.g. pulse length × ambient temperature) and reports the flip probability —
+the raw bit-error rate of the disturbance attack — at every point.  The grid
+is expressed as a ``kind="montecarlo"`` :class:`~repro.campaign.spec.CampaignSpec`
+and executed through the campaign runner, so maps inherit the worker pool,
+the content-addressed result cache and the
+:class:`~repro.experiments.base.ExperimentResult` export path for free.
+
+Every grid point reuses the same population seed (common random numbers), so
+the map surface varies only with the swept parameters, not with sampling
+noise between points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..config import JsonConfig
+from ..errors import MonteCarloError
+from ..utils.tables import matrix_heatmap
+from .engine import MonteCarloConfig
+
+
+@dataclass
+class MapAxis(JsonConfig):
+    """One axis of a 2-D map: a swept dotted path plus its grid values."""
+
+    path: str
+    values: List[float]
+    #: Display label; defaults to the path leaf.
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise MonteCarloError(f"map axis {self.path!r} needs at least one value")
+        self.values = [float(value) for value in self.values]
+        if self.label is None:
+            self.label = self.path.rsplit(".", 1)[-1]
+
+
+@dataclass
+class FlipProbabilityMap:
+    """The evaluated map: per-point probabilities plus the result table."""
+
+    x_axis: MapAxis
+    y_axis: MapAxis
+    #: Flip probability, shape (len(x_axis.values), len(y_axis.values)).
+    probabilities: np.ndarray
+    #: Geometric-mean pulses to flip per point (NaN where nothing flipped).
+    geomean_pulses: np.ndarray
+    #: The flat per-point table (one row per grid point).
+    result: Any  # ExperimentResult
+    n_samples: int = 0
+
+    def bit_error_rate(self) -> float:
+        """Mean flip probability over the whole plane."""
+        return float(self.probabilities.mean())
+
+    def to_heatmap(self, precision: int = 3) -> str:
+        """ASCII heatmap of the flip probabilities (x rows, y columns)."""
+        header = (
+            f"flip probability; rows: {self.x_axis.label} "
+            f"({self.x_axis.values[0]:g}..{self.x_axis.values[-1]:g}), "
+            f"columns: {self.y_axis.label} "
+            f"({self.y_axis.values[0]:g}..{self.y_axis.values[-1]:g})"
+        )
+        return header + "\n" + matrix_heatmap(self.probabilities, precision=precision)
+
+
+def montecarlo_map_spec(
+    x_axis: MapAxis,
+    y_axis: MapAxis,
+    name: str = "mc-map",
+    simulation: Optional[Dict[str, Any]] = None,
+    attack: Optional[Dict[str, Any]] = None,
+    montecarlo: Optional[Dict[str, Any]] = None,
+):
+    """The map as a declarative ``kind="montecarlo"`` campaign spec."""
+    from ..campaign.spec import CampaignSpec
+
+    if x_axis.path == y_axis.path:
+        raise MonteCarloError("map axes must sweep two different paths")
+    return CampaignSpec(
+        name=name,
+        experiment="montecarlo",
+        kind="montecarlo",
+        mode="grid",
+        simulation=dict(simulation or {}),
+        attack=dict(attack or {}),
+        montecarlo=dict(montecarlo or {}),
+        axes=[
+            {"path": x_axis.path, "values": list(x_axis.values)},
+            {"path": y_axis.path, "values": list(y_axis.values)},
+        ],
+    )
+
+
+def flip_probability_map(
+    x_axis: MapAxis,
+    y_axis: MapAxis,
+    simulation: Optional[Dict[str, Any]] = None,
+    attack: Optional[Dict[str, Any]] = None,
+    montecarlo: Optional[Dict[str, Any]] = None,
+    name: str = "mc-map",
+    workers: int = 0,
+    cache=None,
+) -> FlipProbabilityMap:
+    """Evaluate a flip-probability map over the given 2-D parameter plane.
+
+    ``workers``/``cache`` are forwarded to the campaign runner, so large maps
+    fan out over processes and re-runs are incremental.
+    """
+    from ..campaign.aggregate import to_experiment_result
+    from ..campaign.runner import CampaignRunner
+
+    x_axis = x_axis if isinstance(x_axis, MapAxis) else MapAxis.from_dict(x_axis)
+    y_axis = y_axis if isinstance(y_axis, MapAxis) else MapAxis.from_dict(y_axis)
+    spec = montecarlo_map_spec(
+        x_axis, y_axis, name=name, simulation=simulation, attack=attack, montecarlo=montecarlo
+    )
+    report = CampaignRunner(spec, cache=cache, workers=workers).run()
+    result = to_experiment_result(
+        spec,
+        report,
+        description=(
+            f"Flip-probability map over {x_axis.label} x {y_axis.label} "
+            f"({len(x_axis.values)}x{len(y_axis.values)} points)"
+        ),
+    )
+
+    shape = (len(x_axis.values), len(y_axis.values))
+    probabilities = np.zeros(shape)
+    geomean = np.full(shape, np.nan)
+    # Grid mode materialises the first axis slowest, so point index maps to
+    # (x, y) in row-major order.
+    for record in report.ok_records:
+        row, column = divmod(record.index, shape[1])
+        probabilities[row, column] = record.result["flip_probability"]
+        if record.result.get("geomean_pulses_to_flip") is not None:
+            geomean[row, column] = record.result["geomean_pulses_to_flip"]
+    n_samples = MonteCarloConfig.from_dict(dict(montecarlo or {})).n_samples
+    return FlipProbabilityMap(
+        x_axis=x_axis,
+        y_axis=y_axis,
+        probabilities=probabilities,
+        geomean_pulses=geomean,
+        result=result,
+        n_samples=n_samples,
+    )

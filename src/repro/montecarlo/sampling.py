@@ -1,0 +1,228 @@
+"""Seeded parameter distributions for Monte-Carlo cell populations.
+
+Device-to-device and cycle-to-cycle variation is described as a list of
+:class:`ParameterDistribution` objects.  Each distribution addresses one
+scalar through a dotted path — the same addressing scheme the campaign
+engine's sweep axes use — rooted at one of:
+
+``device``
+    A field of :class:`~repro.devices.jart_vcm.JartVcmParameters`
+    (e.g. ``device.activation_energy_ev``, ``device.series_resistance_ohm``).
+``attack``
+    A numeric field of :class:`~repro.config.AttackConfig`
+    (e.g. ``attack.pulse.length_s``, ``attack.ambient_temperature_k``).
+``operating``
+    A victim operating-point input normally derived from the circuit solve
+    (``operating.victim_voltage_v``, ``operating.crosstalk_temperature_k``),
+    for studies that perturb the electrical environment directly.
+
+Distributions draw either absolute values or, with ``relative=True``,
+multiplicative factors applied to the nominal value — the natural idiom for
+"±5 % sigma around nominal" process variation.  Every distribution owns an
+independent child stream of the population seed (see :mod:`repro.utils.rng`),
+so adding or removing one distribution never changes the draws of the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..config import JsonConfig
+from ..devices.jart_vcm import JartVcmParameters
+from ..errors import MonteCarloError
+from ..utils.rng import child_rng
+
+#: Distribution families understood by the sampler.
+DISTRIBUTION_KINDS = ("normal", "lognormal", "uniform")
+
+#: Path roots a distribution may address.
+PATH_ROOTS = ("device", "attack", "operating")
+
+#: Device-model fields that may vary per cell (every float field of the
+#: JART parameter set).
+DEVICE_FIELDS = tuple(
+    f.name for f in fields(JartVcmParameters) if f.name != "charge_number"
+)
+
+#: Attack-config paths the engine consumes per cell.
+ATTACK_PATHS = (
+    "attack.pulse.length_s",
+    "attack.pulse.amplitude_v",
+    "attack.pulse.duty_cycle",
+    "attack.ambient_temperature_k",
+    "attack.flip_threshold",
+)
+
+#: Operating-point inputs that may be perturbed directly.
+OPERATING_PATHS = (
+    "operating.victim_voltage_v",
+    "operating.crosstalk_temperature_k",
+)
+
+#: Number of truncation resampling rounds before giving up.
+_MAX_TRUNCATION_ROUNDS = 64
+
+
+def known_paths() -> List[str]:
+    """Every dotted path the sampler accepts, for error messages and docs."""
+    return [f"device.{name}" for name in DEVICE_FIELDS] + list(ATTACK_PATHS) + list(OPERATING_PATHS)
+
+
+@dataclass
+class ParameterDistribution(JsonConfig):
+    """One sampled parameter of the cell population.
+
+    ``normal`` draws from N(``mean``, ``sigma``); ``lognormal`` draws
+    ``exp(N(log(mean), sigma))`` so ``mean`` is the median of the samples;
+    ``uniform`` draws from [``low``, ``high``].  ``truncate_low`` /
+    ``truncate_high`` clip the support by resampling (not clamping, which
+    would pile probability mass onto the bounds).  With ``relative=True`` the
+    draws multiply the nominal value instead of replacing it.
+    """
+
+    path: str
+    kind: str = "normal"
+    mean: Optional[float] = None
+    sigma: Optional[float] = None
+    low: Optional[float] = None
+    high: Optional[float] = None
+    relative: bool = False
+    truncate_low: Optional[float] = None
+    truncate_high: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        root = self.path.split(".", 1)[0] if "." in self.path else ""
+        if root not in PATH_ROOTS:
+            raise MonteCarloError(
+                f"distribution path {self.path!r} must be a dotted path rooted at one of {PATH_ROOTS}"
+            )
+        if self.path not in known_paths():
+            raise MonteCarloError(
+                f"distribution path {self.path!r} is not a sampleable parameter; "
+                f"known paths: {', '.join(known_paths())}"
+            )
+        if self.kind not in DISTRIBUTION_KINDS:
+            raise MonteCarloError(
+                f"distribution {self.path!r}: unknown kind {self.kind!r}; expected one of {DISTRIBUTION_KINDS}"
+            )
+        if self.kind in ("normal", "lognormal"):
+            if self.mean is None or self.sigma is None:
+                raise MonteCarloError(f"distribution {self.path!r}: {self.kind} needs mean and sigma")
+            if self.sigma < 0:
+                raise MonteCarloError(f"distribution {self.path!r}: sigma must be non-negative")
+            if self.kind == "lognormal" and self.mean <= 0:
+                raise MonteCarloError(f"distribution {self.path!r}: lognormal needs a positive mean")
+            if self.low is not None or self.high is not None:
+                raise MonteCarloError(
+                    f"distribution {self.path!r}: low/high belong to uniform; use truncate_low/high"
+                )
+        else:
+            if self.low is None or self.high is None:
+                raise MonteCarloError(f"distribution {self.path!r}: uniform needs low and high")
+            if not self.high > self.low:
+                raise MonteCarloError(f"distribution {self.path!r}: high must exceed low")
+            if self.mean is not None or self.sigma is not None:
+                raise MonteCarloError(f"distribution {self.path!r}: mean/sigma belong to normal/lognormal")
+        if (
+            self.truncate_low is not None
+            and self.truncate_high is not None
+            and not self.truncate_high > self.truncate_low
+        ):
+            raise MonteCarloError(f"distribution {self.path!r}: truncate_high must exceed truncate_low")
+
+    # ------------------------------------------------------------------
+
+    def _draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.kind == "normal":
+            return rng.normal(self.mean, self.sigma, size=n)
+        if self.kind == "lognormal":
+            return np.exp(rng.normal(np.log(self.mean), self.sigma, size=n))
+        return rng.uniform(self.low, self.high, size=n)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` values, resampling any that violate the truncation."""
+        values = self._draw(rng, n)
+        if self.truncate_low is None and self.truncate_high is None:
+            return values
+        for _ in range(_MAX_TRUNCATION_ROUNDS):
+            bad = np.zeros(n, dtype=bool)
+            if self.truncate_low is not None:
+                bad |= values < self.truncate_low
+            if self.truncate_high is not None:
+                bad |= values > self.truncate_high
+            count = int(bad.sum())
+            if count == 0:
+                return values
+            values[bad] = self._draw(rng, count)
+        raise MonteCarloError(
+            f"distribution {self.path!r}: truncation bounds reject nearly all samples "
+            f"({count}/{n} still outside after {_MAX_TRUNCATION_ROUNDS} resampling rounds)"
+        )
+
+
+@dataclass
+class PopulationDraw:
+    """The sampled population: one value array per addressed path."""
+
+    n_samples: int
+    seed: int
+    #: path -> float64 array of shape (n_samples,).
+    values: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def get(self, path: str, nominal: float) -> np.ndarray:
+        """Values for ``path``, falling back to the broadcast nominal value."""
+        if path in self.values:
+            return self.values[path]
+        return np.full(self.n_samples, float(nominal))
+
+    def scalar(self, path: str, index: int, nominal: float) -> float:
+        """The value one cell sees — the scalar-path counterpart of :meth:`get`."""
+        if path in self.values:
+            return float(self.values[path][index])
+        return float(nominal)
+
+
+class PopulationSampler:
+    """Draws seeded cell populations from a list of distributions.
+
+    Each distribution samples from its own spawn-key child stream
+    (``child_rng(seed, "montecarlo", path)``), so the draw for a given
+    ``(seed, path)`` pair is independent of which other parameters are
+    sampled — populations stay comparable across studies.
+    """
+
+    def __init__(self, distributions: Sequence[ParameterDistribution], seed: int = 0):
+        self.distributions = [
+            dist if isinstance(dist, ParameterDistribution) else ParameterDistribution.from_dict(dist)
+            for dist in distributions
+        ]
+        seen = set()
+        for dist in self.distributions:
+            if dist.path in seen:
+                raise MonteCarloError(f"duplicate distribution for path {dist.path!r}")
+            seen.add(dist.path)
+        self.seed = int(seed)
+
+    def sample(self, n_samples: int, nominals: Mapping[str, float]) -> PopulationDraw:
+        """Draw a population of ``n_samples`` cells.
+
+        ``nominals`` provides the nominal value per path, consumed by
+        ``relative`` distributions (absolute ones ignore it).
+        """
+        if n_samples < 1:
+            raise MonteCarloError("n_samples must be at least 1")
+        draw = PopulationDraw(n_samples=n_samples, seed=self.seed)
+        for dist in self.distributions:
+            rng = child_rng(self.seed, "montecarlo", dist.path)
+            values = dist.sample(rng, n_samples)
+            if dist.relative:
+                if dist.path not in nominals:
+                    raise MonteCarloError(
+                        f"distribution {dist.path!r} is relative but no nominal value is available"
+                    )
+                values = values * float(nominals[dist.path])
+            draw.values[dist.path] = np.asarray(values, dtype=np.float64)
+        return draw

@@ -1,0 +1,147 @@
+"""Deep coverage of the Sec. VI scenario engines and ScenarioResult invariants.
+
+``test_rowhammer_and_scenarios.py`` checks the headline outcomes (the exploit
+succeeds, the secret leaks); this module pins down the *mechanics*: the order
+and accounting of narrated steps, the failure paths, and the invariants every
+:class:`~repro.attack.scenarios.ScenarioResult` must satisfy regardless of
+outcome.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attack import (
+    DenialOfServiceScenario,
+    PrivilegeEscalationScenario,
+    ScenarioResult,
+    ScenarioStep,
+)
+from repro.errors import AttackError
+from repro.memory import AddressMapping, DisturbanceProfile
+
+
+def assert_result_invariants(result: ScenarioResult) -> None:
+    """Invariants every scenario run must satisfy, success or failure."""
+    assert isinstance(result.name, str) and result.name
+    assert result.steps, "a scenario must narrate at least one step"
+    assert all(isinstance(step, ScenarioStep) for step in result.steps)
+    assert all(step.description for step in result.steps)
+    assert all(step.pulses >= 0 for step in result.steps)
+    # total_pulses is exactly the sum of the narrated per-step pulses.
+    assert result.total_pulses == sum(step.pulses for step in result.steps)
+    assert result.attack_time_s >= 0.0
+
+
+class TestScenarioResultLog:
+    def test_log_appends_and_accumulates(self):
+        result = ScenarioResult(name="demo", success=False)
+        result.log("first")
+        result.log("second", pulses=10)
+        result.log("third", pulses=5)
+        assert [step.description for step in result.steps] == ["first", "second", "third"]
+        assert result.total_pulses == 15
+        assert_result_invariants(result)
+
+    def test_stats_default_to_empty_dict_per_instance(self):
+        one, two = ScenarioResult(name="a", success=False), ScenarioResult(name="b", success=False)
+        one.stats["x"] = 1
+        assert two.stats == {}
+
+
+class TestPrivilegeEscalationSequencing:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        profile = DisturbanceProfile(same_line_pulses=5000, pulse_period_s=100e-9)
+        return PrivilegeEscalationScenario(disturbance=profile).run()
+
+    def test_invariants(self, outcome):
+        assert_result_invariants(outcome)
+
+    def test_step_ordering(self, outcome):
+        """The narrated chain follows the exploit: setup -> audit -> target ->
+        hammer -> flip -> audit -> exfiltrate."""
+        descriptions = [step.description for step in outcome.steps]
+        order = [
+            next(i for i, d in enumerate(descriptions) if d.startswith("setup:")),
+            next(i for i, d in enumerate(descriptions) if d.startswith("audit before attack")),
+            next(i for i, d in enumerate(descriptions) if "attacker targets PTE" in d),
+            next(i for i, d in enumerate(descriptions) if d.startswith("hammering")),
+            next(i for i, d in enumerate(descriptions) if "isolation VIOLATED" in d),
+            next(i for i, d in enumerate(descriptions) if "exfiltrates" in d),
+        ]
+        assert order == sorted(order)
+
+    def test_only_hammer_steps_cost_pulses(self, outcome):
+        for step in outcome.steps:
+            if step.pulses:
+                assert "hammering" in step.description
+
+    def test_attack_time_matches_pulse_accounting(self, outcome):
+        assert outcome.attack_time_s == pytest.approx(outcome.total_pulses * 100e-9, rel=1e-9)
+
+    def test_failure_path_when_no_flip_lands(self):
+        """If the disturbance never crosses the memory's flip threshold the
+        scenario must narrate the failure instead of claiming success."""
+        profile = DisturbanceProfile(same_line_pulses=5000, pulse_period_s=100e-9)
+        scenario = PrivilegeEscalationScenario(disturbance=profile)
+        # The scenario plans with the 5000-pulse profile, but the memory
+        # itself needs far more accumulated pulses, so no flip ever lands.
+        scenario.memory.disturbance = DisturbanceProfile(
+            same_line_pulses=10_000_000, pulse_period_s=100e-9
+        )
+        outcome = scenario.run()
+        assert not outcome.success
+        assert outcome.payload is None
+        assert any("no flip occurred" in step.description for step in outcome.steps)
+        assert_result_invariants(outcome)
+
+    def test_page_size_must_align_with_pte_size(self):
+        with pytest.raises(AttackError):
+            PrivilegeEscalationScenario(page_size=250)
+
+
+class TestDenialOfServiceSequencing:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        profile = DisturbanceProfile(same_line_pulses=2000, pulse_period_s=100e-9)
+        return DenialOfServiceScenario(disturbance=profile).run()
+
+    def test_invariants(self, outcome):
+        assert_result_invariants(outcome)
+
+    def test_step_ordering(self, outcome):
+        descriptions = [step.description for step in outcome.steps]
+        assert descriptions[0].startswith("victim data word written")
+        hammer_indices = [i for i, d in enumerate(descriptions) if d.startswith("hammering")]
+        assert hammer_indices, "DoS must narrate its hammer steps"
+        uncorrectable = next(i for i, d in enumerate(descriptions) if "uncorrectable" in d)
+        assert all(i < uncorrectable for i in hammer_indices)
+
+    def test_needs_at_least_two_flips(self, outcome):
+        landed = [step for step in outcome.steps if "flip landed in the victim word" in step.description]
+        assert len(landed) >= 2
+
+    def test_every_hammer_step_costs_the_profile_pulses(self, outcome):
+        for step in outcome.steps:
+            if step.description.startswith("hammering"):
+                assert step.pulses == 2000
+
+    def test_failure_path_single_flip_is_corrected(self):
+        profile = DisturbanceProfile(same_line_pulses=1500, pulse_period_s=100e-9)
+        scenario = DenialOfServiceScenario(disturbance=profile)
+        # Make the memory's threshold unreachable so no flip ever lands.
+        scenario.memory.disturbance = DisturbanceProfile(
+            same_line_pulses=10_000_000, pulse_period_s=100e-9
+        )
+        outcome = scenario.run()
+        assert not outcome.success
+        assert any("denial of service failed" in step.description for step in outcome.steps)
+        assert_result_invariants(outcome)
+
+    def test_custom_mapping_is_honoured(self):
+        mapping = AddressMapping(rows=32, columns=32, tiles_per_bank=2, banks=1)
+        profile = DisturbanceProfile(same_line_pulses=100, pulse_period_s=100e-9)
+        outcome = DenialOfServiceScenario(disturbance=profile, mapping=mapping).run(victim_address=0x40)
+        assert_result_invariants(outcome)
+        assert outcome.success

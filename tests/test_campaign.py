@@ -146,9 +146,19 @@ class TestCampaignSpec:
 
     def test_axis_over_unconsumed_section_is_rejected(self):
         # simulation.thermal.* is valid config but the attack job never reads
-        # it; sweeping it would silently produce N identical points.
+        # it; sweeping it would silently produce N identical points.  The
+        # check lives on the spec because consumed paths depend on the kind.
         with pytest.raises(CampaignError, match="not consumed"):
-            SweepAxis(path="simulation.thermal.ambient_temperature_k", values=[300.0])
+            small_spec(axes=[{"path": "simulation.thermal.ambient_temperature_k", "values": [300.0]}])
+
+    def test_montecarlo_paths_only_consumed_by_montecarlo_kind(self):
+        with pytest.raises(CampaignError, match="not consumed"):
+            small_spec(axes=[{"path": "montecarlo.n_samples", "values": [8, 16]}])
+        spec = small_spec(
+            kind="montecarlo",
+            axes=[{"path": "montecarlo.n_samples", "values": [8, 16]}],
+        )
+        assert [p.job["montecarlo"]["n_samples"] for p in spec.materialise()] == [8, 16]
 
     def test_point_keys_are_stable_and_distinct(self):
         points = small_spec().materialise()

@@ -32,6 +32,36 @@ def spec_path(tmp_path) -> Path:
     return path
 
 
+#: A small Monte-Carlo spec: two axes, tiny populations, fast 3x3 crossbar.
+MC_SPEC = dict(
+    name="cli-mc",
+    kind="montecarlo",
+    experiment="montecarlo",
+    mode="grid",
+    simulation={"geometry": {"rows": 3, "columns": 3}},
+    attack={"aggressors": [[1, 1]], "victim": [1, 2], "max_pulses": 500_000},
+    montecarlo={
+        "n_samples": 8,
+        "seed": 3,
+        "distributions": [
+            {"path": "device.series_resistance_ohm", "kind": "normal",
+             "mean": 1.0, "sigma": 0.05, "relative": True},
+        ],
+    },
+    axes=[
+        {"path": "attack.pulse.length_s", "values": [30e-9, 60e-9]},
+        {"path": "attack.ambient_temperature_k", "values": [300.0, 325.0]},
+    ],
+)
+
+
+@pytest.fixture
+def mc_spec_path(tmp_path) -> Path:
+    path = tmp_path / "mc_spec.json"
+    CampaignSpec(**MC_SPEC).to_json(path)
+    return path
+
+
 class TestParser:
     def test_every_subcommand_is_wired(self):
         parser = build_parser()
@@ -39,6 +69,8 @@ class TestParser:
             ["run-fig", "3a"],
             ["campaign", "run", "spec.json"],
             ["campaign", "status", "spec.json"],
+            ["mc", "run", "spec.json"],
+            ["mc", "map", "spec.json"],
             ["version"],
         ):
             args = parser.parse_args(argv)
@@ -129,8 +161,62 @@ class TestRunFig:
         capsys.readouterr()
 
     def test_version_command(self, capsys):
+        from repro import __version__
+
         assert main(["version"]) == 0
-        assert capsys.readouterr().out.strip() == "1.0.0"
+        assert capsys.readouterr().out.strip() == __version__
+
+
+class TestMonteCarloCommands:
+    def test_mc_run_prints_population_stats(self, mc_spec_path, capsys):
+        assert main(["mc", "run", str(mc_spec_path), "--rows", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "flip probability" in out
+        assert "vectorized engine" in out
+
+    def test_mc_run_overrides_and_json(self, mc_spec_path, capsys):
+        assert main(["mc", "run", str(mc_spec_path), "--samples", "4", "--seed", "9", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["n_samples"] == 4
+        assert payload["summary"]["seed"] == 9
+        assert "victim_voltage_v" in payload["conditions"]
+
+    def test_mc_run_scalar_engine_agrees(self, mc_spec_path, capsys):
+        assert main(["mc", "run", str(mc_spec_path), "--samples", "4", "--scalar", "--json"]) == 0
+        scalar = json.loads(capsys.readouterr().out)["summary"]
+        assert main(["mc", "run", str(mc_spec_path), "--samples", "4", "--json"]) == 0
+        vectorized = json.loads(capsys.readouterr().out)["summary"]
+        assert scalar["engine"] == "scalar" and vectorized["engine"] == "vectorized"
+        assert scalar["flipped"] == vectorized["flipped"]
+        assert scalar["min_pulses_to_flip"] == vectorized["min_pulses_to_flip"]
+
+    def test_mc_map_prints_heatmap_and_caches(self, mc_spec_path, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        save_dir = tmp_path / "out"
+        code = main([
+            "mc", "map", str(mc_spec_path),
+            "--cache", str(cache_dir), "--save", str(save_dir),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "flip probability" in out
+        assert len(ResultCache(cache_dir)) == 4
+        assert (save_dir / "montecarlo.json").exists()
+        # Second run is served from the cache.
+        assert main(["mc", "map", str(mc_spec_path), "--cache", str(cache_dir)]) == 0
+        capsys.readouterr()
+
+    def test_mc_commands_reject_attack_kind_specs(self, spec_path, capsys):
+        assert main(["mc", "run", str(spec_path)]) == 1
+        assert "kind='montecarlo'" in capsys.readouterr().err
+
+    def test_mc_map_needs_two_axes(self, tmp_path, capsys):
+        spec = dict(MC_SPEC)
+        spec["axes"] = [spec["axes"][0]]
+        path = tmp_path / "one_axis.json"
+        CampaignSpec(**spec).to_json(path)
+        assert main(["mc", "map", str(path)]) == 1
+        assert "two" in capsys.readouterr().err
 
 
 class TestModuleEntryPoint:
@@ -142,5 +228,7 @@ class TestModuleEntryPoint:
             cwd=tmp_path,
             env={"PYTHONPATH": str(Path(__file__).resolve().parents[1] / "src"), "PATH": "/usr/bin:/bin"},
         )
+        from repro import __version__
+
         assert proc.returncode == 0
-        assert proc.stdout.strip() == "1.0.0"
+        assert proc.stdout.strip() == __version__

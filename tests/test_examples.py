@@ -22,6 +22,7 @@ EXAMPLES = [
     "countermeasures.py",
     "spacing_study.py",
     "campaign_sweep.py",
+    "montecarlo_flip_probability.py",
 ]
 
 

@@ -1,0 +1,501 @@
+"""Monte-Carlo subsystem: sampling, vectorized physics, engine, maps, campaign.
+
+The heart of this suite is the scalar/vectorized agreement property: every
+batched function must reproduce the scalar reference element-for-element
+within 1e-9 relative tolerance on seeded populations (the acceptance
+criterion of the subsystem).  In practice the two paths track each other to
+float64 rounding noise (~1e-15) because the batched code mirrors the scalar
+control flow per lane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.attack import WorstCaseCornerScenario, YieldScenario
+from repro.campaign import CampaignRunner, CampaignSpec
+from repro.devices import JartVcmModel, pulses_to_switch, solve_operating_point, time_to_switch
+from repro.errors import CampaignError, DeviceModelError, MonteCarloError
+from repro.montecarlo import (
+    MapAxis,
+    MonteCarloConfig,
+    MonteCarloEngine,
+    ParameterDistribution,
+    PopulationSampler,
+    VectorizedJartVcm,
+    flip_probability_map,
+    pulses_to_switch_batch,
+    solve_operating_point_batch,
+    time_to_switch_batch,
+)
+from repro.utils.rng import child_rng, child_seed
+
+RTOL = 1e-9
+
+#: Relative process variation of the validation populations (a few percent,
+#: the realistic device-to-device scale).
+VARIED_DEVICE_FIELDS = (
+    "activation_energy_ev",
+    "series_resistance_ohm",
+    "set_rate_prefactor_per_s",
+    "rth_eff_k_per_w",
+    "barrier_height_ev",
+)
+
+
+def sampled_model(seed: int, n: int) -> VectorizedJartVcm:
+    """A seeded population with a few percent variation on key parameters."""
+    rng = np.random.default_rng(seed)
+    from repro.devices import JartVcmParameters
+
+    base = JartVcmParameters()
+    overrides = {
+        name: getattr(base, name) * rng.normal(1.0, 0.02, n) for name in VARIED_DEVICE_FIELDS
+    }
+    return VectorizedJartVcm(n, overrides=overrides)
+
+
+def relative_error(a, b):
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return np.abs(a - b) / np.maximum(np.abs(b), 1e-30)
+
+
+class TestRngHelpers:
+    def test_child_rng_is_reproducible_and_stream_independent(self):
+        assert child_rng(7, "a").uniform() == child_rng(7, "a").uniform()
+        assert child_rng(7, "a").uniform() != child_rng(7, "b").uniform()
+        assert child_rng(7, "a").uniform() != child_rng(8, "a").uniform()
+
+    def test_child_seed_is_stable_integer(self):
+        seed = child_seed(3, "campaign", "random-sweep")
+        assert seed == child_seed(3, "campaign", "random-sweep")
+        assert 0 <= seed < 2**63
+        assert seed != child_seed(3, "campaign", "other")
+
+    def test_string_keys_hash_stably_not_by_builtin_hash(self):
+        # Same numbers across processes => cannot rely on salted hash().
+        assert child_seed(0, "montecarlo") == child_seed(0, "montecarlo")
+
+    def test_rejects_bool_and_negative_keys(self):
+        with pytest.raises(TypeError):
+            child_rng(0, True)
+        with pytest.raises(ValueError):
+            child_rng(0, -1)
+
+
+class TestSampling:
+    def test_unknown_path_rejected(self):
+        with pytest.raises(MonteCarloError, match="not a sampleable"):
+            ParameterDistribution(path="device.not_a_field", kind="uniform", low=0, high=1)
+        with pytest.raises(MonteCarloError, match="rooted"):
+            ParameterDistribution(path="nonsense", kind="uniform", low=0, high=1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(MonteCarloError):
+            ParameterDistribution(path="attack.pulse.length_s", kind="normal", mean=1.0)
+        with pytest.raises(MonteCarloError):
+            ParameterDistribution(path="attack.pulse.length_s", kind="uniform", low=2.0, high=1.0)
+        with pytest.raises(MonteCarloError):
+            ParameterDistribution(path="attack.pulse.length_s", kind="gaussian", mean=1, sigma=1)
+        with pytest.raises(MonteCarloError, match="lognormal needs a positive mean"):
+            ParameterDistribution(path="attack.pulse.length_s", kind="lognormal", mean=-1, sigma=1)
+
+    def test_draws_are_seed_reproducible_and_stream_independent(self):
+        dists = [
+            ParameterDistribution(path="device.activation_energy_ev", kind="normal", mean=1.2, sigma=0.02),
+            ParameterDistribution(path="attack.pulse.length_s", kind="uniform", low=1e-8, high=1e-7),
+        ]
+        one = PopulationSampler(dists, seed=5).sample(64, {})
+        two = PopulationSampler(dists, seed=5).sample(64, {})
+        assert np.array_equal(one.values["device.activation_energy_ev"], two.values["device.activation_energy_ev"])
+        # Dropping one distribution must not change the other's draws.
+        alone = PopulationSampler([dists[0]], seed=5).sample(64, {})
+        assert np.array_equal(
+            alone.values["device.activation_energy_ev"], one.values["device.activation_energy_ev"]
+        )
+        other_seed = PopulationSampler(dists, seed=6).sample(64, {})
+        assert not np.array_equal(
+            other_seed.values["device.activation_energy_ev"], one.values["device.activation_energy_ev"]
+        )
+
+    def test_relative_draws_scale_the_nominal(self):
+        dist = ParameterDistribution(
+            path="device.series_resistance_ohm", kind="normal", mean=1.0, sigma=0.0, relative=True
+        )
+        draw = PopulationSampler([dist], seed=0).sample(8, {"device.series_resistance_ohm": 650.0})
+        assert np.allclose(draw.values["device.series_resistance_ohm"], 650.0)
+
+    def test_relative_draw_without_nominal_rejected(self):
+        dist = ParameterDistribution(
+            path="device.series_resistance_ohm", kind="normal", mean=1.0, sigma=0.1, relative=True
+        )
+        with pytest.raises(MonteCarloError, match="relative"):
+            PopulationSampler([dist], seed=0).sample(8, {})
+
+    def test_truncation_resamples_within_bounds(self):
+        dist = ParameterDistribution(
+            path="attack.ambient_temperature_k", kind="normal", mean=300.0, sigma=50.0,
+            truncate_low=280.0, truncate_high=320.0,
+        )
+        values = PopulationSampler([dist], seed=2).sample(512, {}).values["attack.ambient_temperature_k"]
+        assert values.min() >= 280.0 and values.max() <= 320.0
+
+    def test_impossible_truncation_raises(self):
+        dist = ParameterDistribution(
+            path="attack.ambient_temperature_k", kind="normal", mean=300.0, sigma=0.001,
+            truncate_low=500.0,
+        )
+        with pytest.raises(MonteCarloError, match="truncation"):
+            PopulationSampler([dist], seed=2).sample(64, {})
+
+    def test_duplicate_paths_rejected(self):
+        dist = {"path": "attack.pulse.length_s", "kind": "uniform", "low": 1e-9, "high": 1e-7}
+        with pytest.raises(MonteCarloError, match="duplicate"):
+            PopulationSampler([dist, dict(dist)], seed=0)
+
+
+class TestVectorizedModel:
+    def test_scalar_parameters_round_trip(self):
+        model = sampled_model(seed=1, n=4)
+        for lane in range(4):
+            params = model.scalar_parameters(lane)
+            assert params.activation_energy_ev == model.activation_energy_ev[lane]
+
+    def test_lane_validation_mirrors_scalar(self):
+        with pytest.raises(DeviceModelError):
+            VectorizedJartVcm(4, overrides={"activation_energy_ev": [1.2, 1.2, -1.0, 1.2]})
+        with pytest.raises(DeviceModelError):
+            VectorizedJartVcm(4, overrides={"unknown_field": [1.0] * 4})
+
+    def test_current_matches_scalar_model(self):
+        model = sampled_model(seed=3, n=32)
+        rng = np.random.default_rng(3)
+        voltage = rng.uniform(-1.2, 1.2, 32)
+        x = rng.uniform(0.0, 1.0, 32)
+        temperature = rng.uniform(280.0, 900.0, 32)
+        batched = model.current(voltage, x, temperature)
+        for lane in range(32):
+            scalar = JartVcmModel(model.scalar_parameters(lane))
+            from repro.devices import DeviceState
+
+            expected = scalar.current(float(voltage[lane]), DeviceState(float(x[lane]), float(temperature[lane])))
+            assert relative_error(batched[lane], expected).max() < RTOL or abs(expected) < 1e-30
+
+    def test_voltage_validity_guard(self):
+        model = sampled_model(seed=0, n=2)
+        with pytest.raises(DeviceModelError):
+            model.current(np.array([0.5, 11.0]), np.zeros(2), np.full(2, 300.0))
+
+
+class TestOperatingPointBatch:
+    def test_agrees_with_scalar_within_tolerance(self):
+        n = 48
+        model = sampled_model(seed=11, n=n)
+        rng = np.random.default_rng(11)
+        voltage = rng.uniform(0.3, 1.05, n)
+        x = rng.uniform(0.0, 1.0, n)
+        ambient = rng.uniform(273.0, 373.0, n)
+        crosstalk = rng.uniform(0.0, 100.0, n)
+        batch = solve_operating_point_batch(model, voltage, x, ambient, crosstalk)
+        assert batch.converged.all()
+        for lane in range(n):
+            scalar = solve_operating_point(
+                JartVcmModel(model.scalar_parameters(lane)),
+                float(voltage[lane]),
+                float(x[lane]),
+                float(ambient[lane]),
+                float(crosstalk[lane]),
+            )
+            assert relative_error(batch.filament_temperature_k[lane], scalar.filament_temperature_k).max() < RTOL
+            assert relative_error(batch.current_a[lane], scalar.current_a).max() < RTOL
+            assert relative_error(batch.power_w[lane], scalar.power_w).max() < RTOL
+
+    def test_self_heating_properties(self):
+        model = sampled_model(seed=4, n=8)
+        batch = solve_operating_point_batch(model, 1.05, 1.0, 300.0)
+        assert (batch.self_heating_k > 100.0).all()
+        assert np.allclose(batch.crosstalk_temperature_k, 0.0)
+
+
+class TestKineticsBatch:
+    def test_time_to_switch_agrees_with_scalar(self):
+        n = 32
+        model = sampled_model(seed=21, n=n)
+        rng = np.random.default_rng(21)
+        voltage = rng.uniform(0.45, 0.6, n)
+        crosstalk = rng.uniform(40.0, 90.0, n)
+        batch = time_to_switch_batch(
+            model, voltage, 0.0, 0.5, ambient_temperature_k=300.0,
+            crosstalk_temperature_k=crosstalk, max_time_s=10.0,
+        )
+        for lane in range(n):
+            scalar = time_to_switch(
+                JartVcmModel(model.scalar_parameters(lane)),
+                float(voltage[lane]), 0.0, 0.5,
+                ambient_temperature_k=300.0,
+                crosstalk_temperature_k=float(crosstalk[lane]),
+                max_time_s=10.0,
+            )
+            assert bool(batch.switched[lane]) == scalar.switched
+            assert int(batch.steps[lane]) == scalar.steps
+            assert relative_error(batch.time_s[lane], scalar.time_s).max() < RTOL
+            assert relative_error(batch.final_x[lane], scalar.final_x).max() < RTOL
+
+    def test_wrong_polarity_never_switches(self):
+        model = sampled_model(seed=5, n=4)
+        batch = time_to_switch_batch(model, -0.5, 0.0, 0.5, max_time_s=1e-3)
+        assert not batch.switched.any()
+        assert np.allclose(batch.time_s, 1e-3)
+
+    def test_invalid_lane_states_rejected(self):
+        model = sampled_model(seed=5, n=2)
+        with pytest.raises(DeviceModelError):
+            time_to_switch_batch(model, 0.5, np.array([0.0, -0.1]), 0.5)
+        with pytest.raises(DeviceModelError):
+            time_to_switch_batch(model, 0.5, 0.0, 0.5, max_time_s=0.0)
+
+    def test_pulse_validation(self):
+        model = sampled_model(seed=5, n=2)
+        with pytest.raises(DeviceModelError):
+            pulses_to_switch_batch(model, 0.5, 0.0, 0.0, 0.5)
+        with pytest.raises(DeviceModelError):
+            pulses_to_switch_batch(model, 0.5, 50e-9, 0.0, 0.5, duty_cycle=1.5)
+        with pytest.raises(DeviceModelError):
+            pulses_to_switch_batch(model, 0.5, 50e-9, 0.0, 0.5, max_pulses=0)
+
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        voltage_scale=st.floats(min_value=0.85, max_value=1.15),
+        crosstalk=st.floats(min_value=0.0, max_value=110.0),
+        pulse_exponent=st.floats(min_value=-8.3, max_value=-7.0),
+    )
+    def test_property_pulses_agree_with_scalar_reference(
+        self, seed, voltage_scale, crosstalk, pulse_exponent
+    ):
+        """Acceptance property: seeded populations agree within 1e-9 rtol."""
+        n = 12
+        model = sampled_model(seed=seed, n=n)
+        rng = np.random.default_rng(seed)
+        voltage = 0.52 * voltage_scale * rng.uniform(0.95, 1.05, n)
+        pulse_length = 10.0**pulse_exponent
+        batch = pulses_to_switch_batch(
+            model, voltage, pulse_length, 0.0, 0.5,
+            ambient_temperature_k=300.0, crosstalk_temperature_k=crosstalk,
+            max_pulses=100_000,
+        )
+        for lane in range(n):
+            scalar = pulses_to_switch(
+                JartVcmModel(model.scalar_parameters(lane)),
+                float(voltage[lane]), pulse_length, 0.0, 0.5,
+                ambient_temperature_k=300.0, crosstalk_temperature_k=crosstalk,
+                max_pulses=100_000,
+            )
+            assert bool(batch.flipped[lane]) == scalar.flipped
+            assert int(batch.pulses[lane]) == scalar.pulses
+            assert relative_error(batch.stress_time_s[lane], scalar.stress_time_s).max() < RTOL
+            assert relative_error(batch.final_x[lane], scalar.final_x).max() < RTOL
+            assert relative_error(batch.final_temperature_k[lane], scalar.final_temperature_k).max() < RTOL
+
+
+def engine_config(n_samples=32, seed=9, **attack_overrides):
+    from repro.config import AttackConfig, SimulationConfig
+
+    montecarlo = MonteCarloConfig(
+        n_samples=n_samples,
+        seed=seed,
+        distributions=[
+            {"path": "device.activation_energy_ev", "kind": "normal",
+             "mean": 1.0, "sigma": 0.01, "relative": True},
+            {"path": "device.series_resistance_ohm", "kind": "normal",
+             "mean": 1.0, "sigma": 0.05, "relative": True},
+            {"path": "attack.pulse.length_s", "kind": "lognormal", "mean": 50e-9, "sigma": 0.2},
+        ],
+    )
+    simulation = SimulationConfig.from_dict({"geometry": {"rows": 3, "columns": 3}})
+    attack = AttackConfig.from_dict(
+        {"aggressors": [[1, 1]], "victim": [1, 2], "max_pulses": 500_000, **attack_overrides}
+    )
+    return montecarlo, simulation, attack
+
+
+class TestMonteCarloEngine:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        montecarlo, simulation, attack = engine_config()
+        return MonteCarloEngine(montecarlo, simulation=simulation, attack=attack)
+
+    @pytest.fixture(scope="class")
+    def vectorized_result(self, engine):
+        return engine.run()
+
+    def test_vectorized_and_scalar_paths_agree(self, engine, vectorized_result):
+        scalar = engine.run(vectorized=False)
+        assert np.array_equal(vectorized_result.flipped, scalar.flipped)
+        assert np.array_equal(vectorized_result.pulses, scalar.pulses)
+        assert np.array_equal(vectorized_result.valid, scalar.valid)
+        assert relative_error(vectorized_result.final_x, scalar.final_x).max() < RTOL
+        assert (
+            relative_error(
+                vectorized_result.victim_temperature_k, scalar.victim_temperature_k
+            ).max()
+            < RTOL
+        )
+
+    def test_same_seed_reproduces_the_population(self, engine, vectorized_result):
+        montecarlo, simulation, attack = engine_config()
+        again = MonteCarloEngine(montecarlo, simulation=simulation, attack=attack).run()
+        assert np.array_equal(again.pulses, vectorized_result.pulses)
+
+    def test_summary_shape(self, vectorized_result):
+        summary = vectorized_result.summary()
+        assert summary["n_samples"] == 32
+        assert 0.0 <= summary["flip_probability"] <= 1.0
+        assert summary["valid"] + summary["failed"] == 32
+        if summary["flipped"]:
+            assert summary["min_pulses_to_flip"] <= summary["p50"] <= summary["max_pulses_to_flip"]
+
+    def test_population_varies_pulse_counts(self, vectorized_result):
+        flipped = vectorized_result.pulses_to_flip()
+        assert flipped.size > 2
+        assert np.unique(flipped).size > 2  # variation actually propagates
+
+    def test_experiment_result_export(self, vectorized_result):
+        table = vectorized_result.to_experiment_result(max_rows=8)
+        assert len(table.rows) == 8
+        assert "summary" in table.metadata and "conditions" in table.metadata
+
+    def test_nominal_conditions_match_circuit_solve(self, engine):
+        conditions = engine.nominal_conditions()
+        assert 0.0 < conditions.victim_voltage_v < 1.05
+        assert conditions.crosstalk_temperature_k > 0.0
+        assert 0.0 < conditions.coupling_ratio < 1.0
+
+    def test_pathological_draws_invalidate_lanes_not_the_run(self):
+        """A fat-tailed draw outside the model's validity range (e.g. a
+        sampled amplitude beyond +-10 V) must flag those lanes invalid
+        instead of aborting the whole population — in both engines."""
+        from repro.config import AttackConfig, SimulationConfig
+
+        montecarlo = MonteCarloConfig(
+            n_samples=16,
+            seed=2,
+            distributions=[
+                {"path": "attack.pulse.amplitude_v", "kind": "normal",
+                 "mean": 1.0, "sigma": 8.0, "relative": True},
+            ],
+        )
+        simulation = SimulationConfig.from_dict({"geometry": {"rows": 3, "columns": 3}})
+        attack = AttackConfig.from_dict(
+            {"aggressors": [[1, 1]], "victim": [1, 2], "max_pulses": 100_000}
+        )
+        engine = MonteCarloEngine(montecarlo, simulation=simulation, attack=attack)
+        vectorized = engine.run()
+        scalar = engine.run(vectorized=False)
+        assert not vectorized.valid.all()  # the fat tail must actually hit
+        assert np.array_equal(vectorized.valid, scalar.valid)
+        assert np.array_equal(vectorized.flipped, scalar.flipped)
+        # Invalid lanes are excluded from the statistics, not counted as safe.
+        assert vectorized.valid_count == vectorized.summary()["valid"]
+
+    def test_multi_phase_pattern_rejected(self):
+        from repro.config import AttackConfig
+
+        montecarlo, simulation, _ = engine_config()
+        attack = AttackConfig.from_dict({"pattern": "quad"})
+        with pytest.raises(MonteCarloError, match="phases"):
+            MonteCarloEngine(montecarlo, attack=attack).nominal_conditions()
+
+
+class TestMonteCarloCampaign:
+    def test_montecarlo_kind_runs_through_the_runner(self, tmp_path):
+        spec = CampaignSpec(
+            name="mc-sweep",
+            kind="montecarlo",
+            experiment="montecarlo",
+            simulation={"geometry": {"rows": 3, "columns": 3}},
+            attack={"aggressors": [[1, 1]], "victim": [1, 2], "max_pulses": 500_000},
+            montecarlo={"n_samples": 8, "seed": 3},
+            axes=[{"path": "attack.pulse.length_s", "values": [30e-9, 60e-9]}],
+        )
+        report = CampaignRunner(spec).run()
+        assert all(record.ok for record in report.records)
+        assert [r.result["n_samples"] for r in report.records] == [8, 8]
+        for record in report.records:
+            assert 0.0 <= record.result["flip_probability"] <= 1.0
+
+    def test_montecarlo_section_needs_montecarlo_kind(self):
+        with pytest.raises(CampaignError, match="montecarlo"):
+            CampaignSpec(name="bad", montecarlo={"n_samples": 8})
+
+    def test_flip_probability_map_grid(self):
+        mc_map = flip_probability_map(
+            MapAxis(path="attack.pulse.length_s", values=[30e-9, 60e-9]),
+            MapAxis(path="attack.ambient_temperature_k", values=[300.0, 340.0]),
+            simulation={"geometry": {"rows": 3, "columns": 3}},
+            attack={"aggressors": [[1, 1]], "victim": [1, 2], "max_pulses": 500_000},
+            montecarlo={"n_samples": 8, "seed": 3},
+        )
+        assert mc_map.probabilities.shape == (2, 2)
+        assert ((mc_map.probabilities >= 0) & (mc_map.probabilities <= 1)).all()
+        assert len(mc_map.result.rows) == 4
+        assert "flip probability" in mc_map.to_heatmap()
+        # Hotter ambient can only make the attack easier.
+        assert (mc_map.probabilities[:, 1] >= mc_map.probabilities[:, 0]).all()
+
+    def test_map_axes_must_differ(self):
+        from repro.montecarlo.maps import montecarlo_map_spec
+
+        axis = MapAxis(path="attack.pulse.length_s", values=[30e-9])
+        with pytest.raises(MonteCarloError, match="different"):
+            montecarlo_map_spec(axis, axis)
+
+
+class TestReliabilityScenarios:
+    def test_yield_scenario_narrates_and_reports_stats(self):
+        montecarlo, simulation, attack = engine_config(n_samples=16)
+        result = YieldScenario(
+            montecarlo, simulation=simulation, attack=attack,
+            cells_per_array=64, min_yield=0.5,
+        ).run(pulse_budget=1_000_000)
+        assert result.name == "yield"
+        assert len(result.steps) >= 4
+        stats = result.stats
+        assert set(stats) >= {"cell_bit_error_rate", "array_yield", "pulse_budget"}
+        assert 0.0 <= stats["cell_bit_error_rate"] <= 1.0
+        expected = (1.0 - stats["cell_bit_error_rate"]) ** 64
+        assert stats["array_yield"] == pytest.approx(expected)
+        assert result.success == (stats["array_yield"] >= 0.5)
+
+    def test_tiny_budget_keeps_yield_high(self):
+        montecarlo, simulation, attack = engine_config(n_samples=16)
+        result = YieldScenario(
+            montecarlo, simulation=simulation, attack=attack,
+            cells_per_array=64, min_yield=0.99,
+        ).run(pulse_budget=1)
+        assert result.stats["cells_exposed"] == 0
+        assert result.stats["array_yield"] == 1.0
+        assert result.success
+
+    def test_worst_case_corner_scenario(self):
+        montecarlo, simulation, attack = engine_config(n_samples=16)
+        result = WorstCaseCornerScenario(
+            montecarlo, simulation=simulation, attack=attack, target_fraction=0.5
+        ).run()
+        assert result.name == "worst_case_corner"
+        assert result.stats["cheapest_pulses"] >= 1
+        assert result.stats["pulses_for_target_fraction"] >= result.stats["cheapest_pulses"]
+
+    def test_invalid_arguments_rejected(self):
+        from repro.errors import AttackError
+
+        with pytest.raises(AttackError):
+            YieldScenario(cells_per_array=0)
+        with pytest.raises(AttackError):
+            YieldScenario(min_yield=0.0)
+        with pytest.raises(AttackError):
+            WorstCaseCornerScenario(target_fraction=0.0)
