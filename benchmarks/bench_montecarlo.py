@@ -16,7 +16,7 @@ import os
 import time
 
 import numpy as np
-from conftest import run_once
+from conftest import run_once, write_bench_json
 
 from repro.config import AttackConfig, SimulationConfig
 from repro.montecarlo import MonteCarloConfig, MonteCarloEngine
@@ -74,6 +74,17 @@ def test_bench_montecarlo_vectorized_vs_scalar(benchmark):
     )
     print(f"flip probability {vectorized.flip_probability:.3f}, "
           f"geomean pulses {vectorized.summary()['geomean_pulses_to_flip']}")
+    write_bench_json(
+        "montecarlo",
+        {
+            "n_samples": N_SAMPLES,
+            "vectorized_s": vectorized_s,
+            "scalar_s": scalar_s,
+            "speedup": speedup,
+            "cells_per_s_vectorized": N_SAMPLES / vectorized_s,
+            "flip_probability": vectorized.flip_probability,
+        },
+    )
     if N_SAMPLES >= 1000:
         assert speedup >= REQUIRED_SPEEDUP, (
             f"vectorized path is only {speedup:.1f}x faster than the scalar loop "

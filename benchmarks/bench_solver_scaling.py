@@ -1,0 +1,167 @@
+"""SOLVER SCALING — sparse vectorized nodal solver vs. the seed dense loop.
+
+For a ladder of square crossbars this benchmark solves one mixed-state write
+operating point through the array-native sparse :class:`CrossbarSolver` (cold
+and warm-started) and, up to ``REPRO_BENCH_SOLVER_REFERENCE_MAX``, through
+the seed dense per-device-loop :class:`ReferenceCrossbarSolver`, checking
+element-for-element agreement and reporting the speedup.  A large
+sparse-only solve (``REPRO_BENCH_SOLVER_LARGE``, default 256x256) proves the
+practical ceiling.
+
+Acceptance bars enforced here:
+
+* the sparse path must actually be used above the dense crossover (CI's
+  smoke run fails if it silently falls back to dense),
+* every fast solve must finish under ``REPRO_BENCH_SOLVER_CEILING_S``,
+* wherever the reference is measured at >= 64x64 the speedup must be >= 10x
+  (measured ~2000x warm on a laptop-class core).
+
+Results are persisted as ``BENCH_solver_scaling.json`` via the shared JSON
+reporter so the perf trajectory is tracked across PRs.
+
+Environment knobs (all optional):
+    REPRO_BENCH_SOLVER_SIZES          comma list of square sizes (default 8,16,32,64)
+    REPRO_BENCH_SOLVER_REFERENCE_MAX  largest size timed through the seed solver (default 64)
+    REPRO_BENCH_SOLVER_LARGE          sparse-only large size, 0 disables (default 256)
+    REPRO_BENCH_SOLVER_CEILING_S      per-solve wall-clock ceiling [s] (default 120)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+from conftest import run_once, write_bench_json
+
+from repro.circuit import CrossbarSolver, ReferenceCrossbarSolver, build_crossbar_netlist, write_bias
+from repro.circuit.solver import DENSE_CROSSOVER_NODES
+from repro.config import CrossbarGeometry
+from repro.devices import DeviceStateArrays, JartVcmModel
+
+SIZES = [int(s) for s in os.environ.get("REPRO_BENCH_SOLVER_SIZES", "8,16,32,64").split(",") if s]
+REFERENCE_MAX = int(os.environ.get("REPRO_BENCH_SOLVER_REFERENCE_MAX", "64"))
+LARGE_SIZE = int(os.environ.get("REPRO_BENCH_SOLVER_LARGE", "256"))
+CEILING_S = float(os.environ.get("REPRO_BENCH_SOLVER_CEILING_S", "120"))
+
+#: Required fast-vs-seed speedup at >= 64x64 (acceptance bar of the PR).
+REQUIRED_SPEEDUP = 10.0
+#: Agreement budget between the sparse and the seed path.
+RTOL = 1e-9
+
+
+def _case(size: int):
+    geometry = CrossbarGeometry(rows=size, columns=size)
+    netlist = build_crossbar_netlist(geometry)
+    states = DeviceStateArrays(size, size)
+    states.x[::2, 1::2] = 1.0  # checkerboard-ish HRS/LRS mix
+    bias = write_bias(geometry, [(size // 2, size // 2)], 1.05)
+    return netlist, states, bias
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _solve_size(size: int, with_reference: bool) -> dict:
+    netlist, states, bias = _case(size)
+    model = JartVcmModel()
+    solver = CrossbarSolver(netlist, model)
+    fast_op, cold_s = _timed(lambda: solver.solve(bias, states))
+    _, warm_s = _timed(lambda: solver.solve(bias, states))
+
+    row = {
+        "size": size,
+        "nodes": netlist.node_count,
+        "devices": size * size,
+        "backend": solver.last_backend,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "iterations": fast_op.iterations,
+    }
+
+    assert cold_s < CEILING_S, f"{size}x{size} cold solve took {cold_s:.1f}s (ceiling {CEILING_S}s)"
+    if netlist.node_count > DENSE_CROSSOVER_NODES:
+        assert solver.last_backend == "sparse", (
+            f"{size}x{size} ({netlist.node_count} nodes) fell back to the "
+            f"{solver.last_backend} backend — the sparse path must engage above "
+            f"{DENSE_CROSSOVER_NODES} nodes"
+        )
+
+    if with_reference:
+        reference = ReferenceCrossbarSolver(netlist, model)
+        ref_op, reference_s = _timed(lambda: reference.solve(bias, states.as_mapping()))
+        np.testing.assert_allclose(
+            fast_op.device_voltages_v, ref_op.device_voltages_v, rtol=RTOL, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            fast_op.device_currents_a, ref_op.device_currents_a, rtol=RTOL, atol=1e-15
+        )
+        row["reference_s"] = reference_s
+        row["speedup_cold"] = reference_s / cold_s
+        row["speedup_warm"] = reference_s / warm_s
+    return row
+
+
+def test_bench_solver_scaling(benchmark):
+    rows = []
+    for size in SIZES:
+        rows.append(_solve_size(size, with_reference=size <= REFERENCE_MAX))
+
+    if LARGE_SIZE:
+        # The practical-ceiling demonstration is the benchmarked quantity.
+        netlist, states, bias = _case(LARGE_SIZE)
+        solver = CrossbarSolver(netlist, JartVcmModel())
+        start = time.perf_counter()
+        large_op = run_once(benchmark, lambda: solver.solve(bias, states))
+        large_s = time.perf_counter() - start
+        assert large_op.residual_a < solver.residual_tolerance_a
+        assert solver.last_backend == "sparse"
+        assert large_s < CEILING_S
+        rows.append(
+            {
+                "size": LARGE_SIZE,
+                "nodes": netlist.node_count,
+                "devices": LARGE_SIZE * LARGE_SIZE,
+                "backend": solver.last_backend,
+                "cold_s": large_s,
+                "iterations": large_op.iterations,
+            }
+        )
+    else:
+        run_once(benchmark, lambda: None)
+
+    print()
+    for row in rows:
+        line = (
+            f"solver {row['size']:>4}x{row['size']:<4} nodes={row['nodes']:>7} "
+            f"backend={row['backend']:<6} cold={row['cold_s'] * 1e3:9.1f}ms"
+        )
+        if "warm_s" in row:
+            line += f" warm={row['warm_s'] * 1e3:8.1f}ms"
+        if "reference_s" in row:
+            line += (
+                f" seed={row['reference_s'] * 1e3:9.1f}ms"
+                f" -> {row['speedup_cold']:.0f}x cold / {row['speedup_warm']:.0f}x warm"
+            )
+        print(line)
+
+    for row in rows:
+        if row["size"] >= 64 and "speedup_cold" in row:
+            assert row["speedup_cold"] >= REQUIRED_SPEEDUP, (
+                f"sparse solver is only {row['speedup_cold']:.1f}x faster than the seed dense "
+                f"solver at {row['size']}x{row['size']} (required {REQUIRED_SPEEDUP:.0f}x)"
+            )
+
+    path = write_bench_json(
+        "solver_scaling",
+        {
+            "sizes": SIZES,
+            "reference_max": REFERENCE_MAX,
+            "large_size": LARGE_SIZE,
+            "results": rows,
+        },
+    )
+    print(f"results -> {path}")

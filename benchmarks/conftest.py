@@ -4,9 +4,21 @@ Every benchmark regenerates the data behind one table/figure of the paper
 (see DESIGN.md's experiment index) and prints the regenerated rows, so
 running ``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
 section end to end.
+
+Benchmarks additionally persist machine-readable results through
+:func:`write_bench_json`, which writes ``BENCH_<name>.json`` next to this
+file (override the directory with ``REPRO_BENCH_JSON_DIR``).  The JSON files
+carry timings plus the array sizes / sample counts they were measured at, so
+the perf trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
 
 import pytest
 
@@ -20,3 +32,27 @@ def run_once(benchmark, function, *args, **kwargs):
     round/iteration.
     """
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist one benchmark's results as ``BENCH_<name>.json``.
+
+    Args:
+        name: Benchmark identifier (used in the file name).
+        payload: JSON-serialisable results — timings, sizes, speedups.
+
+    Returns:
+        The path the results were written to.
+    """
+    directory = Path(os.environ.get("REPRO_BENCH_JSON_DIR", Path(__file__).resolve().parent))
+    directory.mkdir(parents=True, exist_ok=True)
+    record = {
+        "benchmark": name,
+        "written_at_unix_s": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **payload,
+    }
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

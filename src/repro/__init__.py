@@ -73,7 +73,7 @@ from .montecarlo import (
 )
 from .thermal import AnalyticCouplingModel, HeatSolver, build_voxel_model, extract_alpha_values
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

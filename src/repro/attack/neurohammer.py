@@ -310,7 +310,7 @@ class NeuroHammer:
             result = simulator.run(schedule, stop_on_flip_of=pattern.victim)
             pulses += 1
             time_s += pulse.period_s
-            if result.trace.temperatures_k:
+            if len(result.trace):
                 victim_temperature = max(
                     victim_temperature,
                     float(result.trace.temperatures_k[-1][pattern.victim[0], pattern.victim[1]]),

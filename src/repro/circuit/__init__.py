@@ -46,7 +46,8 @@ from .readout import (
     sensed_column_current,
     sneak_path_report,
 )
-from .solver import CrossbarSolver, OperatingPoint
+from .reference import ReferenceCrossbarSolver, ReferenceTransientSimulator
+from .solver import CrossbarSolver, NodeVoltageMap, OperatingPoint
 from .transient import BitFlipEvent, TransientResult, TransientSimulator, TransientTrace
 
 __all__ = [
@@ -86,7 +87,10 @@ __all__ = [
     "array_read_margins",
     "minimum_read_window",
     "CrossbarSolver",
+    "NodeVoltageMap",
     "OperatingPoint",
+    "ReferenceCrossbarSolver",
+    "ReferenceTransientSimulator",
     "TransientSimulator",
     "TransientResult",
     "TransientTrace",

@@ -5,20 +5,32 @@
 states of every crosspoint, solves bias patterns through the nonlinear nodal
 solver, and keeps the electro-thermal picture consistent by combining each
 cell's self-heating (Eq. 6) with the crosstalk hub contribution (Eq. 5).
+
+Device state is stored as ``(rows, columns)`` float arrays
+(:class:`~repro.devices.base.DeviceStateArrays`) so the solver and the
+transient engine can evaluate the whole array in vectorized calls; the
+historic per-cell Mapping API remains available through :attr:`states`, a
+live :class:`~repro.devices.base.DeviceStateMapView`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from ..config import CrossbarGeometry, WireParameters
 from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K
-from ..devices.base import DeviceState, MemristorModel, bit_from_state
+from ..devices.base import (
+    DeviceState,
+    DeviceStateArrays,
+    DeviceStateMapView,
+    MemristorModel,
+    bit_from_state,
+)
 from ..devices.jart_vcm import JartVcmModel
-from ..errors import ConfigurationError, GeometryError
+from ..errors import ConfigurationError, DeviceModelError, GeometryError
 from ..thermal.coupling import AnalyticCouplingModel, CouplingModel
 from .crosstalk_hub import CrosstalkHub
 from .drivers import BiasPattern
@@ -70,9 +82,16 @@ class CrossbarArray:
         self.netlist: CrossbarNetlist = build_crossbar_netlist(self.geometry, self.wires)
         self.solver = CrossbarSolver(self.netlist, self.model)
         self.hub = CrosstalkHub(coupling, ambient_temperature_k)
-        self.states: Dict[Cell, DeviceState] = {
-            cell: self.model.hrs_state(ambient_temperature_k) for cell in self.geometry.iter_cells()
-        }
+        pristine = self.model.hrs_state(ambient_temperature_k)
+        #: Array-native device state (authoritative storage).
+        self.state = DeviceStateArrays(
+            self.geometry.rows,
+            self.geometry.columns,
+            x=pristine.x,
+            temperature_k=pristine.filament_temperature_k,
+        )
+        #: Live Mapping[Cell, DeviceState]-compatible view of :attr:`state`.
+        self.states = DeviceStateMapView(self.state)
 
     # ------------------------------------------------------------------
     # state management
@@ -81,18 +100,22 @@ class CrossbarArray:
     def set_state(self, cell: Cell, x: float) -> None:
         """Set the normalised state of one cell."""
         self.geometry.validate_cell(*cell)
-        self.states[tuple(cell)] = DeviceState(
-            x=self.model.clamp_state(x), filament_temperature_k=self.ambient_temperature_k
-        )
+        cell = tuple(cell)
+        self.state.x[cell] = self.model.clamp_state(x)
+        self.state.temperature_k[cell] = self.ambient_temperature_k
 
     def set_bit(self, cell: Cell, bit: int, lrs_is_one: bool = True) -> None:
         """Store a logical bit in a cell (ideal write, no dynamics)."""
-        self.states[tuple(cell)] = self.model.state_from_bit(
+        self.geometry.validate_cell(*cell)
+        written = self.model.state_from_bit(
             bit, self.ambient_temperature_k, lrs_is_one=lrs_is_one
         )
+        cell = tuple(cell)
+        self.state.x[cell] = written.x
+        self.state.temperature_k[cell] = written.filament_temperature_k
 
     def get_state(self, cell: Cell) -> DeviceState:
-        """Return the device state of a cell."""
+        """Return the (live) device state of a cell."""
         self.geometry.validate_cell(*cell)
         return self.states[tuple(cell)]
 
@@ -102,22 +125,18 @@ class CrossbarArray:
 
     def state_map(self) -> np.ndarray:
         """(rows x columns) array of normalised states."""
-        out = np.zeros((self.geometry.rows, self.geometry.columns))
-        for cell in self.geometry.iter_cells():
-            out[cell] = self.states[cell].x
-        return out
+        return self.state.x.copy()
 
     def bit_map(self, lrs_is_one: bool = True) -> np.ndarray:
         """(rows x columns) array of stored bits."""
-        out = np.zeros((self.geometry.rows, self.geometry.columns), dtype=int)
-        for cell in self.geometry.iter_cells():
-            out[cell] = bit_from_state(self.states[cell], lrs_is_one=lrs_is_one)
-        return out
+        is_lrs = self.state.x >= 0.5
+        bits = is_lrs if lrs_is_one else ~is_lrs
+        return bits.astype(int)
 
     def initialise_states(self, values: Mapping[Cell, float] = None, default_x: float = 0.0) -> None:
         """Reset every cell, optionally overriding individual cells."""
-        for cell in self.geometry.iter_cells():
-            self.set_state(cell, default_x)
+        self.state.x.fill(self.model.clamp_state(default_x))
+        self.state.temperature_k.fill(self.ambient_temperature_k)
         if values:
             for cell, x in values.items():
                 self.set_state(tuple(cell), x)
@@ -127,13 +146,19 @@ class CrossbarArray:
         bits = np.asarray(bits)
         if bits.shape != (self.geometry.rows, self.geometry.columns):
             raise ConfigurationError("bit pattern shape does not match the crossbar")
-        for cell in self.geometry.iter_cells():
-            self.set_bit(cell, int(bits[cell]), lrs_is_one=lrs_is_one)
+        if np.any((bits != 0) & (bits != 1)):
+            raise DeviceModelError("bit pattern entries must be 0 or 1")
+        lrs = self.model.lrs_state(self.ambient_temperature_k)
+        hrs = self.model.hrs_state(self.ambient_temperature_k)
+        stored_as_lrs = (bits == 1) == lrs_is_one
+        self.state.x[...] = np.where(stored_as_lrs, lrs.x, hrs.x)
+        self.state.temperature_k[...] = np.where(
+            stored_as_lrs, lrs.filament_temperature_k, hrs.filament_temperature_k
+        )
 
     def reset_temperatures(self) -> None:
         """Relax every filament back to the ambient temperature."""
-        for state in self.states.values():
-            state.filament_temperature_k = self.ambient_temperature_k
+        self.state.temperature_k.fill(self.ambient_temperature_k)
 
     # ------------------------------------------------------------------
     # electro-thermal solves
@@ -141,7 +166,7 @@ class CrossbarArray:
 
     def solve_bias(self, bias: BiasPattern) -> OperatingPoint:
         """Solve the electrical operating point for one bias pattern."""
-        return self.solver.solve(bias, self.states)
+        return self.solver.solve(bias, self.state)
 
     def thermal_snapshot(
         self,
@@ -177,8 +202,7 @@ class CrossbarArray:
             new_temperatures = self.ambient_temperature_k + self_heating + crosstalk
             change = float(np.abs(new_temperatures - temperatures).max())
             temperatures = new_temperatures
-            for cell in self.geometry.iter_cells():
-                self.states[cell].filament_temperature_k = float(temperatures[cell])
+            self.state.temperature_k[...] = temperatures
             if change < tolerance_k:
                 break
         return ThermalSnapshot(
@@ -189,10 +213,7 @@ class CrossbarArray:
 
     def temperature_map(self) -> np.ndarray:
         """Current filament temperatures of every cell [K]."""
-        out = np.zeros((self.geometry.rows, self.geometry.columns))
-        for cell in self.geometry.iter_cells():
-            out[cell] = self.states[cell].filament_temperature_k
-        return out
+        return self.state.temperature_k.copy()
 
     # ------------------------------------------------------------------
     # convenience
@@ -207,11 +228,27 @@ class CrossbarArray:
         return self.geometry.centre_cell()
 
     def copy_states(self) -> Dict[Cell, DeviceState]:
-        """Deep copy of the per-cell states (for checkpoint/restore)."""
-        return {cell: state.copy() for cell, state in self.states.items()}
+        """Deep copy of the per-cell states (for checkpoint/restore).
 
-    def restore_states(self, snapshot: Mapping[Cell, DeviceState]) -> None:
-        """Restore a state snapshot taken with :meth:`copy_states`."""
+        Prefer :meth:`copy_state_arrays` in hot paths: it checkpoints the
+        whole array with two array copies instead of one object per cell.
+        """
+        return {cell: self.states[cell].copy() for cell in self.geometry.iter_cells()}
+
+    def copy_state_arrays(self) -> DeviceStateArrays:
+        """Array-native checkpoint of the full device state (O(1) Python)."""
+        return self.state.copy()
+
+    def restore_states(
+        self, snapshot: Union[DeviceStateArrays, Mapping[Cell, DeviceState]]
+    ) -> None:
+        """Restore a snapshot from :meth:`copy_states` or :meth:`copy_state_arrays`."""
+        if isinstance(snapshot, DeviceStateArrays):
+            if snapshot.shape != self.state.shape:
+                raise GeometryError("state snapshot shape does not match the crossbar")
+            self.state.x[...] = snapshot.x
+            self.state.temperature_k[...] = snapshot.temperature_k
+            return
         for cell, state in snapshot.items():
             self.geometry.validate_cell(*cell)
             self.states[tuple(cell)] = state.copy()

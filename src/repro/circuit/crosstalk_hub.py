@@ -41,16 +41,12 @@ class CrosstalkHub:
             raise ConfigurationError("ambient temperature must be positive")
         geometry = self.coupling.geometry
         # Pre-compute the full coupling tensor alpha[aggressor, victim] once;
-        # for a 5x5 crossbar this is a 25x25 matrix.
-        count = geometry.cell_count
-        self._alpha = np.zeros((count, count))
+        # the coupling model builds it vectorized where it has a closed-form
+        # kernel (the diagonal is zeroed: a cell does not crosstalk itself).
         cells = list(geometry.iter_cells())
         self._cell_index = {cell: index for index, cell in enumerate(cells)}
-        for a_index, aggressor in enumerate(cells):
-            for v_index, victim in enumerate(cells):
-                if a_index == v_index:
-                    continue
-                self._alpha[a_index, v_index] = self.coupling.alpha_between(aggressor, victim)
+        self._alpha = np.array(self.coupling.alpha_table(), dtype=float)
+        np.fill_diagonal(self._alpha, 0.0)
 
     @property
     def geometry(self) -> CrossbarGeometry:

@@ -10,7 +10,10 @@ their output resistance, so line loading and IR drop are captured.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..config import CrossbarGeometry, WireParameters
 from ..errors import GeometryError
@@ -111,6 +114,50 @@ class CrossbarNetlist:
     def node_count(self) -> int:
         """Number of circuit nodes (excluding ground)."""
         return len(self.nodes)
+
+    # -- vectorized index arrays --------------------------------------------
+    #
+    # Everything the array-native solver needs is precomputed here exactly
+    # once per netlist: node-name -> index, and flat index arrays describing
+    # where every device and resistor stamps into the nodal matrix.  The
+    # caches assume the netlist is not mutated after construction (true for
+    # every netlist produced by :func:`build_crossbar_netlist`).
+
+    @cached_property
+    def node_index(self) -> Dict[str, int]:
+        """Node name -> row index in the nodal system (ground excluded)."""
+        return {name: i for i, name in enumerate(self.nodes)}
+
+    @cached_property
+    def device_index_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-device ``(wordline_idx, bitline_idx, cell_row, cell_col)`` arrays."""
+        index = self.node_index
+        count = len(self.devices)
+        wordline = np.fromiter(
+            (index[d.wordline_node] for d in self.devices), dtype=np.int64, count=count
+        )
+        bitline = np.fromiter(
+            (index[d.bitline_node] for d in self.devices), dtype=np.int64, count=count
+        )
+        rows = np.fromiter((d.cell[0] for d in self.devices), dtype=np.int64, count=count)
+        cols = np.fromiter((d.cell[1] for d in self.devices), dtype=np.int64, count=count)
+        return wordline, bitline, rows, cols
+
+    @cached_property
+    def resistor_index_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-resistor ``(node_a_idx, node_b_idx, conductance)``; -1 marks ground."""
+        index = self.node_index
+        count = len(self.resistors)
+        node_a = np.fromiter(
+            (index.get(r.node_a, -1) for r in self.resistors), dtype=np.int64, count=count
+        )
+        node_b = np.fromiter(
+            (index.get(r.node_b, -1) for r in self.resistors), dtype=np.int64, count=count
+        )
+        conductance = np.fromiter(
+            (r.conductance_s for r in self.resistors), dtype=np.float64, count=count
+        )
+        return node_a, node_b, conductance
 
 
 def build_crossbar_netlist(

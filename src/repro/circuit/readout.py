@@ -101,7 +101,7 @@ def read_margin(
     """Sense the cell in both states while the rest of the array is fixed."""
     cell = tuple(cell)
     crossbar.geometry.validate_cell(*cell)
-    snapshot = crossbar.copy_states()
+    snapshot = crossbar.copy_state_arrays()
     try:
         crossbar.initialise_states(default_x=background_x)
 
@@ -123,7 +123,7 @@ def sneak_path_report(
     """Quantify the worst-case sneak-path disturbance for one cell."""
     cell = tuple(cell)
     crossbar.geometry.validate_cell(*cell)
-    snapshot = crossbar.copy_states()
+    snapshot = crossbar.copy_state_arrays()
     try:
         crossbar.initialise_states(default_x=0.0)
         isolated_hrs = sensed_column_current(crossbar, cell, read_voltage_v)

@@ -1,0 +1,308 @@
+"""Seed (pre-vectorization) reference implementations of the hot paths.
+
+These are the original dense, per-device-Python-loop implementations of the
+nodal solver and the transient stepping loop, kept verbatim so that
+
+* the property/regression suites can validate the sparse vectorized paths
+  element-for-element against the exact seed semantics, and
+* ``benchmarks/bench_solver_scaling.py`` can measure the speedup against the
+  honest baseline.
+
+They are **not** used by any production path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..devices.base import DeviceState, DeviceStateArrays, MemristorModel, bit_from_state
+from ..errors import ConvergenceError
+from .crossbar import CrossbarArray
+from .drivers import BiasPattern
+from .netlist import GROUND_NODE, CrossbarNetlist
+from .pulses import StimulusSchedule
+from .solver import OperatingPoint
+from .transient import BitFlipEvent, TransientResult, TransientSimulator, TransientTrace
+
+Cell = Tuple[int, int]
+
+
+class ReferenceCrossbarSolver:
+    """The seed dense Newton nodal solver (per-device Python stamp loops)."""
+
+    def __init__(
+        self,
+        netlist: CrossbarNetlist,
+        model: MemristorModel,
+        max_iterations: int = 200,
+        voltage_tolerance_v: float = 1e-7,
+        residual_tolerance_a: float = 1e-9,
+        max_step_v: float = 0.5,
+    ):
+        self.netlist = netlist
+        self.model = model
+        self.max_iterations = max_iterations
+        self.voltage_tolerance_v = voltage_tolerance_v
+        self.residual_tolerance_a = residual_tolerance_a
+        self.max_step_v = max_step_v
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(netlist.nodes)}
+        self._last_solution: Optional[np.ndarray] = None
+        self._linear_matrix = self._assemble_linear_matrix()
+
+    # -- assembly -----------------------------------------------------------
+
+    def _assemble_linear_matrix(self) -> np.ndarray:
+        n = self.netlist.node_count
+        matrix = np.zeros((n, n))
+        for resistor in self.netlist.resistors:
+            g = resistor.conductance_s
+            ia = self._index.get(resistor.node_a)
+            ib = self._index.get(resistor.node_b)
+            if ia is not None:
+                matrix[ia, ia] += g
+            if ib is not None:
+                matrix[ib, ib] += g
+            if ia is not None and ib is not None:
+                matrix[ia, ib] -= g
+                matrix[ib, ia] -= g
+        return matrix
+
+    def _driver_stamps(self, bias: BiasPattern) -> Tuple[np.ndarray, np.ndarray]:
+        n = self.netlist.node_count
+        extra_g = np.zeros(n)
+        currents = np.zeros(n)
+        for driver in self.netlist.drivers:
+            if driver.line_type == "row":
+                voltage = bias.row_voltage(driver.line_index)
+            else:
+                voltage = bias.column_voltage(driver.line_index)
+            if voltage is None:
+                continue
+            g = 1.0 / driver.series_resistance_ohm
+            idx = self._index[driver.node]
+            extra_g[idx] += g
+            currents[idx] += g * voltage
+        return extra_g, currents
+
+    # -- solving --------------------------------------------------------------
+
+    def solve(
+        self,
+        bias: BiasPattern,
+        states: Mapping[Cell, DeviceState],
+        initial_guess: Optional[np.ndarray] = None,
+    ) -> OperatingPoint:
+        n = self.netlist.node_count
+        if isinstance(states, DeviceStateArrays):
+            # Accept the array-native container too, so a CrossbarArray's
+            # solver can be swapped for this reference in validation runs.
+            states = states.as_mapping()
+        extra_g, driver_currents = self._driver_stamps(bias)
+
+        if initial_guess is not None:
+            voltages = np.array(initial_guess, dtype=float)
+        elif self._last_solution is not None and len(self._last_solution) == n:
+            voltages = self._last_solution.copy()
+        else:
+            voltages = np.zeros(n)
+
+        device_index = [
+            (
+                device.cell,
+                self._index[device.wordline_node],
+                self._index[device.bitline_node],
+            )
+            for device in self.netlist.devices
+        ]
+
+        iterations = 0
+        residual = np.inf
+        for iterations in range(1, self.max_iterations + 1):
+            matrix = self._linear_matrix.copy()
+            matrix[np.diag_indices_from(matrix)] += extra_g
+            rhs = driver_currents.copy()
+
+            for cell, iw, ib in device_index:
+                state = states[cell]
+                branch_v = voltages[iw] - voltages[ib]
+                current = self.model.current(branch_v, state)
+                conductance = self.model.conductance(branch_v, state)
+                equivalent = current - conductance * branch_v
+                matrix[iw, iw] += conductance
+                matrix[ib, ib] += conductance
+                matrix[iw, ib] -= conductance
+                matrix[ib, iw] -= conductance
+                rhs[iw] -= equivalent
+                rhs[ib] += equivalent
+
+            new_voltages = np.linalg.solve(matrix, rhs)
+            step = new_voltages - voltages
+            max_step = np.abs(step).max() if len(step) else 0.0
+            if max_step > self.max_step_v:
+                step *= self.max_step_v / max_step
+            voltages = voltages + step
+
+            residual = self._kcl_residual(
+                voltages, bias, states, extra_g, driver_currents, device_index
+            )
+            if max_step < self.voltage_tolerance_v and residual < self.residual_tolerance_a:
+                break
+        else:
+            raise ConvergenceError(
+                f"crossbar Newton solve did not converge after {self.max_iterations} iterations "
+                f"(residual {residual:.3g} A)"
+            )
+
+        self._last_solution = voltages.copy()
+        return self._operating_point(voltages, states, device_index, iterations, residual)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _kcl_residual(
+        self,
+        voltages: np.ndarray,
+        bias: BiasPattern,
+        states: Mapping[Cell, DeviceState],
+        extra_g: np.ndarray,
+        driver_currents: np.ndarray,
+        device_index,
+    ) -> float:
+        injection = driver_currents - extra_g * voltages
+        residual = injection.copy()
+        for resistor in self.netlist.resistors:
+            ia = self._index[resistor.node_a]
+            ib = self._index[resistor.node_b]
+            current = (voltages[ia] - voltages[ib]) * resistor.conductance_s
+            residual[ia] -= current
+            residual[ib] += current
+        for cell, iw, ib in device_index:
+            branch_v = voltages[iw] - voltages[ib]
+            current = self.model.current(branch_v, states[cell])
+            residual[iw] -= current
+            residual[ib] += current
+        return float(np.abs(residual).max())
+
+    def _operating_point(
+        self,
+        voltages: np.ndarray,
+        states: Mapping[Cell, DeviceState],
+        device_index,
+        iterations: int,
+        residual: float,
+    ) -> OperatingPoint:
+        geometry = self.netlist.geometry
+        device_v = np.zeros((geometry.rows, geometry.columns))
+        device_i = np.zeros_like(device_v)
+        for cell, iw, ib in device_index:
+            branch_v = voltages[iw] - voltages[ib]
+            device_v[cell] = branch_v
+            device_i[cell] = self.model.current(branch_v, states[cell])
+        node_voltages = {name: float(voltages[self._index[name]]) for name in self.netlist.nodes}
+        node_voltages[GROUND_NODE] = 0.0
+        return OperatingPoint(
+            node_voltages_v=node_voltages,
+            device_voltages_v=device_v,
+            device_currents_a=device_i,
+            device_powers_w=np.abs(device_v * device_i),
+            iterations=iterations,
+            residual_a=residual,
+        )
+
+
+class ReferenceTransientSimulator(TransientSimulator):
+    """The seed per-cell-dict transient stepping loop.
+
+    Runs the exact seed control flow (per-cell rate dicts, per-cell state
+    advance, per-cell flip detection) through the Mapping-compatible state
+    view of :class:`CrossbarArray`.  Electrical/thermal solves go through the
+    crossbar exactly as in the vectorized engine, so any disagreement between
+    the two isolates the transient-loop vectorization.
+    """
+
+    def run(
+        self,
+        schedule: StimulusSchedule,
+        stop_on_flip_of: Optional[Cell] = None,
+    ) -> TransientResult:
+        crossbar = self.crossbar
+        trace = TransientTrace()
+        flips: List[BitFlipEvent] = []
+        previous_bits = {
+            cell: bit_from_state(state) for cell, state in crossbar.states.items()
+        }
+        time_s = 0.0
+        steps = 0
+        stop = False
+
+        for segment in schedule:
+            if stop:
+                break
+            bias = self._segment_bias(segment)
+            remaining = segment.duration_s
+            time_s = segment.start_s
+            while remaining > 1e-21 and not stop:
+                snapshot = crossbar.thermal_snapshot(bias)
+                rates = self._state_rates(snapshot.operating_point.device_voltages_v)
+                dt = self._choose_dt(rates, remaining, segment.duration_s)
+                self._advance_states(rates, dt)
+                time_s += dt
+                remaining -= dt
+                steps += 1
+
+                new_flips = self._detect_flips(previous_bits, time_s)
+                flips.extend(new_flips)
+                if stop_on_flip_of is not None and any(
+                    event.cell == tuple(stop_on_flip_of) for event in new_flips
+                ):
+                    stop = True
+
+                if steps % self.record_every == 0 or stop or remaining <= 1e-21:
+                    trace.append(
+                        time_s,
+                        crossbar.state_map(),
+                        snapshot.filament_temperatures_k,
+                        snapshot.operating_point.device_voltages_v,
+                        segment.label,
+                    )
+            crossbar.reset_temperatures()
+
+        return TransientResult(
+            trace=trace, flip_events=flips, simulated_time_s=time_s, steps=steps
+        )
+
+    # -- seed per-cell helpers ------------------------------------------------
+
+    def _state_rates(self, device_voltages_v: np.ndarray) -> Dict[Cell, float]:
+        rates: Dict[Cell, float] = {}
+        for cell in self.crossbar.cells():
+            state = self.crossbar.states[cell]
+            rates[cell] = self.crossbar.model.state_derivative(
+                float(device_voltages_v[cell[0], cell[1]]), state
+            )
+        return rates
+
+    def _choose_dt(self, rates: Dict[Cell, float], remaining_s: float, segment_s: float) -> float:
+        dt = min(remaining_s, segment_s / self.min_steps_per_segment)
+        fastest = max((abs(rate) for rate in rates.values()), default=0.0)
+        if fastest > 0.0:
+            dt = min(dt, self.max_dx_per_step / fastest)
+        return max(dt, 1e-18)
+
+    def _advance_states(self, rates: Dict[Cell, float], dt: float) -> None:
+        for cell, rate in rates.items():
+            state = self.crossbar.states[cell]
+            state.x = self.crossbar.model.clamp_state(state.x + rate * dt)
+
+    def _detect_flips(self, previous_bits: Dict[Cell, int], time_s: float) -> List[BitFlipEvent]:
+        events: List[BitFlipEvent] = []
+        for cell, state in self.crossbar.states.items():
+            bit = bit_from_state(state, threshold=self.flip_threshold)
+            if bit != previous_bits[cell]:
+                direction = "set" if bit == 1 else "reset"
+                events.append(
+                    BitFlipEvent(time_s=time_s, cell=cell, direction=direction, state_x=state.x)
+                )
+                previous_bits[cell] = bit
+        return events

@@ -5,33 +5,99 @@ solves the framework needs: given driver voltages, wire resistances and the
 (nonlinear, state- and temperature-dependent) memristive devices, find all
 node voltages such that Kirchhoff's current law holds at every node.
 
-The solver performs damped Newton-Raphson iterations: at every iteration each
-device is linearised around its present branch voltage (companion model with
-small-signal conductance and an equivalent current source), the resulting
-linear system is solved densely with numpy, and the node voltages are updated
-with a step clamp that keeps the iteration stable even from a cold start.
+The solver performs damped Newton-Raphson iterations, exactly as the original
+dense implementation did (kept as
+:class:`repro.circuit.reference.ReferenceCrossbarSolver` for validation and
+benchmarking), but every per-device Python loop has been replaced by
+array-native code:
+
+* all device currents and small-signal conductances are evaluated in one call
+  through the model's :meth:`~repro.devices.base.MemristorModel.batched`
+  interface (NumPy kernels for the shipped models);
+* the Jacobian is assembled from index arrays precomputed once per netlist —
+  the constant linear (wire + driver) stamps live in a cached CSR data
+  vector, and the per-iteration device stamps are scattered into their CSR
+  slots with vectorized fancy indexing;
+* the linear system is solved with ``scipy.sparse.linalg.spsolve``; below a
+  crossover size (or when SciPy is unavailable) a dense ``numpy.linalg.solve``
+  over the same stamp data is used instead, which is faster for tiny systems.
+
+The KCL residual check reuses the device currents already evaluated for the
+stamps of the same iteration instead of recomputing them per device.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from collections.abc import Mapping as MappingABC
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from ..devices.base import DeviceState, MemristorModel
-from ..errors import ConvergenceError
+try:  # SciPy is an optional accelerator: without it the dense path is used.
+    from scipy import sparse as _sparse
+    from scipy.sparse.linalg import spsolve as _spsolve
+
+    _HAVE_SCIPY = True
+except Exception:  # pragma: no cover - exercised only on scipy-less installs
+    _sparse = None
+    _spsolve = None
+    _HAVE_SCIPY = False
+
+from ..devices.base import (
+    BatchedDeviceModel,
+    DeviceState,
+    DeviceStateArrays,
+    MemristorModel,
+)
+from ..errors import ConfigurationError, ConvergenceError
 from .drivers import BiasPattern
 from .netlist import GROUND_NODE, CrossbarNetlist
 
 Cell = Tuple[int, int]
+
+#: Per-cell device states accepted by :meth:`CrossbarSolver.solve`: either the
+#: array-native container or the legacy per-cell mapping.
+StateLike = Union[DeviceStateArrays, Mapping[Cell, DeviceState]]
+
+#: Below this node count the dense linear solve beats the sparse machinery.
+DENSE_CROSSOVER_NODES = 500
+
+
+class NodeVoltageMap(MappingABC):
+    """Lazy ``{node name: voltage}`` view over the solved voltage vector.
+
+    Building an explicit dict costs O(nodes) Python work per solve — wasteful
+    for a 256x256 crossbar with ~130k nodes.  This view resolves names on
+    demand and behaves like the dict the solver used to return (including the
+    implicit ground entry).
+    """
+
+    __slots__ = ("_names", "_index", "_vector")
+
+    def __init__(self, names, index: Dict[str, int], vector: np.ndarray):
+        self._names = names
+        self._index = index
+        self._vector = vector
+
+    def __getitem__(self, name: str) -> float:
+        if name == GROUND_NODE:
+            return 0.0
+        return float(self._vector[self._index[name]])
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._names
+        yield GROUND_NODE
+
+    def __len__(self) -> int:
+        return len(self._names) + 1
 
 
 @dataclass
 class OperatingPoint:
     """Solved DC operating point of the crossbar."""
 
-    node_voltages_v: Dict[str, float]
+    node_voltages_v: Mapping[str, float]
     #: Per-cell branch voltage (word-line node minus bit-line node) [V].
     device_voltages_v: np.ndarray
     #: Per-cell branch current [A].
@@ -62,7 +128,16 @@ class OperatingPoint:
 
 
 class CrossbarSolver:
-    """Damped Newton nodal-analysis solver over a crossbar netlist."""
+    """Damped Newton nodal-analysis solver over a crossbar netlist.
+
+    Args:
+        netlist: The expanded crossbar netlist.
+        model: Scalar device model; its :meth:`batched` kernel evaluates all
+            devices per iteration in one call.
+        backend: ``"auto"`` (sparse above :data:`DENSE_CROSSOVER_NODES` when
+            SciPy is available, dense otherwise), ``"sparse"`` or ``"dense"``.
+        dense_crossover_nodes: Node-count threshold of the ``"auto"`` choice.
+    """
 
     def __init__(
         self,
@@ -72,35 +147,97 @@ class CrossbarSolver:
         voltage_tolerance_v: float = 1e-7,
         residual_tolerance_a: float = 1e-9,
         max_step_v: float = 0.5,
+        backend: str = "auto",
+        dense_crossover_nodes: int = DENSE_CROSSOVER_NODES,
     ):
+        if backend not in ("auto", "sparse", "dense"):
+            raise ConfigurationError(f"unknown solver backend {backend!r}")
+        if backend == "sparse" and not _HAVE_SCIPY:
+            raise ConfigurationError("the sparse solver backend requires scipy")
         self.netlist = netlist
         self.model = model
         self.max_iterations = max_iterations
         self.voltage_tolerance_v = voltage_tolerance_v
         self.residual_tolerance_a = residual_tolerance_a
         self.max_step_v = max_step_v
-        self._index: Dict[str, int] = {name: i for i, name in enumerate(netlist.nodes)}
+        self._index: Dict[str, int] = netlist.node_index
         self._last_solution: Optional[np.ndarray] = None
-        # Pre-compute the constant (linear) part of the conductance matrix.
-        self._linear_matrix = self._assemble_linear_matrix()
+        self._batched: BatchedDeviceModel = model.batched()
+
+        n = netlist.node_count
+        if backend == "auto":
+            self._use_sparse = _HAVE_SCIPY and n > dense_crossover_nodes
+        else:
+            self._use_sparse = backend == "sparse"
+        #: Backend used by the most recent linear solve ("sparse" or "dense").
+        self.last_backend: Optional[str] = None
+
+        self._dev_w, self._dev_b, self._dev_rows, self._dev_cols = netlist.device_index_arrays
+        self._assemble_structure()
 
     # -- assembly -----------------------------------------------------------
 
-    def _assemble_linear_matrix(self) -> np.ndarray:
+    def _assemble_structure(self) -> None:
+        """Precompute the sparsity pattern and the constant (linear) stamps.
+
+        The nodal matrix is the sum of three contributions: the constant wire
+        resistor stamps, the per-solve driver Norton conductances (diagonal
+        only) and the per-iteration device companion conductances.  All three
+        are expressed as entries of one fixed COO template whose mapping onto
+        CSR data slots is computed here once; each iteration then only fills
+        a data vector — no Python loops, no re-sorting.
+        """
         n = self.netlist.node_count
-        matrix = np.zeros((n, n))
-        for resistor in self.netlist.resistors:
-            g = resistor.conductance_s
-            ia = self._index.get(resistor.node_a)
-            ib = self._index.get(resistor.node_b)
-            if ia is not None:
-                matrix[ia, ia] += g
-            if ib is not None:
-                matrix[ib, ib] += g
-            if ia is not None and ib is not None:
-                matrix[ia, ib] -= g
-                matrix[ib, ia] -= g
-        return matrix
+        res_a, res_b, res_g = self.netlist.resistor_index_arrays
+        mask_a = res_a >= 0
+        mask_b = res_b >= 0
+        mask_ab = mask_a & mask_b
+
+        lin_rows = np.concatenate([res_a[mask_a], res_b[mask_b], res_a[mask_ab], res_b[mask_ab]])
+        lin_cols = np.concatenate([res_a[mask_a], res_b[mask_b], res_b[mask_ab], res_a[mask_ab]])
+        lin_data = np.concatenate([res_g[mask_a], res_g[mask_b], -res_g[mask_ab], -res_g[mask_ab]])
+
+        diag = np.arange(n, dtype=np.int64)
+        dev_w, dev_b = self._dev_w, self._dev_b
+
+        rows = np.concatenate([lin_rows, diag, dev_w, dev_b, dev_w, dev_b])
+        cols = np.concatenate([lin_cols, diag, dev_w, dev_b, dev_b, dev_w])
+        keys = rows * np.int64(n) + cols
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+
+        self._nnz = int(unique_keys.size)
+        self._flat_index = unique_keys
+        self._csr_indices = (unique_keys % n).astype(np.int32)
+        self._csr_indptr = np.searchsorted(
+            unique_keys, np.arange(n + 1, dtype=np.int64) * n
+        ).astype(np.int32)
+
+        n_lin = lin_rows.size
+        nd = dev_w.size
+        self._base_data = np.bincount(inverse[:n_lin], weights=lin_data, minlength=self._nnz)
+        self._diag_slots = inverse[n_lin : n_lin + n]
+        offset = n_lin + n
+        self._slot_ww = inverse[offset : offset + nd]
+        self._slot_bb = inverse[offset + nd : offset + 2 * nd]
+        self._slot_wb = inverse[offset + 2 * nd : offset + 3 * nd]
+        self._slot_bw = inverse[offset + 3 * nd : offset + 4 * nd]
+
+        # Every crosspoint of a crossbar netlist owns its word-line and
+        # bit-line node, so the scatter targets are unique and plain fancy
+        # indexing applies; fall back to the buffered ufunc otherwise.
+        self._unique_dev_nodes = (
+            np.unique(dev_w).size == nd and np.unique(dev_b).size == nd
+        )
+
+        if _HAVE_SCIPY:
+            self._linear_operator = _sparse.csr_matrix(
+                (self._base_data.copy(), self._csr_indices.copy(), self._csr_indptr.copy()),
+                shape=(n, n),
+            )
+        else:
+            dense = np.zeros(n * n)
+            dense[self._flat_index] = self._base_data
+            self._linear_operator = dense.reshape(n, n)
 
     def _driver_stamps(self, bias: BiasPattern) -> Tuple[np.ndarray, np.ndarray]:
         """Norton-equivalent driver stamps: (diagonal conductance, current)."""
@@ -120,25 +257,50 @@ class CrossbarSolver:
             currents[idx] += g * voltage
         return extra_g, currents
 
+    def _state_arrays(self, states: StateLike) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-device state and temperature vectors in netlist device order."""
+        arrays = states if isinstance(states, DeviceStateArrays) else getattr(states, "arrays", None)
+        if isinstance(arrays, DeviceStateArrays):
+            geometry = self.netlist.geometry
+            if arrays.shape != (geometry.rows, geometry.columns):
+                raise ConfigurationError(
+                    f"state array shape {arrays.shape} does not match the "
+                    f"{geometry.rows}x{geometry.columns} netlist"
+                )
+            return (
+                arrays.x[self._dev_rows, self._dev_cols],
+                arrays.temperature_k[self._dev_rows, self._dev_cols],
+            )
+        count = len(self.netlist.devices)
+        x = np.empty(count)
+        temperature = np.empty(count)
+        for k, device in enumerate(self.netlist.devices):
+            state = states[device.cell]
+            x[k] = state.x
+            temperature[k] = state.filament_temperature_k
+        return x, temperature
+
     # -- solving --------------------------------------------------------------
 
     def solve(
         self,
         bias: BiasPattern,
-        states: Mapping[Cell, DeviceState],
+        states: StateLike,
         initial_guess: Optional[np.ndarray] = None,
     ) -> OperatingPoint:
         """Solve the nonlinear operating point for one bias pattern.
 
         Args:
             bias: Driver voltages per line (None = floating).
-            states: Device state per cell; every crosspoint must be present.
+            states: Device state per cell — a :class:`DeviceStateArrays`
+                container (fast path) or any mapping with every crosspoint
+                present (legacy path).
             initial_guess: Optional starting node-voltage vector; by default
                 the previous solution (warm start) or zeros are used.
         """
-        geometry = self.netlist.geometry
         n = self.netlist.node_count
         extra_g, driver_currents = self._driver_stamps(bias)
+        x_arr, t_arr = self._state_arrays(states)
 
         if initial_guess is not None:
             voltages = np.array(initial_guess, dtype=float)
@@ -147,100 +309,118 @@ class CrossbarSolver:
         else:
             voltages = np.zeros(n)
 
-        device_index = [
-            (
-                device.cell,
-                self._index[device.wordline_node],
-                self._index[device.bitline_node],
-            )
-            for device in self.netlist.devices
-        ]
-
+        dev_w, dev_b = self._dev_w, self._dev_b
         iterations = 0
+        prev_step = np.inf
+        converged = False
         residual = np.inf
-        for iterations in range(1, self.max_iterations + 1):
-            matrix = self._linear_matrix.copy()
-            matrix[np.diag_indices_from(matrix)] += extra_g
-            rhs = driver_currents.copy()
-
-            for cell, iw, ib in device_index:
-                state = states[cell]
-                branch_v = voltages[iw] - voltages[ib]
-                current = self.model.current(branch_v, state)
-                conductance = self.model.conductance(branch_v, state)
-                equivalent = current - conductance * branch_v
-                matrix[iw, iw] += conductance
-                matrix[ib, ib] += conductance
-                matrix[iw, ib] -= conductance
-                matrix[ib, iw] -= conductance
-                rhs[iw] -= equivalent
-                rhs[ib] += equivalent
-
-            new_voltages = np.linalg.solve(matrix, rhs)
+        for solve_count in range(self.max_iterations + 1):
+            branch_v = voltages[dev_w] - voltages[dev_b]
+            currents = self._batched.current(branch_v, x_arr, t_arr)
+            residual = self._kcl_residual(voltages, extra_g, driver_currents, currents)
+            if prev_step < self.voltage_tolerance_v and residual < self.residual_tolerance_a:
+                converged = True
+                break
+            if solve_count == self.max_iterations:
+                break
+            conductances = self._batched.conductance(branch_v, x_arr, t_arr)
+            equivalent = currents - conductances * branch_v
+            new_voltages = self._solve_linear(extra_g, driver_currents, conductances, equivalent)
             step = new_voltages - voltages
-            max_step = np.abs(step).max() if len(step) else 0.0
+            max_step = float(np.abs(step).max()) if step.size else 0.0
             if max_step > self.max_step_v:
                 step *= self.max_step_v / max_step
             voltages = voltages + step
+            prev_step = max_step
+            iterations = solve_count + 1
 
-            residual = self._kcl_residual(voltages, bias, states, extra_g, driver_currents, device_index)
-            if max_step < self.voltage_tolerance_v and residual < self.residual_tolerance_a:
-                break
-        else:
+        if not converged:
             raise ConvergenceError(
                 f"crossbar Newton solve did not converge after {self.max_iterations} iterations "
                 f"(residual {residual:.3g} A)"
             )
 
         self._last_solution = voltages.copy()
-        return self._operating_point(voltages, states, device_index, iterations, residual)
+        return self._operating_point(voltages, branch_v, currents, iterations, residual)
 
     # -- helpers ---------------------------------------------------------------
+
+    def _solve_linear(
+        self,
+        extra_g: np.ndarray,
+        driver_currents: np.ndarray,
+        conductances: np.ndarray,
+        equivalent: np.ndarray,
+    ) -> np.ndarray:
+        """Assemble the companion-model system and solve it once."""
+        n = self.netlist.node_count
+        data = self._base_data.copy()
+        data[self._diag_slots] += extra_g
+        if self._unique_dev_nodes:
+            data[self._slot_ww] += conductances
+            data[self._slot_bb] += conductances
+            data[self._slot_wb] -= conductances
+            data[self._slot_bw] -= conductances
+        else:  # pragma: no cover - crossbar netlists always have unique nodes
+            np.add.at(data, self._slot_ww, conductances)
+            np.add.at(data, self._slot_bb, conductances)
+            np.subtract.at(data, self._slot_wb, conductances)
+            np.subtract.at(data, self._slot_bw, conductances)
+
+        rhs = driver_currents.copy()
+        if self._unique_dev_nodes:
+            rhs[self._dev_w] -= equivalent
+            rhs[self._dev_b] += equivalent
+        else:  # pragma: no cover
+            np.subtract.at(rhs, self._dev_w, equivalent)
+            np.add.at(rhs, self._dev_b, equivalent)
+
+        if self._use_sparse:
+            self.last_backend = "sparse"
+            matrix = _sparse.csr_matrix(
+                (data, self._csr_indices, self._csr_indptr), shape=(n, n)
+            )
+            return np.asarray(_spsolve(matrix, rhs))
+        self.last_backend = "dense"
+        dense = np.zeros(n * n)
+        dense[self._flat_index] = data
+        return np.linalg.solve(dense.reshape(n, n), rhs)
 
     def _kcl_residual(
         self,
         voltages: np.ndarray,
-        bias: BiasPattern,
-        states: Mapping[Cell, DeviceState],
         extra_g: np.ndarray,
         driver_currents: np.ndarray,
-        device_index,
+        device_currents: np.ndarray,
     ) -> float:
-        """Maximum KCL residual of the present voltage vector [A]."""
-        injection = driver_currents - extra_g * voltages
-        residual = injection.copy()
-        # Linear resistor currents.
-        for resistor in self.netlist.resistors:
-            ia = self._index[resistor.node_a]
-            ib = self._index[resistor.node_b]
-            current = (voltages[ia] - voltages[ib]) * resistor.conductance_s
-            residual[ia] -= current
-            residual[ib] += current
-        # Device currents.
-        for cell, iw, ib in device_index:
-            branch_v = voltages[iw] - voltages[ib]
-            current = self.model.current(branch_v, states[cell])
-            residual[iw] -= current
-            residual[ib] += current
+        """Maximum KCL residual of the present voltage vector [A].
+
+        Reuses the device currents evaluated for this iteration's stamps
+        instead of recomputing them per device.
+        """
+        residual = driver_currents - extra_g * voltages - self._linear_operator @ voltages
+        if self._unique_dev_nodes:
+            residual[self._dev_w] -= device_currents
+            residual[self._dev_b] += device_currents
+        else:  # pragma: no cover
+            np.subtract.at(residual, self._dev_w, device_currents)
+            np.add.at(residual, self._dev_b, device_currents)
         return float(np.abs(residual).max())
 
     def _operating_point(
         self,
         voltages: np.ndarray,
-        states: Mapping[Cell, DeviceState],
-        device_index,
+        branch_v: np.ndarray,
+        currents: np.ndarray,
         iterations: int,
         residual: float,
     ) -> OperatingPoint:
         geometry = self.netlist.geometry
         device_v = np.zeros((geometry.rows, geometry.columns))
         device_i = np.zeros_like(device_v)
-        for cell, iw, ib in device_index:
-            branch_v = voltages[iw] - voltages[ib]
-            device_v[cell] = branch_v
-            device_i[cell] = self.model.current(branch_v, states[cell])
-        node_voltages = {name: float(voltages[self._index[name]]) for name in self.netlist.nodes}
-        node_voltages[GROUND_NODE] = 0.0
+        device_v[self._dev_rows, self._dev_cols] = branch_v
+        device_i[self._dev_rows, self._dev_cols] = currents
+        node_voltages = NodeVoltageMap(self.netlist.nodes, self._index, voltages.copy())
         return OperatingPoint(
             node_voltages_v=node_voltages,
             device_voltages_v=device_v,

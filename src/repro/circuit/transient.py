@@ -7,22 +7,32 @@ picture including crosstalk, and integrates every device's state ODE.  It is
 used by the integration tests and the short demonstration examples; the
 figure-scale sweeps use the quasi-static fast path in
 :mod:`repro.attack.analysis`, which is validated against this engine.
+
+The stepping loop is array-native: state rates, state advance and flip
+detection operate on whole ``(rows, columns)`` arrays through the device
+model's batched kernel, and traces record into preallocated arrays grown
+geometrically.  The seed per-cell-dict loop is preserved as
+:class:`repro.circuit.reference.ReferenceTransientSimulator` and the
+regression suite checks flip-event and trace agreement between the two.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..devices.base import bit_from_state
 from ..errors import ConfigurationError
 from .crossbar import CrossbarArray
 from .drivers import BiasPattern, idle_bias
 from .pulses import StimulusSchedule, StimulusSegment
 
 Cell = Tuple[int, int]
+
+#: Initial trace capacity; grown geometrically (x2) when exhausted.  Kept
+#: small so short runs on large crossbars do not pay for unused slots.
+_INITIAL_TRACE_CAPACITY = 4
 
 
 @dataclass
@@ -36,19 +46,90 @@ class BitFlipEvent:
     state_x: float
 
 
-@dataclass
 class TransientTrace:
-    """Recorded time series of one transient simulation."""
+    """Recorded time series of one transient simulation.
 
-    times_s: List[float] = field(default_factory=list)
-    #: Per-sample (rows x columns) state maps.
-    states: List[np.ndarray] = field(default_factory=list)
-    #: Per-sample (rows x columns) filament temperature maps [K].
-    temperatures_k: List[np.ndarray] = field(default_factory=list)
-    #: Per-sample (rows x columns) device voltage maps [V].
-    voltages_v: List[np.ndarray] = field(default_factory=list)
-    #: Segment label active at each sample.
-    labels: List[str] = field(default_factory=list)
+    Samples are stored in preallocated arrays that double in capacity when
+    full (amortised O(1) appends, no per-sample Python list overhead).  The
+    public attributes present trimmed views:
+
+    * :attr:`times_s` — ``(n,)`` sample times [s],
+    * :attr:`states` — ``(n, rows, columns)`` state maps,
+    * :attr:`temperatures_k` — ``(n, rows, columns)`` filament temperatures,
+    * :attr:`voltages_v` — ``(n, rows, columns)`` device voltages,
+    * :attr:`labels` — per-sample segment labels.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._times: Optional[np.ndarray] = None
+        self._states: Optional[np.ndarray] = None
+        self._temperatures: Optional[np.ndarray] = None
+        self._voltages: Optional[np.ndarray] = None
+        self._labels: List[str] = []
+
+    def _ensure_capacity(self, shape: Tuple[int, int]) -> None:
+        if self._times is None:
+            capacity = _INITIAL_TRACE_CAPACITY
+            self._times = np.empty(capacity)
+            self._states = np.empty((capacity, *shape))
+            self._temperatures = np.empty((capacity, *shape))
+            self._voltages = np.empty((capacity, *shape))
+        elif self._count == self._times.shape[0]:
+            capacity = 2 * self._times.shape[0]
+            for name in ("_times", "_states", "_temperatures", "_voltages"):
+                old = getattr(self, name)
+                grown = np.empty((capacity, *old.shape[1:]))
+                grown[: self._count] = old
+                setattr(self, name, grown)
+
+    def append(
+        self,
+        time_s: float,
+        state_map: np.ndarray,
+        temperature_map_k: np.ndarray,
+        voltage_map_v: np.ndarray,
+        label: str,
+    ) -> None:
+        """Record one sample (maps are copied into the trace storage)."""
+        state_map = np.asarray(state_map)
+        self._ensure_capacity(state_map.shape)
+        i = self._count
+        self._times[i] = time_s
+        self._states[i] = state_map
+        self._temperatures[i] = temperature_map_k
+        self._voltages[i] = voltage_map_v
+        self._labels.append(label)
+        self._count += 1
+
+    @property
+    def times_s(self) -> np.ndarray:
+        """Sample times [s]."""
+        return self._times[: self._count] if self._times is not None else np.empty(0)
+
+    @property
+    def states(self) -> np.ndarray:
+        """Per-sample (rows x columns) state maps."""
+        return self._states[: self._count] if self._states is not None else np.empty((0, 0, 0))
+
+    @property
+    def temperatures_k(self) -> np.ndarray:
+        """Per-sample (rows x columns) filament temperature maps [K]."""
+        return (
+            self._temperatures[: self._count]
+            if self._temperatures is not None
+            else np.empty((0, 0, 0))
+        )
+
+    @property
+    def voltages_v(self) -> np.ndarray:
+        """Per-sample (rows x columns) device voltage maps [V]."""
+        return self._voltages[: self._count] if self._voltages is not None else np.empty((0, 0, 0))
+
+    @property
+    def labels(self) -> List[str]:
+        """Segment label active at each sample."""
+        return self._labels
 
     def cell_series(self, cell: Cell, quantity: str = "state") -> np.ndarray:
         """Time series of one cell ('state', 'temperature' or 'voltage')."""
@@ -59,10 +140,12 @@ class TransientTrace:
         }.get(quantity)
         if source is None:
             raise ConfigurationError(f"unknown quantity {quantity!r}")
-        return np.array([sample[cell[0], cell[1]] for sample in source])
+        if len(source) == 0:
+            return np.empty(0)
+        return np.array(source[:, cell[0], cell[1]])
 
     def __len__(self) -> int:
-        return len(self.times_s)
+        return self._count
 
 
 @dataclass
@@ -83,7 +166,13 @@ class TransientResult:
 
 
 class TransientSimulator:
-    """Explicit time-stepping simulator over a :class:`CrossbarArray`."""
+    """Explicit time-stepping simulator over a :class:`CrossbarArray`.
+
+    The per-step work — state rates, adaptive step choice, state advance,
+    flip detection — runs on whole arrays; there are no per-cell Python
+    loops (flip *events* are materialised per changed cell only, which is
+    empty on almost every step).
+    """
 
     def __init__(
         self,
@@ -119,9 +208,15 @@ class TransientSimulator:
                 cell crosses the flip threshold.
         """
         crossbar = self.crossbar
+        state = crossbar.state
+        batched = crossbar.model.batched()
         trace = TransientTrace()
         flips: List[BitFlipEvent] = []
-        previous_bits = {cell: bit_from_state(state) for cell, state in crossbar.states.items()}
+        target_cell = tuple(stop_on_flip_of) if stop_on_flip_of is not None else None
+        # Initial bits use the 0.5 decode threshold (bit_from_state's
+        # default), not self.flip_threshold — mirroring the seed engine so
+        # flip events stay element-for-element identical for any threshold.
+        previous_bits = state.x >= 0.5
         time_s = 0.0
         steps = 0
         stop = False
@@ -132,30 +227,42 @@ class TransientSimulator:
             bias = self._segment_bias(segment)
             remaining = segment.duration_s
             time_s = segment.start_s
-            segment_steps = 0
             while remaining > 1e-21 and not stop:
                 snapshot = crossbar.thermal_snapshot(bias)
-                rates = self._state_rates(snapshot.operating_point.device_voltages_v)
+                voltages = snapshot.operating_point.device_voltages_v
+                rates = batched.state_derivative(voltages, state.x, state.temperature_k)
                 dt = self._choose_dt(rates, remaining, segment.duration_s)
-                self._advance_states(rates, dt)
+                state.x[...] = batched.clamp_state(state.x + rates * dt)
                 time_s += dt
                 remaining -= dt
                 steps += 1
-                segment_steps += 1
 
-                new_flips = self._detect_flips(previous_bits, time_s)
-                flips.extend(new_flips)
-                if stop_on_flip_of is not None and any(
-                    event.cell == tuple(stop_on_flip_of) for event in new_flips
-                ):
-                    stop = True
+                bits = state.x >= self.flip_threshold
+                changed = bits != previous_bits
+                if changed.any():
+                    for row, column in np.argwhere(changed):
+                        cell = (int(row), int(column))
+                        flips.append(
+                            BitFlipEvent(
+                                time_s=time_s,
+                                cell=cell,
+                                direction="set" if bits[cell] else "reset",
+                                state_x=float(state.x[cell]),
+                            )
+                        )
+                        if target_cell is not None and cell == target_cell:
+                            stop = True
+                    previous_bits[changed] = bits[changed]
 
                 if steps % self.record_every == 0 or stop or remaining <= 1e-21:
-                    trace.times_s.append(time_s)
-                    trace.states.append(crossbar.state_map())
-                    trace.temperatures_k.append(snapshot.filament_temperatures_k.copy())
-                    trace.voltages_v.append(snapshot.operating_point.device_voltages_v.copy())
-                    trace.labels.append(segment.label)
+                    # append copies into the trace's preallocated storage.
+                    trace.append(
+                        time_s,
+                        state.x,
+                        snapshot.filament_temperatures_k,
+                        voltages,
+                        segment.label,
+                    )
             crossbar.reset_temperatures()
 
         return TransientResult(trace=trace, flip_events=flips, simulated_time_s=time_s, steps=steps)
@@ -171,33 +278,9 @@ class TransientSimulator:
             )
         return segment.payload
 
-    def _state_rates(self, device_voltages_v: np.ndarray) -> Dict[Cell, float]:
-        rates: Dict[Cell, float] = {}
-        for cell in self.crossbar.cells():
-            state = self.crossbar.states[cell]
-            rates[cell] = self.crossbar.model.state_derivative(
-                float(device_voltages_v[cell[0], cell[1]]), state
-            )
-        return rates
-
-    def _choose_dt(self, rates: Dict[Cell, float], remaining_s: float, segment_s: float) -> float:
+    def _choose_dt(self, rates: np.ndarray, remaining_s: float, segment_s: float) -> float:
         dt = min(remaining_s, segment_s / self.min_steps_per_segment)
-        fastest = max((abs(rate) for rate in rates.values()), default=0.0)
+        fastest = float(np.abs(rates).max()) if rates.size else 0.0
         if fastest > 0.0:
             dt = min(dt, self.max_dx_per_step / fastest)
         return max(dt, 1e-18)
-
-    def _advance_states(self, rates: Dict[Cell, float], dt: float) -> None:
-        for cell, rate in rates.items():
-            state = self.crossbar.states[cell]
-            state.x = self.crossbar.model.clamp_state(state.x + rate * dt)
-
-    def _detect_flips(self, previous_bits: Dict[Cell, int], time_s: float) -> List[BitFlipEvent]:
-        events: List[BitFlipEvent] = []
-        for cell, state in self.crossbar.states.items():
-            bit = bit_from_state(state, threshold=self.flip_threshold)
-            if bit != previous_bits[cell]:
-                direction = "set" if bit == 1 else "reset"
-                events.append(BitFlipEvent(time_s=time_s, cell=cell, direction=direction, state_x=state.x))
-                previous_bits[cell] = bit
-        return events

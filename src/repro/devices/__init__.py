@@ -6,7 +6,16 @@ NeuroHammer attack exploits.  The linear-ion-drift and Yakopcic models serve
 as temperature-agnostic baselines for the ablation studies.
 """
 
-from .base import DeviceState, MemristorModel, bit_from_state
+from .base import (
+    BatchedDeviceModel,
+    DeviceState,
+    DeviceStateArrays,
+    DeviceStateMapView,
+    DeviceStateView,
+    MemristorModel,
+    ScalarBatchedModel,
+    bit_from_state,
+)
 from .jart_vcm import JartVcmModel, JartVcmParameters
 from .kinetics import (
     PulseCountResult,
@@ -29,6 +38,11 @@ from .yakopcic import YakopcicModel, YakopcicParameters
 
 __all__ = [
     "DeviceState",
+    "DeviceStateArrays",
+    "DeviceStateMapView",
+    "DeviceStateView",
+    "BatchedDeviceModel",
+    "ScalarBatchedModel",
     "MemristorModel",
     "bit_from_state",
     "JartVcmModel",

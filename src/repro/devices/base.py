@@ -8,11 +8,16 @@ interchangeable everywhere (crossbar, transient engine, attack estimator).
 from __future__ import annotations
 
 import abc
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Mapping, Optional, Tuple
+
+import numpy as np
 
 from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K
 from ..errors import DeviceModelError
+
+Cell = Tuple[int, int]
 
 
 @dataclass
@@ -32,6 +37,253 @@ class DeviceState:
     def copy(self) -> "DeviceState":
         """Return an independent copy of this state."""
         return DeviceState(self.x, self.filament_temperature_k)
+
+
+class DeviceStateArrays:
+    """Struct-of-arrays device state of a whole crossbar.
+
+    Replaces the per-cell ``Dict[Cell, DeviceState]`` of the original engine
+    with two ``(rows, columns)`` float64 arrays, so the nodal solver and the
+    transient engine can evaluate every device in one vectorized call.  The
+    Mapping-based API of :class:`~repro.circuit.crossbar.CrossbarArray` is
+    preserved through :class:`DeviceStateMapView`.
+    """
+
+    __slots__ = ("x", "temperature_k")
+
+    def __init__(
+        self,
+        rows: int,
+        columns: int,
+        x: float = 0.0,
+        temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K,
+    ):
+        if rows < 1 or columns < 1:
+            raise DeviceModelError("state arrays need at least one row and one column")
+        self.x = np.full((int(rows), int(columns)), float(x), dtype=np.float64)
+        self.temperature_k = np.full(
+            (int(rows), int(columns)), float(temperature_k), dtype=np.float64
+        )
+
+    @classmethod
+    def from_arrays(cls, x: np.ndarray, temperature_k: np.ndarray) -> "DeviceStateArrays":
+        """Wrap existing arrays (copied) into a state container."""
+        x = np.asarray(x, dtype=np.float64)
+        temperature_k = np.asarray(temperature_k, dtype=np.float64)
+        if x.ndim != 2 or x.shape != temperature_k.shape:
+            raise DeviceModelError("state arrays must be matching (rows, columns) arrays")
+        out = cls(x.shape[0], x.shape[1])
+        out.x[...] = x
+        out.temperature_k[...] = temperature_k
+        return out
+
+    @classmethod
+    def from_mapping(
+        cls, rows: int, columns: int, states: Mapping[Cell, "DeviceState"]
+    ) -> "DeviceStateArrays":
+        """Convert a legacy per-cell state mapping into arrays."""
+        out = cls(rows, columns)
+        for cell, state in states.items():
+            out.x[cell] = state.x
+            out.temperature_k[cell] = state.filament_temperature_k
+        return out
+
+    @property
+    def rows(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def columns(self) -> int:
+        return self.x.shape[1]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.x.shape
+
+    def copy(self) -> "DeviceStateArrays":
+        """Independent deep copy (checkpoint/restore)."""
+        return DeviceStateArrays.from_arrays(self.x, self.temperature_k)
+
+    def view(self, cell: Cell) -> "DeviceStateView":
+        """Live per-cell proxy with the :class:`DeviceState` attribute API."""
+        return DeviceStateView(self, tuple(cell))
+
+    def as_mapping(self) -> "DeviceStateMapView":
+        """Live Mapping[Cell, DeviceState]-compatible view of the arrays."""
+        return DeviceStateMapView(self)
+
+
+class DeviceStateView:
+    """Per-cell proxy exposing the :class:`DeviceState` attribute API.
+
+    Reads and writes go straight through to the owning
+    :class:`DeviceStateArrays`, which preserves the original semantics where
+    ``crossbar.states[cell]`` returned a live, mutable object.
+    """
+
+    __slots__ = ("_arrays", "_cell")
+
+    def __init__(self, arrays: DeviceStateArrays, cell: Cell):
+        object.__setattr__(self, "_arrays", arrays)
+        object.__setattr__(self, "_cell", cell)
+
+    @property
+    def x(self) -> float:
+        return float(self._arrays.x[self._cell])
+
+    @x.setter
+    def x(self, value: float) -> None:
+        self._arrays.x[self._cell] = value
+
+    @property
+    def filament_temperature_k(self) -> float:
+        return float(self._arrays.temperature_k[self._cell])
+
+    @filament_temperature_k.setter
+    def filament_temperature_k(self, value: float) -> None:
+        self._arrays.temperature_k[self._cell] = value
+
+    def copy(self) -> DeviceState:
+        """Detached :class:`DeviceState` snapshot of this cell."""
+        return DeviceState(self.x, self.filament_temperature_k)
+
+    def __repr__(self) -> str:
+        return f"DeviceStateView(cell={self._cell}, x={self.x}, T={self.filament_temperature_k})"
+
+
+class DeviceStateMapView(MappingABC):
+    """Mapping[Cell, DeviceState]-compatible view over :class:`DeviceStateArrays`.
+
+    Keeps every caller of the historic ``crossbar.states`` dict working
+    (lookup, iteration, ``items()``/``values()``, assignment of
+    :class:`DeviceState` objects) while the authoritative storage stays in
+    flat arrays.  Exposes the backing container as :attr:`arrays` so
+    array-native code can skip the per-cell proxies entirely.
+    """
+
+    __slots__ = ("arrays",)
+
+    def __init__(self, arrays: DeviceStateArrays):
+        self.arrays = arrays
+
+    def _check(self, cell) -> Cell:
+        cell = tuple(cell)
+        if (
+            len(cell) != 2
+            or not (0 <= cell[0] < self.arrays.rows)
+            or not (0 <= cell[1] < self.arrays.columns)
+        ):
+            raise KeyError(cell)
+        return cell
+
+    def __getitem__(self, cell) -> DeviceStateView:
+        return DeviceStateView(self.arrays, self._check(cell))
+
+    def __setitem__(self, cell, state) -> None:
+        cell = self._check(cell)
+        self.arrays.x[cell] = state.x
+        self.arrays.temperature_k[cell] = state.filament_temperature_k
+
+    def __iter__(self) -> Iterator[Cell]:
+        for row in range(self.arrays.rows):
+            for column in range(self.arrays.columns):
+                yield (row, column)
+
+    def __len__(self) -> int:
+        return self.arrays.rows * self.arrays.columns
+
+    def __contains__(self, cell) -> bool:
+        try:
+            self._check(cell)
+        except KeyError:
+            return False
+        return True
+
+
+class BatchedDeviceModel(abc.ABC):
+    """Vectorized device-model interface consumed by the array-native engine.
+
+    Implementations evaluate whole arrays of independent devices in one call:
+    every argument is broadcastable (typically the flattened per-device
+    voltages, states and temperatures of a crossbar) and every return value
+    has the broadcast shape.  :meth:`MemristorModel.batched` supplies one per
+    scalar model; models without a native vectorized kernel fall back to
+    :class:`ScalarBatchedModel`, which preserves correctness at scalar speed.
+    """
+
+    @abc.abstractmethod
+    def current(
+        self, voltage_v: np.ndarray, x: np.ndarray, temperature_k: np.ndarray
+    ) -> np.ndarray:
+        """Per-device current [A]."""
+
+    def conductance(
+        self, voltage_v: np.ndarray, x: np.ndarray, temperature_k: np.ndarray
+    ) -> np.ndarray:
+        """Per-device small-signal conductance dI/dV [S].
+
+        Mirrors the scalar default exactly: a symmetric finite difference with
+        the same step rule and the same positive floor, so Newton trajectories
+        of the vectorized solver match the legacy per-device path.
+        """
+        voltage_v = np.asarray(voltage_v, dtype=np.float64)
+        delta = np.maximum(1e-4, np.abs(voltage_v) * 1e-4)
+        upper = self.current(voltage_v + delta, x, temperature_k)
+        lower = self.current(voltage_v - delta, x, temperature_k)
+        g = (upper - lower) / (2.0 * delta)
+        return np.where(g <= 0.0, 1e-12, g)
+
+    @abc.abstractmethod
+    def state_derivative(
+        self, voltage_v: np.ndarray, x: np.ndarray, temperature_k: np.ndarray
+    ) -> np.ndarray:
+        """Per-device dx/dt [1/s]."""
+
+    def clamp_state(self, x: np.ndarray) -> np.ndarray:
+        """Per-device state clamp, mirroring the scalar model's clamp rule."""
+        return np.clip(x, 0.0, 1.0)
+
+
+class ScalarBatchedModel(BatchedDeviceModel):
+    """Loop-based fallback adapter for models without a vectorized kernel."""
+
+    def __init__(self, model: "MemristorModel"):
+        self.model = model
+
+    def _map(self, fn, voltage_v, x, temperature_k) -> np.ndarray:
+        voltage_v, x, temperature_k = np.broadcast_arrays(
+            np.asarray(voltage_v, dtype=np.float64),
+            np.asarray(x, dtype=np.float64),
+            np.asarray(temperature_k, dtype=np.float64),
+        )
+        flat_v = voltage_v.ravel()
+        flat_x = x.ravel()
+        flat_t = temperature_k.ravel()
+        out = np.empty(flat_v.shape, dtype=np.float64)
+        for k in range(flat_v.size):
+            out[k] = fn(float(flat_v[k]), DeviceState(float(flat_x[k]), float(flat_t[k])))
+        return out.reshape(voltage_v.shape)
+
+    def current(self, voltage_v, x, temperature_k) -> np.ndarray:
+        return self._map(self.model.current, voltage_v, x, temperature_k)
+
+    def conductance(self, voltage_v, x, temperature_k) -> np.ndarray:
+        # Delegate to the scalar model so per-model conductance overrides
+        # (analytic derivatives, custom floors) are honoured exactly.
+        return self._map(self.model.conductance, voltage_v, x, temperature_k)
+
+    def state_derivative(self, voltage_v, x, temperature_k) -> np.ndarray:
+        return self._map(self.model.state_derivative, voltage_v, x, temperature_k)
+
+    def clamp_state(self, x: np.ndarray) -> np.ndarray:
+        # Honour per-model clamp overrides (e.g. a floor keeping the nodal
+        # matrix away from zero conductance) element for element.
+        x = np.asarray(x, dtype=np.float64)
+        flat = x.ravel()
+        out = np.empty(flat.shape, dtype=np.float64)
+        for k in range(flat.size):
+            out[k] = self.model.clamp_state(float(flat[k]))
+        return out.reshape(x.shape)
 
 
 class MemristorModel(abc.ABC):
@@ -68,6 +320,24 @@ class MemristorModel(abc.ABC):
             # keeps the nodal matrix well conditioned.
             g = 1e-12
         return g
+
+    def batched(self) -> BatchedDeviceModel:
+        """Vectorized counterpart of this model (cached).
+
+        Array-native consumers (the sparse nodal solver, the transient
+        engine) evaluate all devices of a crossbar through this interface in
+        one call.  Models ship native NumPy kernels where available; the
+        default is a loop-based adapter that keeps arbitrary scalar models
+        correct at their original speed.
+        """
+        cached = getattr(self, "_batched_cache", None)
+        if cached is None:
+            cached = self._make_batched()
+            self._batched_cache = cached
+        return cached
+
+    def _make_batched(self) -> BatchedDeviceModel:
+        return ScalarBatchedModel(self)
 
     def resistance(self, state: DeviceState, read_voltage_v: float = 0.2) -> float:
         """Static resistance V/I at the given read voltage [Ohm]."""

@@ -268,6 +268,16 @@ class JartVcmModel(MemristorModel):
         """Effective thermal resistance R_th,eff of the cell [K/W] (Eq. 6)."""
         return self.parameters.rth_eff_k_per_w
 
+    def _make_batched(self):
+        """Array-wide kernel backed by the Monte-Carlo vectorized model.
+
+        Imported lazily: :mod:`repro.montecarlo.vectorized` depends on this
+        module, so the import must not run at module-load time.
+        """
+        from ..montecarlo.vectorized import JartArrayModel
+
+        return JartArrayModel(self.parameters)
+
     # ------------------------------------------------------------------
     # characterisation helpers
     # ------------------------------------------------------------------

@@ -12,10 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K
 from ..errors import DeviceModelError
-from .base import DeviceState, MemristorModel
-from .windows import WindowFunction, get_window
+from .base import BatchedDeviceModel, DeviceState, MemristorModel
+from .windows import WindowFunction, get_batched_window, get_window
 
 
 @dataclass
@@ -95,3 +97,36 @@ class LinearIonDriftModel(MemristorModel):
 
     def lrs_state(self, ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K) -> DeviceState:
         return DeviceState(x=1.0, filament_temperature_k=ambient_temperature_k)
+
+    def _make_batched(self) -> BatchedDeviceModel:
+        return BatchedLinearIonDrift(self)
+
+
+class BatchedLinearIonDrift(BatchedDeviceModel):
+    """NumPy-vectorized linear ion drift kernel (closed-form, loop-free)."""
+
+    def __init__(self, model: LinearIonDriftModel):
+        self.parameters = model.parameters
+        self._window = get_batched_window(model.parameters.window)
+
+    def _memristance(self, x: np.ndarray) -> np.ndarray:
+        p = self.parameters
+        x = np.clip(x, 0.0, 1.0)
+        return p.r_on_ohm * x + p.r_off_ohm * (1.0 - x)
+
+    def current(self, voltage_v, x, temperature_k) -> np.ndarray:
+        voltage_v = np.asarray(voltage_v, dtype=np.float64)
+        if np.any(np.abs(voltage_v) > 10.0):
+            raise DeviceModelError("cell voltage outside the model validity range [-10, 10] V")
+        return voltage_v / self._memristance(np.asarray(x, dtype=np.float64))
+
+    def conductance(self, voltage_v, x, temperature_k) -> np.ndarray:
+        out = 1.0 / self._memristance(np.asarray(x, dtype=np.float64))
+        return np.broadcast_to(out, np.broadcast_shapes(out.shape, np.shape(voltage_v))).copy()
+
+    def state_derivative(self, voltage_v, x, temperature_k) -> np.ndarray:
+        p = self.parameters
+        current_a = self.current(voltage_v, x, temperature_k)
+        window = np.maximum(self._window(np.clip(np.asarray(x, dtype=np.float64), 0.0, 1.0), current_a), 0.0)
+        drift = p.mobility_m2_per_vs * p.r_on_ohm / (p.thickness_m ** 2)
+        return drift * current_a * window

@@ -11,9 +11,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+import numpy as np
+
 from ..errors import DeviceModelError
 
 WindowFunction = Callable[[float, float], float]
+
+#: Array-in/array-out window: (state array, current array) -> window array.
+BatchedWindowFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 def rectangular_window(x: float, current_a: float) -> float:
@@ -72,4 +77,43 @@ def get_window(name: str) -> WindowFunction:
     except KeyError as exc:
         raise DeviceModelError(
             f"unknown window function {name!r}; available: {sorted(WINDOW_FUNCTIONS)}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# vectorized counterparts (element-for-element identical to the scalars)
+# ----------------------------------------------------------------------
+
+
+def rectangular_window_batch(x: np.ndarray, current_a: np.ndarray) -> np.ndarray:
+    blocked = ((x <= 0.0) & (current_a < 0.0)) | ((x >= 1.0) & (current_a > 0.0))
+    return np.where(blocked, 0.0, 1.0)
+
+
+def biolek_window_batch(x: np.ndarray, current_a: np.ndarray, p: int = 2) -> np.ndarray:
+    if p < 1:
+        raise DeviceModelError("Biolek window order p must be >= 1")
+    step = np.where(current_a < 0.0, 1.0, 0.0)
+    return 1.0 - (x - step) ** (2 * p)
+
+
+#: Registry of the vectorized windows, keyed like :data:`WINDOW_FUNCTIONS`.
+#: The Joglekar and Prodromakis scalars are pure broadcast arithmetic and
+#: serve both registries unchanged; only the branching windows need
+#: dedicated branch-free variants.
+BATCHED_WINDOW_FUNCTIONS: Dict[str, BatchedWindowFunction] = {
+    "rectangular": rectangular_window_batch,
+    "joglekar": joglekar_window,
+    "biolek": biolek_window_batch,
+    "prodromakis": prodromakis_window,
+}
+
+
+def get_batched_window(name: str) -> BatchedWindowFunction:
+    """Look up the vectorized variant of a window function by name."""
+    try:
+        return BATCHED_WINDOW_FUNCTIONS[name]
+    except KeyError as exc:
+        raise DeviceModelError(
+            f"unknown window function {name!r}; available: {sorted(BATCHED_WINDOW_FUNCTIONS)}"
         ) from exc

@@ -14,8 +14,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import DeviceModelError
-from .base import DeviceState, MemristorModel
+from .base import BatchedDeviceModel, DeviceState, MemristorModel
 
 
 @dataclass
@@ -111,3 +113,53 @@ class YakopcicModel(MemristorModel):
         # HRS an ideal open circuit; use a small residual state instead so the
         # crossbar solver always sees a finite conductance.
         return DeviceState(x=0.01, filament_temperature_k=ambient_temperature_k)
+
+    def _make_batched(self) -> BatchedDeviceModel:
+        return BatchedYakopcic(self)
+
+
+class BatchedYakopcic(BatchedDeviceModel):
+    """NumPy-vectorized Yakopcic kernel (closed-form, loop-free).
+
+    Conductance falls back to the inherited finite-difference rule, matching
+    the scalar model (which does not override the default either).
+    """
+
+    def __init__(self, model: YakopcicModel):
+        self.parameters = model.parameters
+
+    def current(self, voltage_v, x, temperature_k) -> np.ndarray:
+        p = self.parameters
+        voltage_v = np.asarray(voltage_v, dtype=np.float64)
+        if np.any(np.abs(voltage_v) > 10.0):
+            raise DeviceModelError("cell voltage outside the model validity range [-10, 10] V")
+        x = np.clip(np.asarray(x, dtype=np.float64), 0.0, 1.0)
+        amplitude = np.where(voltage_v >= 0.0, p.a1, p.a2)
+        return amplitude * x * np.sinh(p.b * voltage_v)
+
+    def state_derivative(self, voltage_v, x, temperature_k) -> np.ndarray:
+        p = self.parameters
+        voltage_v = np.asarray(voltage_v, dtype=np.float64)
+        x = np.clip(np.asarray(x, dtype=np.float64), 0.0, 1.0)
+        motion = np.where(
+            voltage_v > p.v_p,
+            p.a_p * (np.exp(voltage_v) - math.exp(p.v_p)),
+            np.where(
+                voltage_v < -p.v_n,
+                -p.a_n * (np.exp(-voltage_v) - math.exp(p.v_n)),
+                0.0,
+            ),
+        )
+        span_p = 1.0 - p.x_p
+        window_pos = np.where(
+            x < p.x_p,
+            1.0,
+            np.exp(-(x - p.x_p) / span_p) if span_p > 0 else 0.0,
+        )
+        window_neg = np.where(
+            x > p.x_n,
+            1.0,
+            np.exp((x - p.x_n) / p.x_n) if p.x_n > 0 else 0.0,
+        )
+        window = np.where(motion > 0.0, window_pos, window_neg)
+        return np.where(motion == 0.0, 0.0, motion * window)

@@ -37,6 +37,7 @@ from .engine import MonteCarloConfig, MonteCarloEngine, MonteCarloResult, Nomina
 from .maps import FlipProbabilityMap, MapAxis, flip_probability_map
 from .sampling import ParameterDistribution, PopulationDraw, PopulationSampler
 from .vectorized import (
+    JartArrayModel,
     BatchOperatingPoint,
     BatchPulseCountResult,
     BatchSwitchingResult,
@@ -47,6 +48,7 @@ from .vectorized import (
 )
 
 __all__ = [
+    "JartArrayModel",
     "MonteCarloConfig",
     "MonteCarloEngine",
     "MonteCarloResult",

@@ -36,6 +36,7 @@ from ..constants import (
     ELEMENTARY_CHARGE_C,
     RICHARDSON_A_PER_M2K2,
 )
+from ..devices.base import BatchedDeviceModel
 from ..devices.jart_vcm import JartVcmParameters
 from ..errors import ConvergenceError, DeviceModelError
 from ..utils.logging import get_logger
@@ -285,6 +286,52 @@ class VectorizedJartVcm:
         rate = np.where((voltage_v < 0.0) & (x <= 0.0), 0.0, rate)
         rate = np.where(voltage_v == 0.0, 0.0, rate)
         return rate
+
+
+# ----------------------------------------------------------------------
+# array-wide batched kernel (single parameter set, arbitrary input shape)
+# ----------------------------------------------------------------------
+
+
+class JartArrayModel(BatchedDeviceModel):
+    """The JART VCM kernel as an array-wide :class:`BatchedDeviceModel`.
+
+    Where :class:`VectorizedJartVcm` carries one *sampled* parameter set per
+    lane (a Monte-Carlo population), this adapter carries a single nominal
+    parameter set broadcast against inputs of arbitrary shape — exactly what
+    the crossbar nodal solver and the transient engine need to evaluate all
+    ``rows x columns`` devices of an array in one call.  It reuses the
+    population kernel with a single lane, so both paths share the same
+    Newton-in-asinh-space current solve and kinetics code.
+
+    Conductance uses the inherited finite-difference rule, which mirrors the
+    scalar :meth:`~repro.devices.base.MemristorModel.conductance` default
+    step-for-step; agreement with the scalar stamp loop is therefore limited
+    only by the ~1e-15 current-solve agreement established by this module's
+    property tests.
+    """
+
+    def __init__(self, parameters: Optional[JartVcmParameters] = None):
+        self._kernel = VectorizedJartVcm(1, base=parameters)
+
+    @property
+    def kernel(self) -> VectorizedJartVcm:
+        """The underlying single-lane population kernel."""
+        return self._kernel
+
+    def current(self, voltage_v, x, temperature_k) -> np.ndarray:
+        return self._kernel.current(
+            np.asarray(voltage_v, dtype=np.float64),
+            np.asarray(x, dtype=np.float64),
+            np.asarray(temperature_k, dtype=np.float64),
+        )
+
+    def state_derivative(self, voltage_v, x, temperature_k) -> np.ndarray:
+        return self._kernel.state_derivative(
+            np.asarray(voltage_v, dtype=np.float64),
+            np.asarray(x, dtype=np.float64),
+            np.asarray(temperature_k, dtype=np.float64),
+        )
 
 
 # ----------------------------------------------------------------------

@@ -45,6 +45,24 @@ class CouplingModel(abc.ABC):
     def alpha_between(self, aggressor: Cell, victim: Cell) -> float:
         """Alpha value describing how strongly ``aggressor`` heats ``victim``."""
 
+    def alpha_table(self) -> np.ndarray:
+        """Full ``(cells, cells)`` alpha table in row-major cell order.
+
+        ``table[a, v]`` is ``alpha_between(cell_a, cell_v)`` (1.0 on the
+        diagonal).  The default evaluates the scalar kernel pairwise; models
+        with a closed-form kernel override this with a vectorized build —
+        the crosstalk hub calls it once per crossbar, and the pairwise loop
+        is the dominant construction cost for large arrays.
+        """
+        cells = list(self.geometry.iter_cells())
+        count = len(cells)
+        table = np.ones((count, count))
+        for a_index, aggressor in enumerate(cells):
+            for v_index, victim in enumerate(cells):
+                if a_index != v_index:
+                    table[a_index, v_index] = self.alpha_between(aggressor, victim)
+        return table
+
     def matrix_for(self, aggressor: Cell) -> "AlphaMatrix":
         """Dense (rows x columns) alpha matrix for one aggressor cell."""
         g = self.geometry
@@ -134,6 +152,30 @@ class AnalyticCouplingModel(CouplingModel):
         amplitude = p.line_amplitude if shares_line else p.oxide_amplitude
         alpha = amplitude * float(np.exp(-distance / p.decay_length_m))
         return min(alpha, p.max_alpha)
+
+    def alpha_table(self) -> np.ndarray:
+        """Vectorized pairwise build of the full alpha table.
+
+        Element-for-element identical to :meth:`alpha_between` but built from
+        broadcast distance arithmetic, which turns the O(cells^2) Python loop
+        of the generic fallback into a handful of array operations.
+        """
+        g = self.geometry
+        p = self.parameters
+        rows = np.arange(g.rows)
+        cols = np.arange(g.columns)
+        cell_rows = np.repeat(rows, g.columns)
+        cell_cols = np.tile(cols, g.rows)
+        dy = (cell_rows[:, None] - cell_rows[None, :]) * g.pitch_m
+        dx = (cell_cols[:, None] - cell_cols[None, :]) * g.pitch_m
+        distance = np.sqrt(dx * dx + dy * dy)
+        shares_line = (cell_rows[:, None] == cell_rows[None, :]) | (
+            cell_cols[:, None] == cell_cols[None, :]
+        )
+        amplitude = np.where(shares_line, p.line_amplitude, p.oxide_amplitude)
+        table = np.minimum(amplitude * np.exp(-distance / p.decay_length_m), p.max_alpha)
+        np.fill_diagonal(table, 1.0)
+        return table
 
 
 class ExtractedCouplingModel(CouplingModel):

@@ -1,0 +1,276 @@
+"""Sparse vectorized nodal solver vs. the legacy dense reference path.
+
+Mirrors the PR-2 scalar-vs-vectorized harness of ``tests/test_montecarlo.py``:
+the array-native :class:`CrossbarSolver` must reproduce the seed
+:class:`ReferenceCrossbarSolver` element-for-element — node voltages, device
+voltages, device currents and residual behaviour — within 1e-9 relative
+tolerance across random geometries, bias patterns and mixed HRS/LRS states.
+In practice the two paths track each other to ~1e-13 (dense vs. sparse LU
+rounding); the 1e-9 budget is the acceptance criterion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    BiasPattern,
+    CrossbarSolver,
+    ReferenceCrossbarSolver,
+    build_crossbar_netlist,
+    write_bias,
+)
+from repro.config import CrossbarGeometry, WireParameters
+from repro.devices import (
+    DeviceState,
+    DeviceStateArrays,
+    JartVcmModel,
+    LinearIonDriftModel,
+    ScalarBatchedModel,
+    YakopcicModel,
+)
+from repro.errors import ConfigurationError
+
+RTOL = 1e-9
+#: Absolute floors: node voltages live on ~1 V scales, device currents on
+#: ~1e-6..1e-3 A scales; entries near zero are compared against these floors.
+ATOL_V = 1e-12
+ATOL_A = 1e-15
+
+
+def random_states(rng: np.random.Generator, geometry: CrossbarGeometry) -> DeviceStateArrays:
+    """Mixed HRS/LRS states with randomised temperatures."""
+    states = DeviceStateArrays(geometry.rows, geometry.columns)
+    states.x[...] = rng.choice([0.0, 1.0, 0.3, 0.8], size=states.shape)
+    states.temperature_k[...] = rng.uniform(300.0, 700.0, size=states.shape)
+    return states
+
+
+def random_bias(rng: np.random.Generator, geometry: CrossbarGeometry) -> BiasPattern:
+    """Random driven/floating line voltages (floating with 20 % probability)."""
+
+    def line_voltages(count: int):
+        voltages = {}
+        for i in range(count):
+            if rng.uniform() < 0.2:
+                voltages[i] = None
+            else:
+                voltages[i] = float(rng.uniform(-1.2, 1.2))
+        return voltages
+
+    return BiasPattern(
+        row_voltages_v=line_voltages(geometry.rows),
+        column_voltages_v=line_voltages(geometry.columns),
+        label="random",
+    )
+
+
+def assert_same_operating_point(fast, reference):
+    np.testing.assert_allclose(
+        fast.device_voltages_v, reference.device_voltages_v, rtol=RTOL, atol=ATOL_V
+    )
+    np.testing.assert_allclose(
+        fast.device_currents_a, reference.device_currents_a, rtol=RTOL, atol=ATOL_A
+    )
+    np.testing.assert_allclose(
+        fast.device_powers_w, reference.device_powers_w, rtol=RTOL, atol=ATOL_V * ATOL_A
+    )
+    for name, value in reference.node_voltages_v.items():
+        assert fast.node_voltages_v[name] == pytest.approx(value, rel=RTOL, abs=ATOL_V)
+
+
+class TestSparseSolverAgreement:
+    def test_property_random_geometries_biases_and_states(self):
+        """The headline property: element-for-element agreement on seeded cases."""
+        rng = np.random.default_rng(2024)
+        model = JartVcmModel()
+        for case in range(12):
+            rows = int(rng.integers(2, 6))
+            columns = int(rng.integers(2, 6))
+            geometry = CrossbarGeometry(rows=rows, columns=columns)
+            wires = WireParameters(
+                segment_resistance_ohm=float(rng.uniform(0.5, 50.0)),
+                driver_resistance_ohm=float(rng.uniform(10.0, 500.0)),
+            )
+            netlist = build_crossbar_netlist(geometry, wires)
+            states = random_states(rng, geometry)
+            bias = random_bias(rng, geometry)
+
+            fast = CrossbarSolver(netlist, model)
+            reference = ReferenceCrossbarSolver(netlist, model)
+            fast_op = fast.solve(bias, states)
+            ref_op = reference.solve(bias, states.as_mapping())
+
+            assert_same_operating_point(fast_op, ref_op)
+            assert fast_op.iterations == ref_op.iterations, f"case {case}"
+            assert fast_op.residual_a < fast.residual_tolerance_a
+            assert ref_op.residual_a < reference.residual_tolerance_a
+
+    @pytest.mark.parametrize("model_factory", [JartVcmModel, LinearIonDriftModel, YakopcicModel])
+    def test_agreement_across_device_models(self, model_factory):
+        rng = np.random.default_rng(7)
+        model = model_factory()
+        geometry = CrossbarGeometry(rows=4, columns=3)
+        netlist = build_crossbar_netlist(geometry)
+        states = random_states(rng, geometry)
+        if isinstance(model, YakopcicModel):
+            # The Yakopcic conduction term vanishes at x = 0 (open circuit);
+            # keep every lane at a finite conductance as the model's own
+            # hrs_state does.
+            states.x[...] = np.maximum(states.x, 0.01)
+        bias = write_bias(geometry, [(1, 1)], 1.0)
+
+        fast_op = CrossbarSolver(netlist, model).solve(bias, states)
+        ref_op = ReferenceCrossbarSolver(netlist, model).solve(bias, states.as_mapping())
+        assert_same_operating_point(fast_op, ref_op)
+
+    def test_mapping_and_array_states_give_identical_results(self, small_geometry):
+        model = JartVcmModel()
+        netlist = build_crossbar_netlist(small_geometry)
+        rng = np.random.default_rng(3)
+        states = random_states(rng, small_geometry)
+        bias = write_bias(small_geometry, [(1, 1)], 1.05)
+
+        from_arrays = CrossbarSolver(netlist, model).solve(bias, states)
+        legacy_mapping = {
+            cell: DeviceState(float(states.x[cell]), float(states.temperature_k[cell]))
+            for cell in small_geometry.iter_cells()
+        }
+        from_mapping = CrossbarSolver(netlist, model).solve(bias, legacy_mapping)
+        np.testing.assert_array_equal(from_arrays.device_voltages_v, from_mapping.device_voltages_v)
+        np.testing.assert_array_equal(from_arrays.device_currents_a, from_mapping.device_currents_a)
+
+    def test_sparse_and_dense_backends_agree(self, small_geometry):
+        pytest.importorskip("scipy")
+        model = JartVcmModel()
+        netlist = build_crossbar_netlist(small_geometry)
+        states = DeviceStateArrays(small_geometry.rows, small_geometry.columns)
+        states.x[1, 1] = 1.0
+        bias = write_bias(small_geometry, [(1, 1)], 1.05)
+
+        sparse = CrossbarSolver(netlist, model, backend="sparse")
+        dense = CrossbarSolver(netlist, model, backend="dense")
+        op_sparse = sparse.solve(bias, states)
+        op_dense = dense.solve(bias, states)
+        assert sparse.last_backend == "sparse"
+        assert dense.last_backend == "dense"
+        np.testing.assert_allclose(
+            op_sparse.device_voltages_v, op_dense.device_voltages_v, rtol=RTOL, atol=ATOL_V
+        )
+
+    def test_auto_backend_crossover(self, small_geometry):
+        pytest.importorskip("scipy")
+        model = JartVcmModel()
+        netlist = build_crossbar_netlist(small_geometry)
+        states = DeviceStateArrays(small_geometry.rows, small_geometry.columns)
+        bias = write_bias(small_geometry, [(0, 0)], 0.8)
+        # 3x3 -> 24 nodes: auto picks dense below the crossover ...
+        auto = CrossbarSolver(netlist, model)
+        auto.solve(bias, states)
+        assert auto.last_backend == "dense"
+        # ... and sparse once the crossover is lowered below the node count.
+        forced = CrossbarSolver(netlist, model, dense_crossover_nodes=10)
+        forced.solve(bias, states)
+        assert forced.last_backend == "sparse"
+
+    def test_unknown_backend_rejected(self, small_geometry):
+        netlist = build_crossbar_netlist(small_geometry)
+        with pytest.raises(ConfigurationError):
+            CrossbarSolver(netlist, JartVcmModel(), backend="magic")
+
+    def test_state_shape_mismatch_rejected(self, small_geometry):
+        netlist = build_crossbar_netlist(small_geometry)
+        solver = CrossbarSolver(netlist, JartVcmModel())
+        wrong = DeviceStateArrays(small_geometry.rows + 1, small_geometry.columns)
+        with pytest.raises(ConfigurationError):
+            solver.solve(write_bias(small_geometry, [(0, 0)], 0.5), wrong)
+
+    def test_node_voltage_map_behaves_like_the_legacy_dict(self, small_geometry):
+        netlist = build_crossbar_netlist(small_geometry)
+        states = DeviceStateArrays(small_geometry.rows, small_geometry.columns)
+        op = CrossbarSolver(netlist, JartVcmModel()).solve(
+            write_bias(small_geometry, [(1, 1)], 1.05), states
+        )
+        assert op.node_voltages_v["gnd"] == 0.0
+        assert len(op.node_voltages_v) == netlist.node_count + 1
+        assert set(op.node_voltages_v) == set(netlist.nodes) | {"gnd"}
+        as_dict = dict(op.node_voltages_v)
+        assert as_dict["wl_1_1"] == op.node_voltages_v["wl_1_1"]
+        with pytest.raises(KeyError):
+            op.node_voltages_v["no_such_node"]
+
+    def test_warm_start_reuses_previous_solution(self, small_geometry):
+        netlist = build_crossbar_netlist(small_geometry)
+        solver = CrossbarSolver(netlist, JartVcmModel())
+        states = DeviceStateArrays(small_geometry.rows, small_geometry.columns)
+        bias = write_bias(small_geometry, [(1, 1)], 1.05)
+        first = solver.solve(bias, states)
+        second = solver.solve(bias, states)
+        assert second.iterations <= first.iterations
+        assert second.cell_voltage((1, 1)) == pytest.approx(first.cell_voltage((1, 1)), abs=1e-6)
+
+
+class TestBatchedModelKernels:
+    """The batched kernels must mirror their scalar models element-for-element."""
+
+    def _grids(self, seed: int):
+        rng = np.random.default_rng(seed)
+        voltage = rng.uniform(-1.5, 1.5, 64)
+        voltage[:4] = [0.0, 1e-6, -1e-6, 1.2]
+        x = rng.uniform(0.0, 1.0, 64)
+        x[:4] = [0.0, 1.0, 0.5, 0.01]
+        temperature = rng.uniform(250.0, 900.0, 64)
+        return voltage, x, temperature
+
+    @pytest.mark.parametrize(
+        "model_factory", [JartVcmModel, LinearIonDriftModel, YakopcicModel]
+    )
+    def test_batched_matches_scalar(self, model_factory):
+        model = model_factory()
+        batched = model.batched()
+        voltage, x, temperature = self._grids(11)
+        for name in ("current", "conductance", "state_derivative"):
+            batch_values = getattr(batched, name)(voltage, x, temperature)
+            scalar_values = np.array(
+                [
+                    getattr(model, name)(float(v), DeviceState(float(xi), float(ti)))
+                    for v, xi, ti in zip(voltage, x, temperature)
+                ]
+            )
+            np.testing.assert_allclose(
+                batch_values, scalar_values, rtol=RTOL, atol=1e-30, err_msg=name
+            )
+
+    def test_batched_kernels_are_cached(self):
+        model = JartVcmModel()
+        assert model.batched() is model.batched()
+
+    def test_scalar_fallback_adapter_matches_native_kernel(self):
+        model = JartVcmModel()
+        fallback = ScalarBatchedModel(model)
+        native = model.batched()
+        voltage, x, temperature = self._grids(23)
+        np.testing.assert_allclose(
+            fallback.current(voltage, x, temperature),
+            native.current(voltage, x, temperature),
+            rtol=RTOL,
+            atol=1e-30,
+        )
+
+    def test_custom_scalar_models_fall_back_to_the_loop_adapter(self):
+        class ToyModel(LinearIonDriftModel):
+            def _make_batched(self):  # pretend there is no native kernel
+                return super(LinearIonDriftModel, self)._make_batched()
+
+        model = ToyModel()
+        assert isinstance(model.batched(), ScalarBatchedModel)
+        netlist = build_crossbar_netlist(CrossbarGeometry(rows=2, columns=2))
+        states = DeviceStateArrays(2, 2)
+        op = CrossbarSolver(netlist, model).solve(
+            write_bias(CrossbarGeometry(rows=2, columns=2), [(0, 0)], 1.0), states
+        )
+        ref = ReferenceCrossbarSolver(netlist, LinearIonDriftModel()).solve(
+            write_bias(CrossbarGeometry(rows=2, columns=2), [(0, 0)], 1.0), states.as_mapping()
+        )
+        assert_same_operating_point(op, ref)
