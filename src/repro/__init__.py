@@ -65,15 +65,22 @@ from .config import (
 from .devices import DeviceState, JartVcmModel, JartVcmParameters
 from .errors import CampaignError, MonteCarloError, ReproError
 from .montecarlo import (
+    FullArrayMonteCarloResult,
     MonteCarloConfig,
     MonteCarloEngine,
     MonteCarloResult,
     ParameterDistribution,
     flip_probability_map,
 )
-from .thermal import AnalyticCouplingModel, HeatSolver, build_voxel_model, extract_alpha_values
+from .thermal import (
+    AnalyticCouplingModel,
+    HeatSolver,
+    build_voxel_model,
+    extract_alpha_values,
+    make_crosstalk_operator,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -106,8 +113,10 @@ __all__ = [
     "MonteCarloConfig",
     "MonteCarloEngine",
     "MonteCarloResult",
+    "FullArrayMonteCarloResult",
     "ParameterDistribution",
     "flip_probability_map",
+    "make_crosstalk_operator",
     "YieldScenario",
     "WorstCaseCornerScenario",
 ]

@@ -6,8 +6,8 @@ Subcommands::
     repro campaign run SPEC.json [--workers N] [--cache DIR] [--no-cache]
                                  [--timeout S] [--chunksize N] [--save DIR] [--json]
     repro campaign status SPEC.json [--cache DIR]
-    repro mc run SPEC.json [--samples N] [--seed N] [--scalar] [--rows N]
-                           [--save DIR] [--json]
+    repro mc run SPEC.json [--samples N] [--seed N] [--mode anchored|full_array]
+                           [--scalar] [--rows N] [--save DIR] [--json]
     repro mc map SPEC.json [--workers N] [--cache DIR] [--save DIR] [--json]
     repro version
 
@@ -101,8 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
     mc_run.add_argument("--samples", type=int, default=None, help="override the population size")
     mc_run.add_argument("--seed", type=int, default=None, help="override the population seed")
     mc_run.add_argument(
+        "--mode", choices=("anchored", "full_array"), default=None,
+        help="override the evaluation mode: anchored per-victim lanes or whole-array re-solves",
+    )
+    mc_run.add_argument(
         "--scalar", action="store_true",
-        help="use the scalar reference engine instead of the vectorized one",
+        help="use the scalar reference engine instead of the vectorized one (anchored mode only)",
     )
     mc_run.add_argument("--rows", type=int, default=16, metavar="N", help="per-cell table rows to print")
     mc_run.add_argument("--save", metavar="DIR", help="write the population CSV/JSON exports into DIR")
@@ -250,6 +254,8 @@ def _cmd_mc_run(args: argparse.Namespace) -> int:
         montecarlo.n_samples = args.samples
     if args.seed is not None:
         montecarlo.seed = args.seed
+    if args.mode is not None:
+        montecarlo.mode = args.mode
     engine = MonteCarloEngine(
         montecarlo,
         simulation=SimulationConfig.from_dict(spec.simulation),

@@ -12,12 +12,19 @@ uses temperature *rises* so that a crossbar sitting idle at ambient does not
 heat itself — this is the physically consistent reading of the alpha
 regression (Eq. 4), which relates neighbour temperature rises to the
 aggressor's dissipated power.
+
+The sum is applied through a structured
+:class:`~repro.thermal.operator.CrosstalkOperator` selected per coupling
+model: translation-invariant models (all three shipped ones) run as an
+O(N log N) FFT convolution or an O(taps * N) stencil, so the hub never
+materialises the O(cells^2) alpha table; custom non-stationary models fall
+back to the dense table automatically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -25,6 +32,7 @@ from ..config import CrossbarGeometry
 from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K
 from ..errors import ConfigurationError
 from ..thermal.coupling import CouplingModel
+from ..thermal.operator import CrosstalkOperator, make_crosstalk_operator
 
 Cell = Tuple[int, int]
 
@@ -35,27 +43,47 @@ class CrosstalkHub:
 
     coupling: CouplingModel
     ambient_temperature_k: float = DEFAULT_AMBIENT_TEMPERATURE_K
+    #: Operator backend: "auto" (structured where the coupling model states
+    #: an offset kernel, dense otherwise), "fft", "stencil" or "dense".
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.ambient_temperature_k <= 0:
             raise ConfigurationError("ambient temperature must be positive")
-        geometry = self.coupling.geometry
-        # Pre-compute the full coupling tensor alpha[aggressor, victim] once;
-        # the coupling model builds it vectorized where it has a closed-form
-        # kernel (the diagonal is zeroed: a cell does not crosstalk itself).
-        cells = list(geometry.iter_cells())
-        self._cell_index = {cell: index for index, cell in enumerate(cells)}
-        self._alpha = np.array(self.coupling.alpha_table(), dtype=float)
-        np.fill_diagonal(self._alpha, 0.0)
+        self.operator: CrosstalkOperator = make_crosstalk_operator(
+            self.coupling, backend=self.backend
+        )
 
     @property
     def geometry(self) -> CrossbarGeometry:
         """Geometry of the underlying crossbar."""
         return self.coupling.geometry
 
+    @property
+    def operator_backend(self) -> str:
+        """Backend the selected operator runs on ("fft", "stencil", "dense")."""
+        return self.operator.backend
+
+    @property
+    def alpha_state_bytes(self) -> int:
+        """Memory held by the operator's alpha state (kernel or dense table)."""
+        return self.operator.state_bytes
+
     def alpha_between(self, aggressor: Cell, victim: Cell) -> float:
         """Coupling coefficient from aggressor to victim."""
-        return float(self._alpha[self._cell_index[tuple(aggressor)], self._cell_index[tuple(victim)]])
+        geometry = self.geometry
+        geometry.validate_cell(*aggressor)
+        geometry.validate_cell(*victim)
+        return self.operator.alpha_between(tuple(aggressor), tuple(victim))
+
+    def _rises(self, filament_temperatures_k: np.ndarray) -> np.ndarray:
+        geometry = self.geometry
+        expected = (geometry.rows, geometry.columns)
+        if filament_temperatures_k.shape != expected:
+            raise ConfigurationError(
+                f"temperature map shape {filament_temperatures_k.shape} does not match {expected}"
+            )
+        return np.maximum(filament_temperatures_k - self.ambient_temperature_k, 0.0)
 
     def additional_temperatures(
         self, filament_temperatures_k: np.ndarray
@@ -67,21 +95,21 @@ class CrosstalkHub:
                 filament temperatures *excluding* crosstalk (self-heating on
                 top of ambient).
         """
-        geometry = self.geometry
-        expected = (geometry.rows, geometry.columns)
-        if filament_temperatures_k.shape != expected:
-            raise ConfigurationError(
-                f"temperature map shape {filament_temperatures_k.shape} does not match {expected}"
-            )
-        rises = np.maximum(filament_temperatures_k - self.ambient_temperature_k, 0.0).ravel()
-        additional = self._alpha.T @ rises
-        return additional.reshape(expected)
+        return self.operator.apply(self._rises(filament_temperatures_k))
 
     def additional_temperature_for(
         self, victim: Cell, filament_temperatures_k: np.ndarray
     ) -> float:
-        """Additional temperature of a single victim cell [K]."""
-        return float(self.additional_temperatures(filament_temperatures_k)[victim[0], victim[1]])
+        """Additional temperature of a single victim cell [K].
+
+        Single-victim fast path: evaluates one output cell in O(cells)
+        through the operator instead of computing the full array and
+        indexing it.
+        """
+        self.geometry.validate_cell(*victim)
+        return self.operator.apply_single(
+            tuple(victim), self._rises(filament_temperatures_k)
+        )
 
     def aggressor_contribution(
         self, aggressor: Cell, victim: Cell, aggressor_temperature_k: float

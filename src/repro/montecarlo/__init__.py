@@ -33,14 +33,21 @@ Typical use::
     print(result.flip_probability, result.summary())
 """
 
-from .engine import MonteCarloConfig, MonteCarloEngine, MonteCarloResult, NominalConditions
+from .engine import (
+    FullArrayMonteCarloResult,
+    MonteCarloConfig,
+    MonteCarloEngine,
+    MonteCarloResult,
+    NominalConditions,
+)
 from .maps import FlipProbabilityMap, MapAxis, flip_probability_map
-from .sampling import ParameterDistribution, PopulationDraw, PopulationSampler
+from .sampling import ArrayPopulationDraw, ParameterDistribution, PopulationDraw, PopulationSampler
 from .vectorized import (
     JartArrayModel,
     BatchOperatingPoint,
     BatchPulseCountResult,
     BatchSwitchingResult,
+    SampledArrayJartModel,
     VectorizedJartVcm,
     pulses_to_switch_batch,
     solve_operating_point_batch,
@@ -49,6 +56,9 @@ from .vectorized import (
 
 __all__ = [
     "JartArrayModel",
+    "SampledArrayJartModel",
+    "FullArrayMonteCarloResult",
+    "ArrayPopulationDraw",
     "MonteCarloConfig",
     "MonteCarloEngine",
     "MonteCarloResult",

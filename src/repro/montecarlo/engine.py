@@ -37,15 +37,29 @@ from ..devices.jart_vcm import JartVcmModel
 from ..devices.kinetics import pulses_to_switch
 from ..devices.thermal import solve_operating_point
 from ..errors import ConvergenceError, DeviceModelError, MonteCarloError
+from ..circuit.drivers import write_bias
 from .sampling import ParameterDistribution, PopulationDraw, PopulationSampler
-from .vectorized import VectorizedJartVcm, pulses_to_switch_batch, solve_operating_point_batch
+from .vectorized import (
+    SampledArrayJartModel,
+    VectorizedJartVcm,
+    pulses_to_switch_batch,
+    solve_operating_point_batch,
+)
+
+
+#: Evaluation modes of :class:`MonteCarloEngine`.
+MONTECARLO_MODES = ("anchored", "full_array")
+
+#: Victim selections of the full-array mode.
+VICTIM_MODES = ("half_selected", "all")
 
 
 @dataclass
 class MonteCarloConfig(JsonConfig):
     """Configuration of a Monte-Carlo population run."""
 
-    #: Number of sampled victim cells.
+    #: Number of sampled victim cells (``anchored``) or sampled whole arrays
+    #: (``full_array``).
     n_samples: int = 256
     #: Root seed of the population (see :mod:`repro.utils.rng`).
     seed: int = 0
@@ -53,12 +67,29 @@ class MonteCarloConfig(JsonConfig):
     distributions: List[ParameterDistribution] = field(default_factory=list)
     #: Initial normalised state of every victim.
     x_start: float = 0.0
+    #: ``"anchored"`` — every sample is one victim cell anchored to the
+    #: nominal circuit solve; ``"full_array"`` — every sample is a whole
+    #: crossbar with per-cell device draws whose nodal operating point is
+    #: re-solved, with multiple victims evaluated per array.
+    mode: str = "anchored"
+    #: Victims evaluated per sampled array (``full_array`` only):
+    #: ``"half_selected"`` — cells sharing a word/bit line with an aggressor,
+    #: ``"all"`` — every non-aggressor cell.
+    victim_mode: str = "half_selected"
 
     def __post_init__(self) -> None:
         if self.n_samples < 1:
             raise MonteCarloError("n_samples must be at least 1")
         if not 0.0 <= self.x_start <= 1.0:
             raise MonteCarloError("x_start must lie in [0, 1]")
+        if self.mode not in MONTECARLO_MODES:
+            raise MonteCarloError(
+                f"unknown Monte-Carlo mode {self.mode!r}; expected one of {MONTECARLO_MODES}"
+            )
+        if self.victim_mode not in VICTIM_MODES:
+            raise MonteCarloError(
+                f"unknown victim mode {self.victim_mode!r}; expected one of {VICTIM_MODES}"
+            )
         self.distributions = [
             dist if isinstance(dist, ParameterDistribution) else ParameterDistribution.from_dict(dist)
             for dist in self.distributions
@@ -195,6 +226,57 @@ class MonteCarloResult:
         return result
 
 
+@dataclass
+class FullArrayMonteCarloResult(MonteCarloResult):
+    """Outcomes of a full-array population.
+
+    Lanes are ``(array, victim)`` pairs in array-major order: lane
+    ``k * victims_per_array + j`` is victim ``victims[j]`` of sampled array
+    ``k``.  All the per-lane statistics of :class:`MonteCarloResult` apply;
+    the additional fields slice them per array.
+    """
+
+    n_arrays: int = 0
+    #: Victim cells evaluated in every sampled array (row-major order).
+    victims: List[tuple] = field(default_factory=list)
+    #: False where a sampled array's nodal solve failed entirely.
+    array_valid: np.ndarray = None
+
+    @property
+    def victims_per_array(self) -> int:
+        return len(self.victims)
+
+    @property
+    def array_flips(self) -> np.ndarray:
+        """Per-array count of flipped victims, shape (n_arrays,)."""
+        return (self.flipped & self.valid).reshape(self.n_arrays, -1).sum(axis=1)
+
+    @property
+    def array_flip_probability(self) -> float:
+        """Fraction of valid sampled arrays with at least one flipped victim."""
+        valid = int(self.array_valid.sum())
+        if not valid:
+            return 0.0
+        return float((self.array_flips[self.array_valid] > 0).sum() / valid)
+
+    def victim_lane(self, victim) -> int:
+        """Lane offset of one victim cell within each array's block."""
+        return self.victims.index(tuple(victim))
+
+    def summary(self) -> Dict[str, Any]:
+        summary = super().summary()
+        summary.update(
+            {
+                "mode": "full_array",
+                "n_arrays": self.n_arrays,
+                "victims_per_array": self.victims_per_array,
+                "valid_arrays": int(self.array_valid.sum()),
+                "array_flip_probability": self.array_flip_probability,
+            }
+        )
+        return summary
+
+
 class MonteCarloEngine:
     """Evaluates flip statistics over sampled victim-cell populations."""
 
@@ -216,6 +298,17 @@ class MonteCarloEngine:
     # nominal circuit anchor
     # ------------------------------------------------------------------
 
+    def _single_phase_pattern(self, hammer: NeuroHammer) -> AttackPattern:
+        """Resolve and validate the attack pattern both modes evaluate."""
+        pattern = self._pattern if self._pattern is not None else hammer._pattern_from_config(self.attack)
+        pattern.validate(hammer.crossbar.geometry)
+        if len(pattern.phases) != 1:
+            raise MonteCarloError(
+                f"pattern {pattern.name!r} hammers in {len(pattern.phases)} interleaved phases; "
+                "the Monte-Carlo engine models single-phase (simultaneous) patterns"
+            )
+        return pattern
+
     def nominal_conditions(self) -> NominalConditions:
         """Solve (once) the nominal crossbar operating point of the attack."""
         if self._conditions is not None:
@@ -226,13 +319,7 @@ class MonteCarloEngine:
             ambient_temperature_k=self.attack.ambient_temperature_k,
         )
         hammer = NeuroHammer(crossbar)
-        pattern = self._pattern if self._pattern is not None else hammer._pattern_from_config(self.attack)
-        pattern.validate(crossbar.geometry)
-        if len(pattern.phases) != 1:
-            raise MonteCarloError(
-                f"pattern {pattern.name!r} hammers in {len(pattern.phases)} interleaved phases; "
-                "the Monte-Carlo engine models single-phase (simultaneous) patterns"
-            )
+        pattern = self._single_phase_pattern(hammer)
         hammer.prepare(pattern)
         point = hammer.phase_operating_point(
             pattern, pattern.phases[0], self.attack.pulse.amplitude_v, self.attack.bias_scheme
@@ -273,14 +360,9 @@ class MonteCarloEngine:
         (the attribute chain mirrors the dotted path; ``operating.*`` leaves
         are attributes of :class:`NominalConditions`).
         """
-        from dataclasses import fields as dc_fields
-
         from .sampling import ATTACK_PATHS, OPERATING_PATHS
 
-        device = self._device_base()
-        nominals = {
-            f"device.{f.name}": float(getattr(device, f.name)) for f in dc_fields(type(device))
-        }
+        nominals = self._device_nominals()
         roots = {"attack": self.attack, "operating": conditions}
         for path in ATTACK_PATHS + OPERATING_PATHS:
             root, rest = path.split(".", 1)
@@ -294,21 +376,51 @@ class MonteCarloEngine:
         """The nominal device parameter set of the population."""
         return JartVcmModel().parameters
 
+    def _device_nominals(self) -> Dict[str, float]:
+        """``{device.<field>: nominal}`` for every sampleable device path."""
+        from dataclasses import fields as dc_fields
+
+        device = self._device_base()
+        return {
+            f"device.{f.name}": float(getattr(device, f.name)) for f in dc_fields(type(device))
+        }
+
     def sample(self, n_samples: Optional[int] = None) -> PopulationDraw:
-        """Draw the (seeded) population this engine will evaluate."""
+        """Draw the (seeded) anchored population this engine will evaluate."""
+        for dist in self.sampler.distributions:
+            if dist.within_die > 0.0:
+                raise MonteCarloError(
+                    f"distribution {dist.path!r} requests within-die correlation "
+                    f"(within_die={dist.within_die}), which anchored per-victim draws cannot "
+                    "honour — evaluate it through mode='full_array'"
+                )
         n = n_samples if n_samples is not None else self.montecarlo.n_samples
         conditions = self.nominal_conditions()
         return self.sampler.sample(n, self._nominals(conditions))
 
     def run(self, n_samples: Optional[int] = None, vectorized: bool = True) -> MonteCarloResult:
-        """Evaluate the population and return per-cell outcomes plus stats."""
+        """Evaluate the population and return per-cell outcomes plus stats.
+
+        With ``mode="full_array"`` each sample is a whole sampled crossbar
+        (``n_samples`` arrays) whose nodal operating point is re-solved; the
+        returned :class:`FullArrayMonteCarloResult` carries one lane per
+        ``(array, victim)`` pair.
+        """
         start = time.perf_counter()
         n = n_samples if n_samples is not None else self.montecarlo.n_samples
         conditions = self.nominal_conditions()
-        draw = self.sample(n)
-        if vectorized:
+        if self.montecarlo.mode == "full_array":
+            if not vectorized:
+                raise MonteCarloError(
+                    "full_array mode runs through the batched solver kernel only; "
+                    "it has no scalar reference path"
+                )
+            result = self._run_full_array(n, conditions)
+        elif vectorized:
+            draw = self.sample(n)
             result = self._run_vectorized(n, draw, conditions)
         else:
+            draw = self.sample(n)
             result = self._run_scalar(n, draw, conditions)
         result.duration_s = time.perf_counter() - start
         return result
@@ -411,6 +523,140 @@ class MonteCarloEngine:
             final_x=final_x,
             victim_temperature_k=temperature,
             valid=valid,
+        )
+
+    # -- full-array path ---------------------------------------------------
+
+    def _victim_cells(self, pattern: AttackPattern) -> List[tuple]:
+        """Victim cells evaluated per sampled array, in row-major lane order."""
+        geometry = self.simulation.geometry
+        aggressors = {tuple(cell) for cell in pattern.aggressors}
+        if self.montecarlo.victim_mode == "all":
+            selected = [cell for cell in geometry.iter_cells() if cell not in aggressors]
+        else:
+            agg_rows = {cell[0] for cell in aggressors}
+            agg_cols = {cell[1] for cell in aggressors}
+            selected = [
+                cell
+                for cell in geometry.iter_cells()
+                if cell not in aggressors and (cell[0] in agg_rows or cell[1] in agg_cols)
+            ]
+        victim = tuple(pattern.victim)
+        if victim not in selected:
+            selected = sorted(selected + [victim])
+        return selected
+
+    def _run_full_array(
+        self, n_arrays: int, conditions: NominalConditions
+    ) -> FullArrayMonteCarloResult:
+        """Re-solve the nodal operating point per sampled array.
+
+        Every sampled array gets per-cell device draws (optionally correlated
+        within the die), its own electro-thermal crossbar solve through the
+        batched solver kernel, and a vectorized kinetics integration over all
+        victims at once.  The crossbar, netlist and Jacobian structure are
+        built once and reused across arrays (the sampled parameters are
+        swapped into the solver's batched model in place).
+        """
+        for dist in self.sampler.distributions:
+            if not dist.path.startswith("device."):
+                raise MonteCarloError(
+                    f"full_array mode samples device parameters per cell; distribution "
+                    f"{dist.path!r} addresses the attack/operating environment — "
+                    "evaluate it through the anchored mode"
+                )
+
+        geometry = self.simulation.geometry
+        rows, columns = geometry.rows, geometry.columns
+        cells = rows * columns
+        base = self._device_base()
+        draw = self.sampler.sample_cells(n_arrays, cells, self._device_nominals())
+
+        model = SampledArrayJartModel(
+            VectorizedJartVcm(cells, base=base, overrides=draw.array_overrides(0)),
+            (rows, columns),
+        )
+        crossbar = CrossbarArray(
+            geometry=geometry,
+            model=model,
+            wires=self.simulation.wires,
+            ambient_temperature_k=self.attack.ambient_temperature_k,
+        )
+        pattern = self._single_phase_pattern(NeuroHammer(crossbar))
+        victims = self._victim_cells(pattern)
+        n_victims = len(victims)
+        victim_rows = np.array([cell[0] for cell in victims])
+        victim_cols = np.array([cell[1] for cell in victims])
+        lanes = victim_rows * columns + victim_cols
+        bias = write_bias(
+            geometry,
+            pattern.phases[0].aggressors,
+            self.attack.pulse.amplitude_v,
+            scheme=self.attack.bias_scheme,
+        )
+
+        ambient = self.attack.ambient_temperature_k
+        total = n_arrays * n_victims
+        flipped = np.zeros((n_arrays, n_victims), dtype=bool)
+        pulses = np.full((n_arrays, n_victims), self.attack.max_pulses, dtype=np.int64)
+        stress = np.zeros((n_arrays, n_victims))
+        wall = np.zeros((n_arrays, n_victims))
+        final_x = np.full((n_arrays, n_victims), self.montecarlo.x_start)
+        temperature = np.full((n_arrays, n_victims), float(ambient))
+        valid = np.zeros((n_arrays, n_victims), dtype=bool)
+        array_valid = np.ones(n_arrays, dtype=bool)
+
+        for index in range(n_arrays):
+            if index:  # array 0's population is already bound from construction
+                model.set_population(
+                    VectorizedJartVcm(cells, base=base, overrides=draw.array_overrides(index))
+                )
+            crossbar.initialise_states(default_x=0.0)
+            for aggressor in pattern.aggressors:
+                crossbar.set_state(aggressor, 1.0)
+            try:
+                snapshot = crossbar.thermal_snapshot(bias)
+            except (ConvergenceError, DeviceModelError):
+                # A pathological sampled array must not abort the population.
+                array_valid[index] = False
+                continue
+            victim_voltage = snapshot.operating_point.device_voltages_v[victim_rows, victim_cols]
+            crosstalk = snapshot.crosstalk_temperatures_k[victim_rows, victim_cols]
+            outcome = pulses_to_switch_batch(
+                model.kernel.take(lanes),
+                victim_voltage,
+                self.attack.pulse.length_s,
+                np.full(n_victims, self.montecarlo.x_start),
+                self.attack.flip_threshold,
+                duty_cycle=self.attack.pulse.duty_cycle,
+                ambient_temperature_k=ambient,
+                crosstalk_temperature_k=crosstalk,
+                max_pulses=self.attack.max_pulses,
+                raise_on_failure=False,
+            )
+            flipped[index] = outcome.flipped & outcome.converged
+            pulses[index] = outcome.pulses
+            stress[index] = outcome.stress_time_s
+            wall[index] = outcome.wall_clock_s
+            final_x[index] = outcome.final_x
+            temperature[index] = outcome.final_temperature_k
+            valid[index] = outcome.converged
+
+        return FullArrayMonteCarloResult(
+            n_samples=total,
+            seed=self.montecarlo.seed,
+            engine="full_array",
+            conditions=conditions,
+            flipped=flipped.reshape(total),
+            pulses=pulses.reshape(total),
+            stress_time_s=stress.reshape(total),
+            wall_clock_s=wall.reshape(total),
+            final_x=final_x.reshape(total),
+            victim_temperature_k=temperature.reshape(total),
+            valid=valid.reshape(total),
+            n_arrays=n_arrays,
+            victims=victims,
+            array_valid=array_valid,
         )
 
     # -- scalar reference path --------------------------------------------

@@ -92,6 +92,10 @@ class ParameterDistribution(JsonConfig):
     relative: bool = False
     truncate_low: Optional[float] = None
     truncate_high: Optional[float] = None
+    #: Fraction of the (log-)normal variance shared by every cell of one die
+    #: (full-array mode): 0 = fully independent cells, 1 = every cell of an
+    #: array draws the same value.  Only consumed by per-cell draws.
+    within_die: float = 0.0
 
     def __post_init__(self) -> None:
         root = self.path.split(".", 1)[0] if "." in self.path else ""
@@ -132,6 +136,13 @@ class ParameterDistribution(JsonConfig):
             and not self.truncate_high > self.truncate_low
         ):
             raise MonteCarloError(f"distribution {self.path!r}: truncate_high must exceed truncate_low")
+        if not 0.0 <= self.within_die <= 1.0:
+            raise MonteCarloError(f"distribution {self.path!r}: within_die must lie in [0, 1]")
+        if self.within_die > 0.0 and self.kind == "uniform":
+            raise MonteCarloError(
+                f"distribution {self.path!r}: within_die correlation is only defined for "
+                "normal/lognormal distributions"
+            )
 
     # ------------------------------------------------------------------
 
@@ -162,6 +173,71 @@ class ParameterDistribution(JsonConfig):
             f"({count}/{n} still outside after {_MAX_TRUNCATION_ROUNDS} resampling rounds)"
         )
 
+    # ------------------------------------------------------------------
+    # per-cell (full-array) draws
+    # ------------------------------------------------------------------
+
+    def _outside_truncation(self, values: np.ndarray) -> np.ndarray:
+        bad = np.zeros(values.shape, dtype=bool)
+        if self.truncate_low is not None:
+            bad |= values < self.truncate_low
+        if self.truncate_high is not None:
+            bad |= values > self.truncate_high
+        return bad
+
+    def sample_cells(self, rng: np.random.Generator, n_arrays: int, cells: int) -> np.ndarray:
+        """Per-cell draws for ``n_arrays`` sampled arrays, shape (n_arrays, cells).
+
+        For normal/lognormal the (log-)variance splits into a within-die
+        component shared by every cell of one array (fraction
+        :attr:`within_die`) and an independent cell-to-cell component — the
+        standard separation of die-to-die and local process variation.
+        Truncation resamples the cell component only (the die keeps its
+        shared draw); with ``within_die == 1`` the shared draw itself is
+        resampled for offending arrays.
+        """
+        if self.kind == "uniform":
+            values = rng.uniform(self.low, self.high, size=(n_arrays, cells))
+            for _ in range(_MAX_TRUNCATION_ROUNDS):
+                bad = self._outside_truncation(values)
+                count = int(bad.sum())
+                if count == 0:
+                    return values
+                values[bad] = rng.uniform(self.low, self.high, size=count)
+            raise MonteCarloError(
+                f"distribution {self.path!r}: truncation bounds reject nearly all samples"
+            )
+
+        location = self.mean if self.kind == "normal" else np.log(self.mean)
+        die_scale = float(np.sqrt(self.within_die))
+        cell_scale = float(np.sqrt(1.0 - self.within_die))
+
+        def realise(z: np.ndarray) -> np.ndarray:
+            if self.kind == "normal":
+                return location + self.sigma * z
+            return np.exp(location + self.sigma * z)
+
+        z_die = rng.normal(0.0, 1.0, size=(n_arrays, 1))
+        z_cell = rng.normal(0.0, 1.0, size=(n_arrays, cells))
+        values = realise(die_scale * z_die + cell_scale * z_cell)
+        if self.truncate_low is None and self.truncate_high is None:
+            return values
+        for _ in range(_MAX_TRUNCATION_ROUNDS):
+            bad = self._outside_truncation(values)
+            count = int(bad.sum())
+            if count == 0:
+                return values
+            if cell_scale > 0.0:
+                z_cell[bad] = rng.normal(0.0, 1.0, size=count)
+            else:
+                bad_arrays = bad.any(axis=1)
+                z_die[bad_arrays] = rng.normal(0.0, 1.0, size=(int(bad_arrays.sum()), 1))
+            values = realise(die_scale * z_die + cell_scale * z_cell)
+        raise MonteCarloError(
+            f"distribution {self.path!r}: truncation bounds reject nearly all samples "
+            f"({count}/{n_arrays * cells} still outside after {_MAX_TRUNCATION_ROUNDS} rounds)"
+        )
+
 
 @dataclass
 class PopulationDraw:
@@ -183,6 +259,31 @@ class PopulationDraw:
         if path in self.values:
             return float(self.values[path][index])
         return float(nominal)
+
+
+@dataclass
+class ArrayPopulationDraw:
+    """A full-array population: one value per path per cell per sampled array."""
+
+    n_arrays: int
+    cells: int
+    seed: int
+    #: path -> float64 array of shape (n_arrays, cells).
+    values: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def get(self, path: str, nominal: float) -> np.ndarray:
+        """Values for ``path``, falling back to the broadcast nominal value."""
+        if path in self.values:
+            return self.values[path]
+        return np.full((self.n_arrays, self.cells), float(nominal))
+
+    def array_overrides(self, index: int) -> Dict[str, np.ndarray]:
+        """``{field: (cells,) array}`` device overrides of one sampled array."""
+        return {
+            path.split(".", 1)[1]: values[index]
+            for path, values in self.values.items()
+            if path.startswith("device.")
+        }
 
 
 class PopulationSampler:
@@ -218,6 +319,36 @@ class PopulationSampler:
         for dist in self.distributions:
             rng = child_rng(self.seed, "montecarlo", dist.path)
             values = dist.sample(rng, n_samples)
+            if dist.relative:
+                if dist.path not in nominals:
+                    raise MonteCarloError(
+                        f"distribution {dist.path!r} is relative but no nominal value is available"
+                    )
+                values = values * float(nominals[dist.path])
+            draw.values[dist.path] = np.asarray(values, dtype=np.float64)
+        return draw
+
+    def sample_cells(
+        self, n_arrays: int, cells: int, nominals: Mapping[str, float]
+    ) -> ArrayPopulationDraw:
+        """Draw ``n_arrays`` whole-array populations of ``cells`` cells each.
+
+        The per-cell mode behind ``MonteCarloEngine(mode="full_array")``: every
+        cell of every sampled array carries its own draw, with the optional
+        :attr:`ParameterDistribution.within_die` fraction of the variance
+        shared across one array's cells (correlated within-die variation).
+        Each distribution samples from its own spawn-key child stream
+        (``child_rng(seed, "montecarlo", "full-array", path)``), independent
+        of the anchored per-victim streams.
+        """
+        if n_arrays < 1:
+            raise MonteCarloError("n_arrays must be at least 1")
+        if cells < 1:
+            raise MonteCarloError("cells must be at least 1")
+        draw = ArrayPopulationDraw(n_arrays=n_arrays, cells=cells, seed=self.seed)
+        for dist in self.distributions:
+            rng = child_rng(self.seed, "montecarlo", "full-array", dist.path)
+            values = dist.sample_cells(rng, n_arrays, cells)
             if dist.relative:
                 if dist.path not in nominals:
                     raise MonteCarloError(

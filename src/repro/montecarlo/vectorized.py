@@ -36,7 +36,7 @@ from ..constants import (
     ELEMENTARY_CHARGE_C,
     RICHARDSON_A_PER_M2K2,
 )
-from ..devices.base import BatchedDeviceModel
+from ..devices.base import BatchedDeviceModel, MemristorModel
 from ..devices.jart_vcm import JartVcmParameters
 from ..errors import ConvergenceError, DeviceModelError
 from ..utils.logging import get_logger
@@ -297,12 +297,19 @@ class JartArrayModel(BatchedDeviceModel):
     """The JART VCM kernel as an array-wide :class:`BatchedDeviceModel`.
 
     Where :class:`VectorizedJartVcm` carries one *sampled* parameter set per
-    lane (a Monte-Carlo population), this adapter carries a single nominal
-    parameter set broadcast against inputs of arbitrary shape — exactly what
-    the crossbar nodal solver and the transient engine need to evaluate all
-    ``rows x columns`` devices of an array in one call.  It reuses the
-    population kernel with a single lane, so both paths share the same
-    Newton-in-asinh-space current solve and kinetics code.
+    lane (a Monte-Carlo population), this adapter maps arbitrary-shaped
+    array inputs onto kernel lanes — exactly what the crossbar nodal solver
+    and the transient engine need to evaluate all ``rows x columns`` devices
+    of an array in one call.  Two lane layouts are supported:
+
+    * a single-lane kernel (the default, one nominal parameter set) is
+      broadcast against inputs of any shape;
+    * a multi-lane kernel (one lane per *cell*, the full-array Monte-Carlo
+      path) remaps flattened inputs lane-for-lane: input element ``k`` of the
+      raveled array evaluates through kernel lane ``k``.  The crossbar
+      netlist enumerates devices in row-major cell order, so lane
+      ``row * columns + column`` carries cell ``(row, column)`` both for the
+      solver's flat device vectors and for ``(rows, columns)`` maps.
 
     Conductance uses the inherited finite-difference rule, which mirrors the
     scalar :meth:`~repro.devices.base.MemristorModel.conductance` default
@@ -311,26 +318,117 @@ class JartArrayModel(BatchedDeviceModel):
     property tests.
     """
 
-    def __init__(self, parameters: Optional[JartVcmParameters] = None):
-        self._kernel = VectorizedJartVcm(1, base=parameters)
+    def __init__(
+        self,
+        parameters: Optional[JartVcmParameters] = None,
+        kernel: Optional[VectorizedJartVcm] = None,
+    ):
+        if kernel is not None and parameters is not None:
+            raise DeviceModelError("give either nominal parameters or a population kernel")
+        self._kernel = kernel if kernel is not None else VectorizedJartVcm(1, base=parameters)
 
     @property
     def kernel(self) -> VectorizedJartVcm:
-        """The underlying single-lane population kernel."""
+        """The underlying population kernel."""
         return self._kernel
 
+    def rebind(self, kernel: VectorizedJartVcm) -> None:
+        """Swap in a new population kernel (same lane count).
+
+        Lets one solver/crossbar instance be reused across sampled arrays —
+        the expensive netlist and Jacobian-structure setup happens once.
+        """
+        if kernel.n != self._kernel.n:
+            raise DeviceModelError(
+                f"replacement kernel has {kernel.n} lanes, expected {self._kernel.n}"
+            )
+        self._kernel = kernel
+
+    def _evaluate(self, fn_name: str, voltage_v, x, temperature_k) -> np.ndarray:
+        voltage_v = np.asarray(voltage_v, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64)
+        temperature_k = np.asarray(temperature_k, dtype=np.float64)
+        fn = getattr(self._kernel, fn_name)
+        if self._kernel.n == 1:
+            return fn(voltage_v, x, temperature_k)
+        voltage_v, x, temperature_k = np.broadcast_arrays(voltage_v, x, temperature_k)
+        if voltage_v.size != self._kernel.n:
+            raise DeviceModelError(
+                f"input of {voltage_v.size} devices does not match the "
+                f"{self._kernel.n}-lane per-cell kernel"
+            )
+        return fn(
+            voltage_v.reshape(-1), x.reshape(-1), temperature_k.reshape(-1)
+        ).reshape(voltage_v.shape)
+
     def current(self, voltage_v, x, temperature_k) -> np.ndarray:
-        return self._kernel.current(
-            np.asarray(voltage_v, dtype=np.float64),
-            np.asarray(x, dtype=np.float64),
-            np.asarray(temperature_k, dtype=np.float64),
-        )
+        return self._evaluate("current", voltage_v, x, temperature_k)
 
     def state_derivative(self, voltage_v, x, temperature_k) -> np.ndarray:
-        return self._kernel.state_derivative(
-            np.asarray(voltage_v, dtype=np.float64),
-            np.asarray(x, dtype=np.float64),
-            np.asarray(temperature_k, dtype=np.float64),
+        return self._evaluate("state_derivative", voltage_v, x, temperature_k)
+
+
+class SampledArrayJartModel(MemristorModel):
+    """A crossbar whose every cell carries its own sampled JART parameters.
+
+    The parameter-override path of the full-array Monte-Carlo mode: a
+    :class:`VectorizedJartVcm` with one lane per cell (row-major) plugs into
+    the batched :class:`~repro.circuit.solver.CrossbarSolver` kernel through a
+    lane-remapped :class:`JartArrayModel`, so the nodal operating point of a
+    *sampled* array is solved with exactly the machinery of the nominal one.
+    :meth:`set_population` swaps the sampled lanes in place, letting one
+    crossbar/solver (netlist, Jacobian structure, warm start) be reused
+    across every sampled array of a population.
+
+    The scalar :class:`~repro.devices.base.MemristorModel` entry points are
+    deliberately unavailable — a per-cell model has no single parameter set a
+    scalar call could refer to; array consumers go through :meth:`batched`.
+    """
+
+    name = "jart_vcm_sampled_array"
+
+    def __init__(self, kernel: VectorizedJartVcm, shape):
+        rows, columns = int(shape[0]), int(shape[1])
+        if kernel.n != rows * columns:
+            raise DeviceModelError(
+                f"kernel has {kernel.n} lanes but the {rows}x{columns} array has "
+                f"{rows * columns} cells"
+            )
+        self.shape = (rows, columns)
+        self._kernel = kernel
+
+    @property
+    def kernel(self) -> VectorizedJartVcm:
+        """The per-cell population kernel (lane = row * columns + column)."""
+        return self._kernel
+
+    def set_population(self, kernel: VectorizedJartVcm) -> None:
+        """Swap the sampled per-cell parameters (same geometry)."""
+        rows, columns = self.shape
+        if kernel.n != rows * columns:
+            raise DeviceModelError(
+                f"kernel has {kernel.n} lanes but the {rows}x{columns} array has "
+                f"{rows * columns} cells"
+            )
+        self._kernel = kernel
+        self.batched().rebind(kernel)
+
+    def _make_batched(self) -> JartArrayModel:
+        return JartArrayModel(kernel=self._kernel)
+
+    def thermal_resistance_k_per_w(self) -> np.ndarray:
+        """Per-cell effective thermal resistance map [K/W] (broadcastable)."""
+        return self._kernel.rth_eff_k_per_w.reshape(self.shape)
+
+    def current(self, voltage_v: float, state) -> float:
+        raise DeviceModelError(
+            "SampledArrayJartModel has no scalar current; every cell carries its own "
+            "parameters — evaluate through batched()"
+        )
+
+    def state_derivative(self, voltage_v: float, state) -> float:
+        raise DeviceModelError(
+            "SampledArrayJartModel has no scalar state_derivative; evaluate through batched()"
         )
 
 

@@ -43,6 +43,16 @@ from .materials import (
     filament_material,
 )
 from .network import ThermalNetworkParameters, ThermalResistanceNetwork
+from .operator import (
+    OPERATOR_BACKENDS,
+    STENCIL_MAX_TAPS,
+    CrosstalkOperator,
+    DenseCrosstalkOperator,
+    FftCrosstalkOperator,
+    KernelCrosstalkOperator,
+    StencilCrosstalkOperator,
+    make_crosstalk_operator,
+)
 
 __all__ = [
     "AlphaExtractionResult",
@@ -82,4 +92,12 @@ __all__ = [
     "PLATINUM",
     "ThermalNetworkParameters",
     "ThermalResistanceNetwork",
+    "CrosstalkOperator",
+    "KernelCrosstalkOperator",
+    "FftCrosstalkOperator",
+    "StencilCrosstalkOperator",
+    "DenseCrosstalkOperator",
+    "make_crosstalk_operator",
+    "OPERATOR_BACKENDS",
+    "STENCIL_MAX_TAPS",
 ]

@@ -45,16 +45,41 @@ class CouplingModel(abc.ABC):
     def alpha_between(self, aggressor: Cell, victim: Cell) -> float:
         """Alpha value describing how strongly ``aggressor`` heats ``victim``."""
 
+    def kernel(self) -> Optional[np.ndarray]:
+        """Offset kernel of a translation-invariant model, or None.
+
+        A stationary model returns the full ``(2*rows - 1, 2*cols - 1)``
+        array with ``kernel[dr + rows - 1, dc + cols - 1] ==
+        alpha_between(a, a + (dr, dc))`` for every offset two in-array cells
+        can realise; the centre entry (zero offset, the 1.0 self-coupling) is
+        ignored by consumers and should be 0.0.  This is the capability probe
+        of :func:`repro.thermal.operator.make_crosstalk_operator`: models
+        returning None (the default, for couplings that depend on absolute
+        position) are applied through the dense alpha table instead.
+        """
+        return None
+
     def alpha_table(self) -> np.ndarray:
         """Full ``(cells, cells)`` alpha table in row-major cell order.
 
         ``table[a, v]`` is ``alpha_between(cell_a, cell_v)`` (1.0 on the
-        diagonal).  The default evaluates the scalar kernel pairwise; models
-        with a closed-form kernel override this with a vectorized build —
-        the crosstalk hub calls it once per crossbar, and the pairwise loop
-        is the dominant construction cost for large arrays.
+        diagonal).  Stationary models are expanded from their offset
+        :meth:`kernel` with one gather; only kernel-less custom models pay
+        the pairwise Python loop.  Note the quadratic memory: the structured
+        operator path never calls this for stationary models — it exists for
+        the dense fallback and the equivalence test suite.
         """
-        cells = list(self.geometry.iter_cells())
+        g = self.geometry
+        kernel = self.kernel()
+        if kernel is not None:
+            cell_rows = np.repeat(np.arange(g.rows), g.columns)
+            cell_cols = np.tile(np.arange(g.columns), g.rows)
+            dr = cell_rows[None, :] - cell_rows[:, None] + g.rows - 1
+            dc = cell_cols[None, :] - cell_cols[:, None] + g.columns - 1
+            table = kernel[dr, dc]
+            np.fill_diagonal(table, 1.0)
+            return table
+        cells = list(g.iter_cells())
         count = len(cells)
         table = np.ones((count, count))
         for a_index, aggressor in enumerate(cells):
@@ -64,16 +89,28 @@ class CouplingModel(abc.ABC):
         return table
 
     def matrix_for(self, aggressor: Cell) -> "AlphaMatrix":
-        """Dense (rows x columns) alpha matrix for one aggressor cell."""
+        """Dense (rows x columns) alpha matrix for one aggressor cell.
+
+        Stationary models slice their offset kernel (one O(cells) copy);
+        kernel-less models fall back to the per-cell loop.
+        """
         g = self.geometry
         g.validate_cell(*aggressor)
-        values = np.zeros((g.rows, g.columns))
-        for cell in g.iter_cells():
-            if cell == tuple(aggressor):
-                values[cell] = 1.0
-            else:
-                values[cell] = self.alpha_between(aggressor, cell)
-        return AlphaMatrix(aggressor=tuple(aggressor), values=values, geometry=g)
+        aggressor = tuple(aggressor)
+        kernel = self.kernel()
+        if kernel is not None:
+            ar, ac = aggressor
+            values = kernel[
+                g.rows - 1 - ar : 2 * g.rows - 1 - ar,
+                g.columns - 1 - ac : 2 * g.columns - 1 - ac,
+            ].copy()
+        else:
+            values = np.zeros((g.rows, g.columns))
+            for cell in g.iter_cells():
+                if cell != aggressor:
+                    values[cell] = self.alpha_between(aggressor, cell)
+        values[aggressor] = 1.0
+        return AlphaMatrix(aggressor=aggressor, values=values, geometry=g)
 
 
 @dataclass
@@ -90,14 +127,22 @@ class AlphaMatrix:
         return float(self.values[victim[0], victim[1]])
 
     def hottest_neighbours(self, count: int = 4) -> Dict[Cell, float]:
-        """The ``count`` most strongly coupled cells (excluding the aggressor)."""
-        flat = []
-        for cell in self.geometry.iter_cells():
-            if cell == self.aggressor:
-                continue
-            flat.append((cell, float(self.values[cell])))
-        flat.sort(key=lambda item: item[1], reverse=True)
-        return dict(flat[:count])
+        """The ``count`` most strongly coupled cells (excluding the aggressor).
+
+        Selects with :func:`numpy.argpartition` (O(cells) instead of a full
+        Python sort) and orders only the selected ``count`` entries.
+        """
+        columns = self.values.shape[1]
+        flat = self.values.ravel().astype(float, copy=True)
+        flat[self.aggressor[0] * columns + self.aggressor[1]] = -np.inf
+        count = min(count, flat.size - 1)
+        if count <= 0:
+            return {}
+        top = np.argpartition(flat, -count)[-count:]
+        top = top[np.argsort(flat[top])[::-1]]
+        return {
+            (int(index // columns), int(index % columns)): float(flat[index]) for index in top
+        }
 
 
 @dataclass
@@ -153,29 +198,26 @@ class AnalyticCouplingModel(CouplingModel):
         alpha = amplitude * float(np.exp(-distance / p.decay_length_m))
         return min(alpha, p.max_alpha)
 
-    def alpha_table(self) -> np.ndarray:
-        """Vectorized pairwise build of the full alpha table.
+    def kernel(self) -> np.ndarray:
+        """The closed-form exponential-decay kernel over all cell offsets.
 
-        Element-for-element identical to :meth:`alpha_between` but built from
-        broadcast distance arithmetic, which turns the O(cells^2) Python loop
-        of the generic fallback into a handful of array operations.
+        Built from broadcast distance arithmetic — O(cells) memory, a handful
+        of array operations — and consumed by the structured crosstalk
+        operator (and by the base-class :meth:`alpha_table`/:meth:`matrix_for`
+        expansions).
         """
         g = self.geometry
         p = self.parameters
-        rows = np.arange(g.rows)
-        cols = np.arange(g.columns)
-        cell_rows = np.repeat(rows, g.columns)
-        cell_cols = np.tile(cols, g.rows)
-        dy = (cell_rows[:, None] - cell_rows[None, :]) * g.pitch_m
-        dx = (cell_cols[:, None] - cell_cols[None, :]) * g.pitch_m
+        dr = np.arange(-(g.rows - 1), g.rows)[:, None]
+        dc = np.arange(-(g.columns - 1), g.columns)[None, :]
+        dy = dr * g.pitch_m
+        dx = dc * g.pitch_m
         distance = np.sqrt(dx * dx + dy * dy)
-        shares_line = (cell_rows[:, None] == cell_rows[None, :]) | (
-            cell_cols[:, None] == cell_cols[None, :]
-        )
+        shares_line = (dr == 0) | (dc == 0)
         amplitude = np.where(shares_line, p.line_amplitude, p.oxide_amplitude)
-        table = np.minimum(amplitude * np.exp(-distance / p.decay_length_m), p.max_alpha)
-        np.fill_diagonal(table, 1.0)
-        return table
+        kernel = np.minimum(amplitude * np.exp(-distance / p.decay_length_m), p.max_alpha)
+        kernel[g.rows - 1, g.columns - 1] = 0.0
+        return kernel
 
 
 class ExtractedCouplingModel(CouplingModel):
@@ -191,22 +233,47 @@ class ExtractedCouplingModel(CouplingModel):
     def __init__(self, geometry: CrossbarGeometry, extraction: AlphaExtractionResult):
         super().__init__(geometry)
         self.extraction = extraction
-        self._by_offset: Dict[Tuple[int, int], float] = {}
-        selected = extraction.selected_cell
-        rows, columns = extraction.alpha.shape
-        for row in range(rows):
-            for column in range(columns):
-                offset = (row - selected[0], column - selected[1])
-                self._by_offset[offset] = float(extraction.alpha[row, column])
-        self._fallback = min(self._by_offset.values())
+        # The extraction's alpha matrix *is* the offset-indexed window: entry
+        # (row, col) holds the alpha at offset (row, col) - selected_cell, so
+        # lookups are plain array indexing shifted by the selected cell — no
+        # per-offset dict, no double Python loop.
+        self._window = np.asarray(extraction.alpha, dtype=np.float64)
+        self._centre = tuple(extraction.selected_cell)
+        self._fallback = float(self._window.min())
 
     def alpha_between(self, aggressor: Cell, victim: Cell) -> float:
         if tuple(aggressor) == tuple(victim):
             return 1.0
         self.geometry.validate_cell(*aggressor)
         self.geometry.validate_cell(*victim)
-        offset = (victim[0] - aggressor[0], victim[1] - aggressor[1])
-        return self._by_offset.get(offset, self._fallback)
+        row = victim[0] - aggressor[0] + self._centre[0]
+        column = victim[1] - aggressor[1] + self._centre[1]
+        if 0 <= row < self._window.shape[0] and 0 <= column < self._window.shape[1]:
+            return float(self._window[row, column])
+        return self._fallback
+
+    def kernel(self) -> np.ndarray:
+        """Offset kernel: the extraction window pasted over the fallback.
+
+        Offsets the extraction did not cover carry the most distant extracted
+        value, exactly as the scalar lookup falls back.
+        """
+        g = self.geometry
+        kernel = np.full((2 * g.rows - 1, 2 * g.columns - 1), self._fallback)
+        window_rows, window_cols = self._window.shape
+        # Window index (row, col) is offset (row, col) - centre, which lands
+        # at kernel index offset + (rows - 1, cols - 1); paste the overlap.
+        row_shift = g.rows - 1 - self._centre[0]
+        col_shift = g.columns - 1 - self._centre[1]
+        src_r = slice(max(0, -row_shift), min(window_rows, kernel.shape[0] - row_shift))
+        src_c = slice(max(0, -col_shift), min(window_cols, kernel.shape[1] - col_shift))
+        if src_r.start < src_r.stop and src_c.start < src_c.stop:
+            kernel[
+                src_r.start + row_shift : src_r.stop + row_shift,
+                src_c.start + col_shift : src_c.stop + col_shift,
+            ] = self._window[src_r, src_c]
+        kernel[g.rows - 1, g.columns - 1] = 0.0
+        return kernel
 
 
 class UniformCouplingModel(CouplingModel):
@@ -227,6 +294,17 @@ class UniformCouplingModel(CouplingModel):
         dr = abs(aggressor[0] - victim[0])
         dc = abs(aggressor[1] - victim[1])
         return self.alpha if dr + dc == 1 else 0.0
+
+    def kernel(self) -> np.ndarray:
+        """Compact four-tap nearest-neighbour kernel (stencil-path bait)."""
+        g = self.geometry
+        kernel = np.zeros((2 * g.rows - 1, 2 * g.columns - 1))
+        centre = (g.rows - 1, g.columns - 1)
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            row, column = centre[0] + dr, centre[1] + dc
+            if 0 <= row < kernel.shape[0] and 0 <= column < kernel.shape[1]:
+                kernel[row, column] = self.alpha
+        return kernel
 
 
 def coupling_from_extraction(
