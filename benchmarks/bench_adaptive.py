@@ -1,0 +1,181 @@
+"""ADAPTIVE — CI-driven sampling versus fixed-n populations.
+
+Two headline numbers of the adaptive-statistics subsystem:
+
+1. **Map refinement.**  The reference 2-D flip-probability map (pulse
+   amplitude x ambient temperature across the flip boundary) is evaluated
+   once through CI-driven refinement and once with the fixed n every point
+   would need to guarantee the same worst-case interval.  Both reach the
+   target CI half-width; the adaptive run must do it with >= 5x fewer
+   circuit solves (every sample is one aggressor re-solve plus a kinetics
+   integration).  The per-point estimates must agree within the combined
+   intervals — the speedup is only admissible if the answers match.
+
+2. **Importance sampling on a rare event.**  A < 1e-3 flip probability is
+   estimated by tilting the pulse-length distribution towards the flip
+   boundary with self-normalized reweighting, and checked against a long
+   plain Monte-Carlo reference: the IS estimate must fall inside the plain
+   run's 95% interval while spending a small fraction of its samples.
+
+``REPRO_BENCH_ADAPTIVE_TARGET`` / ``_BATCH`` / ``_PLAIN_N`` / ``_IS_N``
+shrink the run for CI smoke; the 5x acceptance bar applies at the default
+target of 0.02 (CI asserts the strict < 1x bound instead).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+from conftest import run_once, write_bench_json
+
+from repro.montecarlo import (
+    MapAxis,
+    MonteCarloConfig,
+    MonteCarloEngine,
+    fixed_sample_size,
+    flip_probability_map,
+    refine_flip_probability_map,
+)
+from repro.config import AttackConfig, SimulationConfig
+
+#: Target CI half-width of the reference map; the >= 5x bar applies at 0.02.
+TARGET = float(os.environ.get("REPRO_BENCH_ADAPTIVE_TARGET", "0.02"))
+BATCH = int(os.environ.get("REPRO_BENCH_ADAPTIVE_BATCH", "64"))
+#: Plain-MC reference size for the rare-event check.
+PLAIN_N = int(os.environ.get("REPRO_BENCH_ADAPTIVE_PLAIN_N", "200000"))
+#: Importance-sampled population size for the rare-event check.
+IS_N = int(os.environ.get("REPRO_BENCH_ADAPTIVE_IS_N", "3000"))
+
+#: Required solve advantage of the refined map at the full target.
+REQUIRED_RATIO = 5.0
+
+SIMULATION = {"geometry": {"rows": 3, "columns": 3}}
+ATTACK = {"aggressors": [[1, 1]], "victim": [1, 2], "max_pulses": 5000}
+#: Cycle-to-cycle pulse jitter + device spread; crosses the flip boundary
+#: inside the swept plane.
+DISTRIBUTIONS = [
+    {"path": "attack.pulse.length_s", "kind": "lognormal", "mean": 1.0, "sigma": 0.3,
+     "relative": True},
+    {"path": "device.activation_energy_ev", "kind": "normal", "mean": 1.0, "sigma": 0.005,
+     "relative": True},
+]
+X_AXIS = {"path": "attack.pulse.amplitude_v", "values": [0.7, 0.8, 0.9, 1.0, 1.1, 1.2]}
+Y_AXIS = {"path": "attack.ambient_temperature_k", "values": [250.0, 280.0, 310.0, 340.0]}
+
+#: Rare-event configuration: at this pulse budget only the far tail of the
+#: jitter distribution flips (plain flip probability ~ 1e-4).
+RARE_ATTACK = {"aggressors": [[1, 1]], "victim": [1, 2], "max_pulses": 1500}
+RARE_SHIFT = 2.0  # sigmas of tilt on the pulse-length distribution
+
+
+def test_bench_adaptive(benchmark):
+    # --- 1. CI-driven map refinement vs fixed-n --------------------------
+    refined = run_once(
+        benchmark,
+        lambda: refine_flip_probability_map(
+            MapAxis.from_dict(X_AXIS),
+            MapAxis.from_dict(Y_AXIS),
+            simulation=SIMULATION,
+            attack=ATTACK,
+            montecarlo={"seed": 5, "distributions": DISTRIBUTIONS},
+            target_half_width=TARGET,
+            batch_size=BATCH,
+            point_n_max=max(4 * fixed_sample_size(TARGET), BATCH),
+        ),
+    )
+    points = refined.probabilities.size
+    n_fixed = fixed_sample_size(TARGET)
+    fixed = flip_probability_map(
+        MapAxis.from_dict(X_AXIS),
+        MapAxis.from_dict(Y_AXIS),
+        simulation=SIMULATION,
+        attack=ATTACK,
+        montecarlo={"seed": 5, "n_samples": n_fixed, "distributions": DISTRIBUTIONS},
+    )
+
+    assert refined.converged.all(), "refined map left points above the target half-width"
+    # Same answer: per point, the two estimates differ by at most the sum of
+    # the interval half-widths (both runs see independent batch streams).
+    gap = np.abs(refined.probabilities - fixed.probabilities)
+    tolerance = refined.half_widths + TARGET + 1e-9
+    assert (gap <= tolerance).all(), (
+        f"adaptive and fixed-n maps disagree beyond their intervals "
+        f"(max gap {gap.max():.4f} vs tolerance {tolerance.min():.4f})"
+    )
+
+    adaptive_solves = int(refined.total_samples)
+    fixed_solves = n_fixed * points
+    ratio = fixed_solves / adaptive_solves
+    print()
+    print(
+        f"map {refined.probabilities.shape}: target half-width {TARGET:g}, "
+        f"adaptive {adaptive_solves} solves vs fixed-n {fixed_solves} "
+        f"({ratio:.1f}x fewer), boundary points "
+        f"{int((refined.samples_used > refined.samples_used.min()).sum())}/{points}"
+    )
+
+    # --- 2. importance sampling on a rare flip event ----------------------
+    simulation = SimulationConfig.from_dict(SIMULATION)
+    rare_attack = AttackConfig.from_dict(RARE_ATTACK)
+    plain = MonteCarloEngine(
+        MonteCarloConfig(seed=9, n_samples=PLAIN_N, distributions=DISTRIBUTIONS),
+        simulation=simulation,
+        attack=rare_attack,
+    ).run()
+    tilted = MonteCarloEngine(
+        MonteCarloConfig(
+            seed=9,
+            n_samples=IS_N,
+            distributions=DISTRIBUTIONS,
+            importance={"shift_sigmas": {"attack.pulse.length_s": RARE_SHIFT}},
+        ),
+        simulation=simulation,
+        attack=rare_attack,
+    ).run()
+    plain_low, plain_high = plain.interval()
+    is_low, is_high = tilted.interval()
+    print(
+        f"rare event: plain n={PLAIN_N} p={plain.flip_probability:.3e} "
+        f"[{plain_low:.3e}, {plain_high:.3e}]; importance n={IS_N} "
+        f"p={tilted.flip_probability:.3e} [{is_low:.3e}, {is_high:.3e}] "
+        f"(ESS {tilted.effective_sample_size:.0f})"
+    )
+    assert plain_low <= tilted.flip_probability <= plain_high, (
+        "importance-sampled estimate falls outside the plain reference interval"
+    )
+
+    write_bench_json(
+        "adaptive",
+        {
+            "target_half_width": TARGET,
+            "batch_size": BATCH,
+            "map_points": points,
+            "adaptive_solves": adaptive_solves,
+            "fixed_n_per_point": n_fixed,
+            "fixed_solves": fixed_solves,
+            "solve_ratio": ratio,
+            "map_max_gap": float(gap.max()),
+            "rare_plain_n": PLAIN_N,
+            "rare_plain_p": plain.flip_probability,
+            "rare_plain_ci": [plain_low, plain_high],
+            "rare_is_n": IS_N,
+            "rare_is_p": tilted.flip_probability,
+            "rare_is_ci": [is_low, is_high],
+            "rare_is_ess": tilted.effective_sample_size,
+        },
+    )
+
+    # Strict bound at any size: adaptive must never need >= the fixed-n
+    # solves.  The full >= 5x acceptance bar applies at the default target.
+    assert adaptive_solves < fixed_solves, (
+        f"adaptive refinement spent {adaptive_solves} solves, fixed-n needs {fixed_solves}"
+    )
+    if TARGET <= 0.02 and PLAIN_N >= 200_000:
+        assert ratio >= REQUIRED_RATIO, (
+            f"adaptive map only {ratio:.1f}x cheaper than fixed-n "
+            f"(required {REQUIRED_RATIO:.0f}x at target {TARGET:g})"
+        )
+        assert plain.flip_probability < 1e-3, (
+            "rare-event reference drifted above 1e-3; retune RARE_ATTACK"
+        )

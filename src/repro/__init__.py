@@ -65,12 +65,17 @@ from .config import (
 from .devices import DeviceState, JartVcmModel, JartVcmParameters
 from .errors import CampaignError, MonteCarloError, ReproError
 from .montecarlo import (
+    AdaptiveConfig,
+    AdaptiveSampler,
     FullArrayMonteCarloResult,
+    ImportanceSettings,
     MonteCarloConfig,
     MonteCarloEngine,
     MonteCarloResult,
     ParameterDistribution,
+    StreamingBinomialEstimator,
     flip_probability_map,
+    refine_flip_probability_map,
 )
 from .thermal import (
     AnalyticCouplingModel,
@@ -80,7 +85,7 @@ from .thermal import (
     make_crosstalk_operator,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -115,7 +120,12 @@ __all__ = [
     "MonteCarloResult",
     "FullArrayMonteCarloResult",
     "ParameterDistribution",
+    "ImportanceSettings",
+    "AdaptiveConfig",
+    "AdaptiveSampler",
+    "StreamingBinomialEstimator",
     "flip_probability_map",
+    "refine_flip_probability_map",
     "make_crosstalk_operator",
     "YieldScenario",
     "WorstCaseCornerScenario",

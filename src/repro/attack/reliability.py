@@ -71,13 +71,27 @@ class YieldScenario:
             f"({outcome.valid_count}/{outcome.n_samples} cells valid)"
         )
 
+        if outcome.adaptive is not None:
+            result.log(
+                f"adaptive sampling stopped after {outcome.n_samples} samples "
+                f"({outcome.adaptive.stop_reason}; CI half-width "
+                f"{outcome.adaptive.state.half_width:.4f})"
+            )
         within_budget = outcome.flipped & outcome.valid & (outcome.pulses <= budget)
         exposed = int(within_budget.sum())
         valid = outcome.valid_count
-        cell_ber = exposed / valid if valid else 0.0
+        # The estimator dispatches on importance weights, so a tilted
+        # population reports the nominal (reweighted) BER, not the proposal's.
+        estimator = outcome.event_estimator(within_budget)
+        cell_ber = float(estimator.estimate)
+        ber_low, ber_high = estimator.interval()
         # A whole array survives when none of its cells flips; cells are
         # independent draws from the same population.
         array_yield = float((1.0 - cell_ber) ** self.cells_per_array)
+        # Propagate the BER interval through the same yield model: the upper
+        # BER bound gives the conservative (lower) yield bound.
+        yield_low = float((1.0 - ber_high) ** self.cells_per_array)
+        yield_high = float((1.0 - ber_low) ** self.cells_per_array)
         result.log(
             f"under a budget of {budget} pulses, {exposed}/{valid} cells flip "
             f"(bit-error rate {cell_ber:.4f})",
@@ -93,8 +107,13 @@ class YieldScenario:
             "cells_exposed": exposed,
             "cells_valid": valid,
             "cell_bit_error_rate": cell_ber,
+            "cell_ber_ci_low": float(ber_low),
+            "cell_ber_ci_high": float(ber_high),
+            "ci_confidence": float(estimator.confidence),
             "cells_per_array": self.cells_per_array,
             "array_yield": array_yield,
+            "array_yield_ci_low": yield_low,
+            "array_yield_ci_high": yield_high,
             "min_yield": self.min_yield,
         }
         result.success = array_yield >= self.min_yield

@@ -4,21 +4,31 @@ Subcommands::
 
     repro run-fig {2a,3a,3b,3c,3d} [--save DIR] [--chart] [--workers N] [--cache DIR]
     repro campaign run SPEC.json [--workers N] [--cache DIR] [--no-cache]
-                                 [--timeout S] [--chunksize N] [--save DIR] [--json]
+                                 [--timeout S] [--chunksize N] [--shard-size N]
+                                 [--save DIR] [--json]
     repro campaign status SPEC.json [--cache DIR]
     repro mc run SPEC.json [--samples N] [--seed N] [--mode anchored|full_array]
-                           [--scalar] [--rows N] [--save DIR] [--json]
+                           [--scalar] [--rows N] [--export-cells OUT.npz]
+                           [--show-distributions] [--save DIR] [--json]
     repro mc map SPEC.json [--workers N] [--cache DIR] [--save DIR] [--json]
+                           [--adaptive] [--target-ci H] [--budget N]
+                           [--threshold P] [--batch-size N] [--point-max N]
     repro version
 
 ``run-fig`` regenerates one paper figure and prints its table (figures 3a-3d
 execute through the campaign engine and accept ``--workers``/``--cache``);
 ``campaign run`` executes an arbitrary sweep spec through the worker pool
-with the result cache, and ``campaign status`` reports how much of a spec is
-already answered by the cache without computing anything.  ``mc run``
-evaluates one Monte-Carlo cell population from a ``kind="montecarlo"`` spec;
-``mc map`` sweeps a 2-D parameter plane of populations (the spec's two grid
-axes) into a flip-probability map.
+with the result cache (``--shard-size`` streams very large sweeps through
+the cache in bounded-memory shards), and ``campaign status`` reports how
+much of a spec is already answered by the cache without computing anything.
+``mc run`` evaluates one Monte-Carlo cell population from a
+``kind="montecarlo"`` spec (``--export-cells`` dumps the per-cell sampled
+parameters and outcomes as npz for offline analysis; ``--show-distributions``
+prints the provenance of the spec's variability sigmas instead of running);
+``mc map`` sweeps a 2-D parameter plane of populations into a
+flip-probability map — fixed-n through the campaign runner, or with
+``--adaptive`` through CI-driven refinement that spends a global sample
+budget where the interval still straddles the flip boundary.
 """
 
 from __future__ import annotations
@@ -84,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunksize", type=int, default=1,
         help="jobs handed to a worker at a time (no effect with --timeout: jobs then dispatch singly)",
     )
+    run.add_argument(
+        "--shard-size", type=int, default=None, metavar="N",
+        help="materialise and dispatch N points at a time (overrides the spec; 0 = all at once)",
+    )
     run.add_argument("--save", metavar="DIR", help="write the aggregated CSV/JSON exports into DIR")
     run.add_argument("--json", action="store_true", help="print the full report as JSON instead of a table")
     run.set_defaults(handler=_cmd_campaign_run)
@@ -109,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the scalar reference engine instead of the vectorized one (anchored mode only)",
     )
     mc_run.add_argument("--rows", type=int, default=16, metavar="N", help="per-cell table rows to print")
+    mc_run.add_argument(
+        "--export-cells", metavar="OUT.npz", default=None,
+        help="dump per-cell sampled parameters and outcome arrays as a compressed npz",
+    )
+    mc_run.add_argument(
+        "--show-distributions", action="store_true",
+        help="print the provenance (placeholder vs literature) of the spec's sigmas and exit",
+    )
     mc_run.add_argument("--save", metavar="DIR", help="write the population CSV/JSON exports into DIR")
     mc_run.add_argument("--json", action="store_true", help="print the summary as JSON instead of a table")
     mc_run.set_defaults(handler=_cmd_mc_run)
@@ -117,6 +139,30 @@ def build_parser() -> argparse.ArgumentParser:
     mc_map.add_argument("spec", help="path to a kind='montecarlo' grid spec with exactly two axes")
     mc_map.add_argument("--workers", type=int, default=0, help="worker processes (0 = serial)")
     mc_map.add_argument("--cache", metavar="DIR", default=None, help="result cache directory")
+    mc_map.add_argument(
+        "--adaptive", action="store_true",
+        help="CI-driven refinement: allocate samples where the interval straddles the flip boundary",
+    )
+    mc_map.add_argument(
+        "--target-ci", type=float, default=0.02, metavar="H",
+        help="target CI half-width per map point (adaptive mode; default 0.02)",
+    )
+    mc_map.add_argument(
+        "--budget", type=int, default=0, metavar="N",
+        help="global sample budget across the plane (adaptive mode; 0 = unbounded)",
+    )
+    mc_map.add_argument(
+        "--threshold", type=float, default=0.5, metavar="P",
+        help="decision threshold whose straddling points are refined first (default 0.5)",
+    )
+    mc_map.add_argument(
+        "--batch-size", type=int, default=64, metavar="N",
+        help="samples per refinement batch (adaptive mode; default 64)",
+    )
+    mc_map.add_argument(
+        "--point-max", type=int, default=16384, metavar="N",
+        help="hard per-point sample ceiling (adaptive mode; default 16384)",
+    )
     mc_map.add_argument("--save", metavar="DIR", help="write the map CSV/JSON exports into DIR")
     mc_map.add_argument("--json", action="store_true", help="print the per-point records as JSON")
     mc_map.set_defaults(handler=_cmd_mc_map)
@@ -182,6 +228,10 @@ def _cmd_run_fig(args: argparse.Namespace) -> int:
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args.spec)
+    if args.shard_size is not None:
+        if args.shard_size < 0:
+            raise ReproError("--shard-size must be non-negative (0 = all at once)")
+        spec.shard_size = args.shard_size
     cache = _open_cache(args.cache, disabled=args.no_cache)
     runner = CampaignRunner(
         spec,
@@ -244,12 +294,70 @@ def _load_montecarlo_spec(path: str) -> CampaignSpec:
     return spec
 
 
+def _export_cells_npz(result, path: str) -> None:
+    """Dump one population's per-cell draws and outcomes as compressed npz.
+
+    Sampled parameters are stored under ``param.<path>`` (per-array attack
+    environment draws under ``env.<path>``); outcome arrays keep their result
+    field names.  Full-array populations additionally carry the victim
+    coordinates, the per-array validity mask and ``n_arrays``, so the flat
+    lane arrays can be reshaped to ``(n_arrays, victims)`` offline.
+    """
+    import numpy as np
+
+    from ..montecarlo import FullArrayMonteCarloResult
+
+    arrays = {
+        "flipped": result.flipped,
+        "pulses": result.pulses,
+        "stress_time_s": result.stress_time_s,
+        "wall_clock_s": result.wall_clock_s,
+        "final_x": result.final_x,
+        "victim_temperature_k": result.victim_temperature_k,
+        "valid": result.valid,
+    }
+    if result.weights is not None:
+        arrays["weights"] = result.weights
+    if result.draw is not None:
+        for param_path, values in result.draw.values.items():
+            arrays[f"param.{param_path}"] = values
+    if isinstance(result, FullArrayMonteCarloResult):
+        arrays["victims"] = np.asarray(result.victims, dtype=np.int64)
+        arrays["array_valid"] = result.array_valid
+        arrays["n_arrays"] = np.asarray(result.n_arrays, dtype=np.int64)
+        if result.environment_draw is not None:
+            for env_path, values in result.environment_draw.values.items():
+                arrays[f"env.{env_path}"] = values
+    np.savez_compressed(path, **arrays)
+
+
 def _cmd_mc_run(args: argparse.Namespace) -> int:
     from ..config import AttackConfig, SimulationConfig
     from ..montecarlo import MonteCarloConfig, MonteCarloEngine
 
     spec = _load_montecarlo_spec(args.spec)
     montecarlo = MonteCarloConfig.from_dict(spec.montecarlo)
+    if args.samples is not None and montecarlo.adaptive is not None:
+        # Adaptive stopping ignores n_samples; an explicit --samples N asks
+        # for a fixed-size run, so honour it rather than silently running to
+        # the adaptive ceiling.
+        print(
+            f"note: --samples {args.samples} requests a fixed-size run; "
+            "disabling the spec's adaptive stopping rule"
+        )
+        montecarlo.adaptive = None
+    if args.show_distributions:
+        from ..experiments.calibration import distribution_provenance_report
+
+        report = distribution_provenance_report(montecarlo.distributions or None)
+        print(report.to_table())
+        placeholders = sum(1 for row in report.rows if row["source"] == "placeholder")
+        print()
+        print(
+            f"{len(report.rows)} distribution(s); {placeholders} placeholder sigma(s) "
+            "pending literature calibration (see repro.experiments.calibration)"
+        )
+        return 0
     if args.samples is not None:
         montecarlo.n_samples = args.samples
     if args.seed is not None:
@@ -278,12 +386,27 @@ def _cmd_mc_run(args: argparse.Namespace) -> int:
             f"{summary['failed']} failed) via the {summary['engine']} engine "
             f"in {summary['duration_s']:.2f}s"
         )
+        print(
+            f"{summary['ci_method']} interval: [{summary['ci_low']:.4f}, {summary['ci_high']:.4f}] "
+            f"(half-width {summary['ci_half_width']:.4f})"
+        )
+        if "adaptive" in summary:
+            adaptive = summary["adaptive"]
+            print(
+                f"adaptive sampling: {adaptive['n_drawn']} samples in {adaptive['batches']} "
+                f"batch(es), stopped on {adaptive['stop_reason']}"
+            )
+        if "effective_sample_size" in summary:
+            print(f"importance sampling: effective sample size {summary['effective_sample_size']:.1f}")
         if summary["min_pulses_to_flip"] is not None:
             print(
                 f"pulses to flip: min {summary['min_pulses_to_flip']}, "
                 f"p50 {summary['p50']:.0f}, p90 {summary['p90']:.0f}, "
                 f"geomean {summary['geomean_pulses_to_flip']:.0f}"
             )
+    if args.export_cells:
+        _export_cells_npz(result, args.export_cells)
+        print(f"exported per-cell arrays to {args.export_cells}")
     if args.save:
         path = result.to_experiment_result(max_rows=None).save(args.save)
         print(f"saved montecarlo exports next to {path}")
@@ -291,33 +414,65 @@ def _cmd_mc_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_mc_map(args: argparse.Namespace) -> int:
-    from ..montecarlo import MapAxis, flip_probability_map
+    from ..montecarlo import MapAxis, flip_probability_map, refine_flip_probability_map
 
     spec = _load_montecarlo_spec(args.spec)
     if spec.mode != "grid" or len(spec.axes) != 2:
         raise ReproError("`repro mc map` needs a grid spec with exactly two enumerated axes")
     x_axis, y_axis = spec.axes
-    mc_map = flip_probability_map(
-        MapAxis(path=x_axis.path, values=list(x_axis.values)),
-        MapAxis(path=y_axis.path, values=list(y_axis.values)),
-        simulation=spec.simulation,
-        attack=spec.attack,
-        montecarlo=spec.montecarlo,
-        name=spec.name,
-        workers=args.workers,
-        cache=ResultCache(args.cache) if args.cache else None,
-    )
-    if args.json:
-        print(mc_map.result.to_json())
-    else:
-        print(mc_map.to_heatmap())
-        print()
-        print(mc_map.result.to_table())
-        print()
-        print(
-            f"map {spec.name!r}: {mc_map.n_samples} cells/point, "
-            f"mean bit-error rate {mc_map.bit_error_rate():.3f}"
+    if args.adaptive:
+        if args.workers or args.cache:
+            print("note: --workers/--cache apply to the fixed-n map path; ignored with --adaptive")
+        mc_map = refine_flip_probability_map(
+            MapAxis(path=x_axis.path, values=list(x_axis.values)),
+            MapAxis(path=y_axis.path, values=list(y_axis.values)),
+            simulation=spec.simulation,
+            attack=spec.attack,
+            montecarlo=spec.montecarlo,
+            name=spec.name,
+            target_half_width=args.target_ci,
+            budget=args.budget,
+            threshold=args.threshold,
+            batch_size=args.batch_size,
+            point_n_max=args.point_max,
         )
+        if args.json:
+            print(mc_map.result.to_json())
+        else:
+            print(mc_map.to_heatmap())
+            print()
+            print(mc_map.allocation_heatmap())
+            print()
+            print(mc_map.result.to_table())
+            print()
+            print(
+                f"map {spec.name!r}: target CI half-width {mc_map.target_half_width:g}, "
+                f"{int(mc_map.converged.sum())}/{mc_map.converged.size} points converged, "
+                f"{mc_map.total_samples} samples "
+                f"({mc_map.solve_ratio:.1f}x fewer than the fixed-n equivalent)"
+            )
+    else:
+        mc_map = flip_probability_map(
+            MapAxis(path=x_axis.path, values=list(x_axis.values)),
+            MapAxis(path=y_axis.path, values=list(y_axis.values)),
+            simulation=spec.simulation,
+            attack=spec.attack,
+            montecarlo=spec.montecarlo,
+            name=spec.name,
+            workers=args.workers,
+            cache=ResultCache(args.cache) if args.cache else None,
+        )
+        if args.json:
+            print(mc_map.result.to_json())
+        else:
+            print(mc_map.to_heatmap())
+            print()
+            print(mc_map.result.to_table())
+            print()
+            print(
+                f"map {spec.name!r}: {mc_map.n_samples} cells/point, "
+                f"mean bit-error rate {mc_map.bit_error_rate():.3f}"
+            )
     if args.save:
         path = mc_map.result.save(args.save)
         print(f"saved map exports next to {path}")

@@ -244,31 +244,39 @@ class CampaignRunner:
     # ------------------------------------------------------------------
 
     def run(self) -> CampaignReport:
-        """Materialise the spec, execute missing points, return the report."""
-        start = time.perf_counter()
-        points = self.spec.materialise()
-        records: Dict[int, JobRecord] = {}
-        pending: List[CampaignPoint] = []
-        for point in points:
-            cached = self._lookup(point)
-            if cached is not None:
-                records[point.index] = cached
-            else:
-                pending.append(point)
+        """Execute the spec's missing points and return the report.
 
-        if pending:
-            payloads = [(p.index, p.key, p.job, p.overrides) for p in pending]
-            # A timeout can only be enforced on a job running in a separate
-            # process, so timeout_s forces the pool path even at workers<=1.
-            if self.workers >= 2 or self.timeout_s is not None:
-                computed = self._iter_parallel(payloads)
-            else:
-                computed = self._iter_serial(payloads)
-            # Records are cached as they complete, so an interrupted campaign
-            # keeps every finished point and resumes from there.
-            for record in computed:
-                records[record.index] = record
-                self._store(record)
+        Points stream through :meth:`~repro.campaign.spec.CampaignSpec.iter_shards`:
+        with ``shard_size`` set, only one shard of validated jobs exists in
+        memory at a time — each shard is looked up in the cache, its missing
+        points executed and stored, then dropped before the next shard is
+        materialised.  Without sharding there is exactly one shard, which is
+        the original all-at-once behaviour.
+        """
+        start = time.perf_counter()
+        records: Dict[int, JobRecord] = {}
+        for shard in self.spec.iter_shards():
+            pending: List[CampaignPoint] = []
+            for point in shard:
+                cached = self._lookup(point)
+                if cached is not None:
+                    records[point.index] = cached
+                else:
+                    pending.append(point)
+
+            if pending:
+                payloads = [(p.index, p.key, p.job, p.overrides) for p in pending]
+                # A timeout can only be enforced on a job running in a separate
+                # process, so timeout_s forces the pool path even at workers<=1.
+                if self.workers >= 2 or self.timeout_s is not None:
+                    computed = self._iter_parallel(payloads)
+                else:
+                    computed = self._iter_serial(payloads)
+                # Records are cached as they complete, so an interrupted
+                # campaign keeps every finished point and resumes from there.
+                for record in computed:
+                    records[record.index] = record
+                    self._store(record)
 
         report = CampaignReport(
             spec_name=self.spec.name,
@@ -279,17 +287,26 @@ class CampaignRunner:
         return report
 
     def status(self) -> Dict[str, Any]:
-        """Cache coverage of the spec without executing anything."""
-        points = self.spec.materialise()
-        cached, missing = [], []
-        for point in points:
-            (cached if self._lookup(point) is not None else missing).append(point)
+        """Cache coverage of the spec without executing anything.
+
+        Streams over the points, so the status of an arbitrarily large
+        sharded campaign is computed in constant memory (plus the labels of
+        the missing points).
+        """
+        total = cached = 0
+        missing_labels: List[str] = []
+        for point in self.spec.iter_points():
+            total += 1
+            if self._lookup(point) is not None:
+                cached += 1
+            else:
+                missing_labels.append(point.label())
         return {
             "spec_name": self.spec.name,
-            "total": len(points),
-            "cached": len(cached),
-            "missing": len(missing),
-            "missing_points": [point.label() for point in missing],
+            "total": total,
+            "cached": cached,
+            "missing": len(missing_labels),
+            "missing_points": missing_labels,
         }
 
     # ------------------------------------------------------------------

@@ -40,7 +40,7 @@ import itertools
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -218,10 +218,17 @@ class CampaignSpec(JsonConfig):
     samples: int = 0
     #: Seed for ``random`` mode; identical seeds materialise identical campaigns.
     seed: int = 0
+    #: Points materialised (and dispatched) at a time; 0 materialises the
+    #: whole campaign up front.  Large (10^5+ point) sweeps should set this
+    #: so the runner streams the campaign through the cache shard by shard
+    #: instead of holding every validated job in memory.
+    shard_size: int = 0
 
     def __post_init__(self) -> None:
         if not self.name:
             raise CampaignError("campaign name must be non-empty")
+        if self.shard_size < 0:
+            raise CampaignError("shard_size must be non-negative (0 = no sharding)")
         if self.kind not in JOB_KINDS:
             raise CampaignError(f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}")
         if self.mode not in SWEEP_MODES:
@@ -275,24 +282,32 @@ class CampaignSpec(JsonConfig):
             count *= len(axis.values)  # type: ignore[arg-type]
         return count
 
-    def _override_sets(self) -> List[Dict[str, Any]]:
-        """The list of per-point ``{path: value}`` override mappings."""
+    def _override_sets(self) -> Iterator[Dict[str, Any]]:
+        """Per-point ``{path: value}`` override mappings, generated lazily.
+
+        Laziness is what makes :attr:`shard_size` effective: a 10^6-point
+        grid never exists as a list — the runner pulls one shard of points at
+        a time.  Random mode draws sequentially from one child stream, so the
+        streamed campaign is identical to the materialised one.
+        """
         if self.mode == "random":
             # One spawn-key child stream of the shared RNG tree (see
             # repro.utils.rng), so campaign draws and Monte-Carlo populations
             # are reproducible from the same root-seed convention.
             rng = child_rng(self.seed, "campaign", "random-sweep")
-            return [
-                {axis.path: axis.sample(rng) for axis in self.axes} for _ in range(self.samples)
-            ]
+            for _ in range(self.samples):
+                yield {axis.path: axis.sample(rng) for axis in self.axes}
+            return
         if not self.axes:
-            return [{}]
+            yield {}
+            return
         paths = [axis.path for axis in self.axes]
         if self.mode == "zip":
             combos = zip(*[axis.values for axis in self.axes])  # type: ignore[arg-type]
         else:
             combos = itertools.product(*[axis.values for axis in self.axes])  # type: ignore[arg-type]
-        return [dict(zip(paths, combo)) for combo in combos]
+        for combo in combos:
+            yield dict(zip(paths, combo))
 
     def _validated_job(self, tree: Mapping[str, Any]) -> Dict[str, Any]:
         """Validate one configuration tree and return its canonical dict form."""
@@ -319,11 +334,15 @@ class CampaignSpec(JsonConfig):
         except ReproError as exc:
             raise CampaignError(f"campaign {self.name!r}: invalid base configuration: {exc}") from exc
 
-    def materialise(self) -> List[CampaignPoint]:
-        """Expand the spec into validated, content-addressed campaign points."""
+    def iter_points(self) -> Iterator[CampaignPoint]:
+        """Validated, content-addressed campaign points, generated lazily.
+
+        Equivalent to :meth:`materialise` point for point, but never holds
+        more than one point in memory — the streaming entry point behind
+        :attr:`shard_size`.
+        """
         base = self.base_job()
         version = code_version()
-        points: List[CampaignPoint] = []
         for index, overrides in enumerate(self._override_sets()):
             tree = json.loads(json.dumps(base))
             for path, value in overrides.items():
@@ -337,7 +356,24 @@ class CampaignSpec(JsonConfig):
             # Canonicalise through a JSON round-trip so tuples/lists and float
             # formatting cannot make equal configs hash differently.
             job = json.loads(json.dumps(validated, sort_keys=True))
-            points.append(
-                CampaignPoint(index=index, overrides=dict(overrides), job=job, key=point_key(job, version))
+            yield CampaignPoint(
+                index=index, overrides=dict(overrides), job=job, key=point_key(job, version)
             )
-        return points
+
+    def iter_shards(self) -> Iterator[List[CampaignPoint]]:
+        """Points grouped into :attr:`shard_size` chunks (one chunk if 0)."""
+        if self.shard_size <= 0:
+            yield list(self.iter_points())
+            return
+        shard: List[CampaignPoint] = []
+        for point in self.iter_points():
+            shard.append(point)
+            if len(shard) >= self.shard_size:
+                yield shard
+                shard = []
+        if shard:
+            yield shard
+
+    def materialise(self) -> List[CampaignPoint]:
+        """Expand the spec into validated, content-addressed campaign points."""
+        return list(self.iter_points())

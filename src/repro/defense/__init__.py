@@ -6,7 +6,14 @@ from .detection import (
     RefreshRequest,
     neighbour_cells,
 )
-from .evaluation import DefenseEvaluation, DefenseOutcome, evaluate_defenses
+from .evaluation import (
+    DefenseEvaluation,
+    DefenseOutcome,
+    VariationDefenseOutcome,
+    VariationDefenseReport,
+    evaluate_defenses,
+    evaluate_defenses_under_variation,
+)
 from .refresh import (
     RefreshOutcome,
     RefreshPolicy,
@@ -31,5 +38,8 @@ __all__ = [
     "WriteDecision",
     "DefenseEvaluation",
     "DefenseOutcome",
+    "VariationDefenseOutcome",
+    "VariationDefenseReport",
     "evaluate_defenses",
+    "evaluate_defenses_under_variation",
 ]

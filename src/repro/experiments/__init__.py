@@ -16,7 +16,14 @@ from .base import (
     monotonically_decreasing,
     monotonically_increasing,
 )
-from .calibration import CalibrationTargets, calibration_report
+from .calibration import (
+    DISTRIBUTION_PROVENANCE,
+    CalibrationTargets,
+    DistributionProvenance,
+    calibration_report,
+    default_variability_distributions,
+    distribution_provenance_report,
+)
 from .fig2a_thermal_map import PAPER_REFERENCE as FIG2A_PAPER_REFERENCE
 from .fig2a_thermal_map import ThermalMapResult, fig2a_experiment, run_fig2a
 from .fig3a_pulse_length import campaign_spec as fig3a_campaign_spec
@@ -52,4 +59,8 @@ __all__ = [
     "run_bias_scheme_ablation",
     "CalibrationTargets",
     "calibration_report",
+    "DISTRIBUTION_PROVENANCE",
+    "DistributionProvenance",
+    "default_variability_distributions",
+    "distribution_provenance_report",
 ]

@@ -6,11 +6,20 @@ figure is then produced by the same physics.  This module makes that claim
 checkable: it recomputes the calibration targets from the current default
 parameters so tests (and users who change parameters) can see exactly which
 anchors moved.
+
+It also records the *statistical* calibration state: every variability sigma
+the repository ships (examples, benchmarks, the defense-under-variation
+harness) is listed in :data:`DISTRIBUTION_PROVENANCE` together with its
+source — ``placeholder`` until a published variability dataset pins it down,
+``literature`` once it is fitted.  ``repro mc run SPEC --show-distributions``
+surfaces this table next to any spec, so a population study always states
+which of its sigmas are anchored and which are still engineering estimates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from ..attack.neurohammer import hammer_once
 from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K, DEFAULT_SET_VOLTAGE_V
@@ -68,4 +77,163 @@ def calibration_report(targets: CalibrationTargets = None) -> ExperimentResult:
             <= targets.reference_pulses * targets.reference_pulses_factor
         ),
     )
+    return result
+
+
+# ----------------------------------------------------------------------
+# variability-distribution provenance
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DistributionProvenance:
+    """Provenance of one shipped variability sigma."""
+
+    #: Sampled dotted path (see :mod:`repro.montecarlo.sampling`).
+    path: str
+    kind: str
+    sigma: float
+    relative: bool
+    #: ``"placeholder"`` (engineering estimate awaiting a fit) or
+    #: ``"literature"`` (fitted against a published dataset).
+    source: str
+    #: What the number is tied to, or what would pin it down.
+    reference: str
+    #: Whether :func:`default_variability_distributions` includes the path.
+    default: bool = True
+
+
+#: Every variability sigma shipped by this repository, with its source.
+#: The ROADMAP's "distribution calibration" item tracks promoting the
+#: placeholders to literature fits (JART VCM v1b cycle-to-cycle lognormals).
+DISTRIBUTION_PROVENANCE: Tuple[DistributionProvenance, ...] = (
+    DistributionProvenance(
+        path="device.activation_energy_ev",
+        kind="normal",
+        sigma=0.01,
+        relative=True,
+        source="placeholder",
+        reference=(
+            "±1% device-to-device spread, engineering estimate; to be fitted against "
+            "the JART VCM v1b variability set (Hardtdegen et al., TED 2018 methodology)"
+        ),
+    ),
+    DistributionProvenance(
+        path="device.series_resistance_ohm",
+        kind="normal",
+        sigma=0.05,
+        relative=True,
+        source="placeholder",
+        reference=(
+            "±5% line/electrode resistance spread, engineering estimate pending "
+            "extraction from array-level IR-drop measurements"
+        ),
+    ),
+    DistributionProvenance(
+        path="device.rth_eff_k_per_w",
+        kind="normal",
+        sigma=0.05,
+        relative=True,
+        source="placeholder",
+        reference=(
+            "±5% effective thermal resistance spread; filament-geometry dependent, "
+            "no published distribution for the Eq. 6 R_th,eff of this stack"
+        ),
+        default=False,
+    ),
+    DistributionProvenance(
+        path="attack.pulse.length_s",
+        kind="lognormal",
+        sigma=0.2,
+        relative=True,
+        source="literature",
+        reference=(
+            "lognormal cycle-to-cycle timing jitter shape per the JART VCM v1b "
+            "variability model family; the 0.2 log-sigma magnitude remains a "
+            "placeholder until fitted"
+        ),
+        default=False,
+    ),
+)
+
+
+def default_variability_distributions() -> List[dict]:
+    """The shipped default population (every ``default=True`` table entry).
+
+    Returned as plain dicts (the :class:`~repro.montecarlo.sampling.ParameterDistribution`
+    JSON idiom) so callers can embed them directly into campaign specs and
+    ``MonteCarloConfig`` objects.
+    """
+    return [
+        {
+            "path": entry.path,
+            "kind": entry.kind,
+            "mean": 1.0 if entry.relative else None,
+            "sigma": entry.sigma,
+            "relative": entry.relative,
+        }
+        for entry in DISTRIBUTION_PROVENANCE
+        if entry.default
+    ]
+
+
+def provenance_for(path: str) -> Optional[DistributionProvenance]:
+    """The provenance entry of one sampled path, if the table records it."""
+    for entry in DISTRIBUTION_PROVENANCE:
+        if entry.path == path:
+            return entry
+    return None
+
+
+def distribution_provenance_report(
+    distributions: Optional[Sequence] = None,
+) -> ExperimentResult:
+    """The provenance table, optionally matched against a spec's distributions.
+
+    Without arguments, the report lists every shipped sigma.  Given a list of
+    distributions (objects or dicts), each is matched by path: entries found
+    in the table inherit its source, everything else is reported as
+    ``user-supplied`` so a spec can never silently masquerade a custom sigma
+    as a calibrated one.
+    """
+    result = ExperimentResult(
+        name="distribution_provenance",
+        description="Provenance of the shipped variability sigmas (placeholder vs literature)",
+        columns=["path", "kind", "sigma", "relative", "source", "reference"],
+        metadata={
+            "placeholders": sum(1 for e in DISTRIBUTION_PROVENANCE if e.source == "placeholder"),
+            "literature": sum(1 for e in DISTRIBUTION_PROVENANCE if e.source == "literature"),
+        },
+    )
+    if distributions is None:
+        for entry in DISTRIBUTION_PROVENANCE:
+            result.add_row(
+                path=entry.path,
+                kind=entry.kind,
+                sigma=entry.sigma,
+                relative=entry.relative,
+                source=entry.source,
+                reference=entry.reference,
+            )
+        return result
+    for dist in distributions:
+        data = dist if isinstance(dist, dict) else dist.to_dict()
+        path = data.get("path", "?")
+        entry = provenance_for(path)
+        sigma = data.get("sigma")
+        if entry is None:
+            source, reference = "user-supplied", "not in the shipped provenance table"
+        elif sigma is not None and abs(float(sigma) - entry.sigma) > 1e-12 * max(1.0, entry.sigma):
+            source = "user-supplied"
+            reference = f"deviates from the shipped {entry.source} sigma {entry.sigma:g}"
+        else:
+            source, reference = entry.source, entry.reference
+        result.add_row(
+            path=path,
+            kind=data.get("kind", "?"),
+            sigma=sigma,
+            relative=bool(data.get("relative", False)),
+            source=source,
+            reference=reference,
+        )
     return result

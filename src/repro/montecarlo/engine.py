@@ -38,7 +38,20 @@ from ..devices.kinetics import pulses_to_switch
 from ..devices.thermal import solve_operating_point
 from ..errors import ConvergenceError, DeviceModelError, MonteCarloError
 from ..circuit.drivers import write_bias
-from .sampling import ParameterDistribution, PopulationDraw, PopulationSampler
+from .adaptive import AdaptiveConfig, AdaptiveOutcome, AdaptiveSampler
+from .estimators import (
+    ClusteredBinomialEstimator,
+    EstimatorState,
+    ImportanceEstimator,
+    StreamingBinomialEstimator,
+)
+from .sampling import (
+    ArrayPopulationDraw,
+    ImportanceSettings,
+    ParameterDistribution,
+    PopulationDraw,
+    PopulationSampler,
+)
 from .vectorized import (
     SampledArrayJartModel,
     VectorizedJartVcm,
@@ -49,6 +62,36 @@ from .vectorized import (
 
 #: Evaluation modes of :class:`MonteCarloEngine`.
 MONTECARLO_MODES = ("anchored", "full_array")
+
+
+def _concat_draws(draws: List[Optional[Any]]):
+    """Concatenate per-batch population draws along the sample axis."""
+    draws = [draw for draw in draws if draw is not None]
+    if not draws:
+        return None
+    if len(draws) == 1:
+        return draws[0]
+    first = draws[0]
+    values = {
+        path: np.concatenate([draw.values[path] for draw in draws], axis=0)
+        for path in first.values
+    }
+    if isinstance(first, ArrayPopulationDraw):
+        return ArrayPopulationDraw(
+            n_arrays=sum(draw.n_arrays for draw in draws),
+            cells=first.cells,
+            seed=first.seed,
+            values=values,
+        )
+    log_weights = None
+    if first.log_weights is not None:
+        log_weights = np.concatenate([draw.log_weights for draw in draws])
+    return PopulationDraw(
+        n_samples=sum(draw.n_samples for draw in draws),
+        seed=first.seed,
+        values=values,
+        log_weights=log_weights,
+    )
 
 #: Victim selections of the full-array mode.
 VICTIM_MODES = ("half_selected", "all")
@@ -76,6 +119,13 @@ class MonteCarloConfig(JsonConfig):
     #: ``"half_selected"`` — cells sharing a word/bit line with an aggressor,
     #: ``"all"`` — every non-aggressor cell.
     victim_mode: str = "half_selected"
+    #: Sequential stopping rule; when set, ``n_samples`` is ignored and the
+    #: run draws batches until the flip-probability CI meets the target (see
+    #: :class:`~repro.montecarlo.adaptive.AdaptiveConfig`).
+    adaptive: Optional[AdaptiveConfig] = None
+    #: Importance-sampling tilt towards the flip boundary (anchored mode
+    #: only); estimates are reweighted by self-normalized likelihood ratios.
+    importance: Optional[ImportanceSettings] = None
 
     def __post_init__(self) -> None:
         if self.n_samples < 1:
@@ -94,6 +144,15 @@ class MonteCarloConfig(JsonConfig):
             dist if isinstance(dist, ParameterDistribution) else ParameterDistribution.from_dict(dist)
             for dist in self.distributions
         ]
+        if isinstance(self.adaptive, dict):
+            self.adaptive = AdaptiveConfig.from_dict(self.adaptive)
+        if isinstance(self.importance, dict):
+            self.importance = ImportanceSettings.from_dict(self.importance)
+        if self.importance is not None and self.mode == "full_array":
+            raise MonteCarloError(
+                "importance sampling tilts per-victim populations; it is only "
+                "defined for mode='anchored'"
+            )
 
 
 @dataclass
@@ -144,6 +203,19 @@ class MonteCarloResult:
     #: False in lanes whose electro-thermal solve diverged (excluded).
     valid: np.ndarray
     duration_s: float = 0.0
+    #: Likelihood-ratio weights of an importance-sampled population (None
+    #: for plain draws); flip probability is then the self-normalized
+    #: reweighted estimate.
+    weights: Optional[np.ndarray] = None
+    #: The sampled parameter draw behind this population (kept for npz
+    #: export and offline analysis).
+    draw: Optional[Any] = None
+    #: Trace of the sequential run when adaptive stopping was active.
+    adaptive: Optional[AdaptiveOutcome] = None
+    #: Interval settings used by :meth:`estimator` (overridden by the
+    #: adaptive config when one drove the run).
+    ci_confidence: float = 0.95
+    ci_method: str = "wilson"
 
     # ------------------------------------------------------------------
 
@@ -157,9 +229,54 @@ class MonteCarloResult:
 
     @property
     def flip_probability(self) -> float:
-        """Fraction of valid cells that flipped within the pulse budget."""
+        """Flip probability over the valid cells.
+
+        Plain populations report the raw flipped fraction; importance-sampled
+        populations report the self-normalized likelihood-ratio estimate
+        (the raw fraction would estimate the *proposal* flip rate, not the
+        nominal one).
+        """
+        if self.weights is not None:
+            total = float(self.weights[self.valid].sum())
+            if total <= 0.0:
+                return 0.0
+            return float(self.weights[self.flipped & self.valid].sum() / total)
         valid = self.valid_count
         return self.flipped_count / valid if valid else 0.0
+
+    def event_estimator(self, event: Optional[np.ndarray] = None):
+        """Fold an arbitrary per-lane event into the matching estimator.
+
+        ``event`` is a boolean lane array (default: the flip flag); invalid
+        lanes are always excluded.  This is the one place that knows whether
+        the population is importance-weighted, so every consumer that scores
+        a derived event (flip within a pulse budget, refresh survival, ...)
+        gets the correct self-normalized estimate and interval for free.
+        """
+        event = (self.flipped if event is None else np.asarray(event, dtype=bool))
+        masked = (event & self.valid)[self.valid]
+        if self.weights is not None:
+            estimator = ImportanceEstimator(confidence=self.ci_confidence)
+            estimator.update(masked, self.weights[self.valid])
+            return estimator
+        estimator = StreamingBinomialEstimator(
+            confidence=self.ci_confidence, method=self.ci_method
+        )
+        estimator.update(masked)
+        return estimator
+
+    def estimator(self):
+        """The population folded into the matching streaming estimator."""
+        return self.event_estimator()
+
+    def interval(self) -> tuple:
+        """Confidence interval on the flip probability."""
+        return self.estimator().interval()
+
+    @property
+    def effective_sample_size(self) -> float:
+        """Kish ESS under importance sampling; the valid count otherwise."""
+        return float(self.estimator().effective_sample_size)
 
     def pulses_to_flip(self) -> np.ndarray:
         """Pulse counts of the cells that actually flipped."""
@@ -198,6 +315,15 @@ class MonteCarloResult:
             "duration_s": self.duration_s,
         }
         summary.update(self.quantiles())
+        state = EstimatorState.capture(self.estimator())
+        summary["ci_low"] = state.ci_low
+        summary["ci_high"] = state.ci_high
+        summary["ci_half_width"] = state.half_width
+        summary["ci_method"] = state.method
+        if self.weights is not None:
+            summary["effective_sample_size"] = state.effective_sample_size
+        if self.adaptive is not None:
+            summary["adaptive"] = self.adaptive.to_dict()
         return summary
 
     def to_experiment_result(self, max_rows: Optional[int] = 64):
@@ -241,6 +367,28 @@ class FullArrayMonteCarloResult(MonteCarloResult):
     victims: List[tuple] = field(default_factory=list)
     #: False where a sampled array's nodal solve failed entirely.
     array_valid: np.ndarray = None
+    #: Per-array draws of the attack environment (ambient, amplitude, ...)
+    #: when the population samples it; ``None`` otherwise.
+    environment_draw: Optional[PopulationDraw] = None
+
+    def event_estimator(self, event: Optional[np.ndarray] = None):
+        """Cluster-robust estimator over a per-lane event.
+
+        The victim lanes of one sampled array share its per-cell draws,
+        environment draw and nodal solve, so each array is one cluster of
+        correlated lanes: the point estimate is the pooled lane fraction, but
+        the interval comes from the between-array spread — treating the lanes
+        as iid trials (the anchored-mode estimator) would overstate the
+        precision by up to a factor of ``sqrt(victims_per_array)``.
+        """
+        event = self.flipped if event is None else np.asarray(event, dtype=bool)
+        masked = (event & self.valid).reshape(self.n_arrays, -1)
+        valid = self.valid.reshape(self.n_arrays, -1)
+        estimator = ClusteredBinomialEstimator(confidence=self.ci_confidence)
+        estimator.update_counts(
+            masked.sum(axis=1).astype(np.float64), valid.sum(axis=1).astype(np.float64)
+        )
+        return estimator
 
     @property
     def victims_per_array(self) -> int:
@@ -348,6 +496,17 @@ class MonteCarloEngine:
         )
         return self._conditions
 
+    def set_nominal_conditions(self, conditions: NominalConditions) -> None:
+        """Pin the circuit anchor explicitly instead of solving for it.
+
+        What-if studies (e.g. a thermal guard throttling the sustained
+        crosstalk) evaluate the same population under modified operating
+        conditions; this is the supported way to install them — build a
+        modified copy with :func:`dataclasses.replace` and set it before
+        :meth:`run`.
+        """
+        self._conditions = conditions
+
     # ------------------------------------------------------------------
     # population evaluation
     # ------------------------------------------------------------------
@@ -385,8 +544,15 @@ class MonteCarloEngine:
             f"device.{f.name}": float(getattr(device, f.name)) for f in dc_fields(type(device))
         }
 
-    def sample(self, n_samples: Optional[int] = None) -> PopulationDraw:
-        """Draw the (seeded) anchored population this engine will evaluate."""
+    def sample(self, n_samples: Optional[int] = None, spawn=()) -> PopulationDraw:
+        """Draw the (seeded) anchored population this engine will evaluate.
+
+        ``spawn`` inserts extra spawn-key elements into the draw streams; the
+        adaptive loop keys its batches as ``("batch", index)`` so batch draws
+        are reproducible independent of the stopping decisions.  When the
+        engine carries importance settings, the draw comes from the tilted
+        proposals and carries per-sample log likelihood ratios.
+        """
         for dist in self.sampler.distributions:
             if dist.within_die > 0.0:
                 raise MonteCarloError(
@@ -396,7 +562,15 @@ class MonteCarloEngine:
                 )
         n = n_samples if n_samples is not None else self.montecarlo.n_samples
         conditions = self.nominal_conditions()
-        return self.sampler.sample(n, self._nominals(conditions))
+        return self.sampler.sample(
+            n, self._nominals(conditions), spawn=spawn, importance=self.montecarlo.importance
+        )
+
+    def _ci_settings(self) -> tuple:
+        """(confidence, method) the result's interval reporting should use."""
+        if self.montecarlo.adaptive is not None:
+            return self.montecarlo.adaptive.confidence, self.montecarlo.adaptive.method
+        return 0.95, "wilson"
 
     def run(self, n_samples: Optional[int] = None, vectorized: bool = True) -> MonteCarloResult:
         """Evaluate the population and return per-cell outcomes plus stats.
@@ -404,26 +578,129 @@ class MonteCarloEngine:
         With ``mode="full_array"`` each sample is a whole sampled crossbar
         (``n_samples`` arrays) whose nodal operating point is re-solved; the
         returned :class:`FullArrayMonteCarloResult` carries one lane per
-        ``(array, victim)`` pair.
+        ``(array, victim)`` pair.  With an ``adaptive`` stopping rule
+        configured, ``n_samples`` is ignored and samples are drawn in batches
+        until the flip-probability interval meets the target (see
+        :class:`~repro.montecarlo.adaptive.AdaptiveConfig`).
         """
         start = time.perf_counter()
-        n = n_samples if n_samples is not None else self.montecarlo.n_samples
         conditions = self.nominal_conditions()
+        if self.montecarlo.adaptive is not None:
+            result = self._run_adaptive(conditions, vectorized)
+        else:
+            n = n_samples if n_samples is not None else self.montecarlo.n_samples
+            result = self._run_fixed(n, conditions, vectorized)
+        result.duration_s = time.perf_counter() - start
+        return result
+
+    def run_batch(self, n: int, batch_index: int, vectorized: bool = True) -> MonteCarloResult:
+        """Evaluate one seeded batch of ``n`` samples.
+
+        Batch ``i`` always draws the same population for a given seed,
+        independent of any other batches evaluated — this is the unit of work
+        behind adaptive stopping and CI-driven map refinement.
+        """
+        start = time.perf_counter()
+        conditions = self.nominal_conditions()
+        result = self._run_fixed(n, conditions, vectorized, spawn=("batch", batch_index))
+        result.duration_s = time.perf_counter() - start
+        return result
+
+    def _run_fixed(
+        self, n: int, conditions: NominalConditions, vectorized: bool, spawn=()
+    ) -> MonteCarloResult:
+        """One fixed-size evaluation through the configured mode."""
         if self.montecarlo.mode == "full_array":
             if not vectorized:
                 raise MonteCarloError(
                     "full_array mode runs through the batched solver kernel only; "
                     "it has no scalar reference path"
                 )
-            result = self._run_full_array(n, conditions)
-        elif vectorized:
-            draw = self.sample(n)
-            result = self._run_vectorized(n, draw, conditions)
+            return self._run_full_array(n, conditions, spawn=spawn)
+        draw = self.sample(n, spawn=spawn)
+        if vectorized:
+            return self._run_vectorized(n, draw, conditions)
+        return self._run_scalar(n, draw, conditions)
+
+    # -- adaptive (sequential) path ----------------------------------------
+
+    def _run_adaptive(self, conditions: NominalConditions, vectorized: bool) -> MonteCarloResult:
+        """Draw batches until the flip-probability CI meets the target.
+
+        Both modes target the per-lane flip probability.  Full-array mode
+        folds each batch through the cluster-robust estimator (one cluster
+        per sampled array — the victim lanes of one array share its per-cell
+        draws, environment draw and nodal solve), so the interval honours the
+        within-array correlation instead of stopping too early on
+        pseudo-independent lanes; the same estimator backs the result's
+        :meth:`~FullArrayMonteCarloResult.event_estimator`.
+        """
+        config = self.montecarlo.adaptive
+        batch_results: List[MonteCarloResult] = []
+
+        def evaluate(index: int, n: int):
+            result = self._run_fixed(n, conditions, vectorized, spawn=("batch", index))
+            batch_results.append(result)
+            if isinstance(result, FullArrayMonteCarloResult):
+                # Per-cluster (flips, valid lanes) pairs; invalid arrays
+                # contribute empty clusters, which the estimator drops.
+                flips = (result.flipped & result.valid).reshape(result.n_arrays, -1)
+                valid = result.valid.reshape(result.n_arrays, -1)
+                counts = (
+                    flips.sum(axis=1).astype(np.float64),
+                    valid.sum(axis=1).astype(np.float64),
+                )
+                return counts, None
+            mask = result.valid
+            outcomes = (result.flipped & mask)[mask]
+            weights = result.weights[mask] if result.weights is not None else None
+            return outcomes, weights
+
+        if self.montecarlo.mode == "full_array":
+            estimator = ClusteredBinomialEstimator(confidence=config.confidence)
         else:
-            draw = self.sample(n)
-            result = self._run_scalar(n, draw, conditions)
-        result.duration_s = time.perf_counter() - start
+            estimator = config.make_estimator(weighted=self.montecarlo.importance is not None)
+        outcome = AdaptiveSampler(config, evaluate, estimator=estimator).run()
+        result = self._concat_results(batch_results)
+        result.adaptive = outcome
         return result
+
+    def _concat_results(self, results: List[MonteCarloResult]) -> MonteCarloResult:
+        """Merge per-batch results into one population result (lane order =
+        batch order, matching the estimator's stream order)."""
+        first = results[0]
+        if len(results) == 1:
+            return first
+
+        def cat(name):
+            return np.concatenate([getattr(r, name) for r in results])
+
+        common = dict(
+            n_samples=sum(r.n_samples for r in results),
+            seed=first.seed,
+            engine=first.engine,
+            conditions=first.conditions,
+            flipped=cat("flipped"),
+            pulses=cat("pulses"),
+            stress_time_s=cat("stress_time_s"),
+            wall_clock_s=cat("wall_clock_s"),
+            final_x=cat("final_x"),
+            victim_temperature_k=cat("victim_temperature_k"),
+            valid=cat("valid"),
+            weights=cat("weights") if first.weights is not None else None,
+            draw=_concat_draws([r.draw for r in results]),
+            ci_confidence=first.ci_confidence,
+            ci_method=first.ci_method,
+        )
+        if isinstance(first, FullArrayMonteCarloResult):
+            return FullArrayMonteCarloResult(
+                **common,
+                n_arrays=sum(r.n_arrays for r in results),
+                victims=first.victims,
+                array_valid=cat("array_valid"),
+                environment_draw=_concat_draws([r.environment_draw for r in results]),
+            )
+        return MonteCarloResult(**common)
 
     # -- vectorized path ---------------------------------------------------
 
@@ -511,6 +788,7 @@ class MonteCarloEngine:
             temperature[lanes] = outcome.final_temperature_k
             valid[lanes] = lane_valid
 
+        confidence, method = self._ci_settings()
         return MonteCarloResult(
             n_samples=n,
             seed=self.montecarlo.seed,
@@ -523,6 +801,10 @@ class MonteCarloEngine:
             final_x=final_x,
             victim_temperature_k=temperature,
             valid=valid,
+            weights=draw.weights(),
+            draw=draw,
+            ci_confidence=confidence,
+            ci_method=method,
         )
 
     # -- full-array path ---------------------------------------------------
@@ -547,7 +829,7 @@ class MonteCarloEngine:
         return selected
 
     def _run_full_array(
-        self, n_arrays: int, conditions: NominalConditions
+        self, n_arrays: int, conditions: NominalConditions, spawn=()
     ) -> FullArrayMonteCarloResult:
         """Re-solve the nodal operating point per sampled array.
 
@@ -557,20 +839,46 @@ class MonteCarloEngine:
         victims at once.  The crossbar, netlist and Jacobian structure are
         built once and reused across arrays (the sampled parameters are
         swapped into the solver's batched model in place).
+
+        ``attack.*`` distributions are honoured with one draw per sampled
+        array (the attack environment — ambient temperature, pulse amplitude,
+        length, duty cycle, flip threshold — varies between arrays, not
+        between the cells of one array); ``operating.*`` paths remain
+        anchored-mode-only because full-array mode derives the operating
+        point from each array's own nodal solve.
         """
+        cell_paths: List[str] = []
+        env_paths: List[str] = []
         for dist in self.sampler.distributions:
-            if not dist.path.startswith("device."):
+            if dist.path.startswith("device."):
+                cell_paths.append(dist.path)
+            elif dist.path.startswith("attack."):
+                if dist.within_die > 0.0:
+                    raise MonteCarloError(
+                        f"distribution {dist.path!r}: the attack environment is drawn once "
+                        "per sampled array; within_die correlation is not applicable"
+                    )
+                env_paths.append(dist.path)
+            else:
                 raise MonteCarloError(
-                    f"full_array mode samples device parameters per cell; distribution "
-                    f"{dist.path!r} addresses the attack/operating environment — "
-                    "evaluate it through the anchored mode"
+                    f"full_array mode derives the operating point from each array's own "
+                    f"nodal solve; distribution {dist.path!r} can only be perturbed "
+                    "directly through the anchored mode"
                 )
 
         geometry = self.simulation.geometry
         rows, columns = geometry.rows, geometry.columns
         cells = rows * columns
         base = self._device_base()
-        draw = self.sampler.sample_cells(n_arrays, cells, self._device_nominals())
+        nominals = self._nominals(conditions)
+        draw = self.sampler.sample_cells(n_arrays, cells, nominals, spawn=spawn, paths=cell_paths)
+        env = (
+            self.sampler.sample(
+                n_arrays, nominals, spawn=(*spawn, "full-array-env"), paths=env_paths
+            )
+            if env_paths
+            else None
+        )
 
         model = SampledArrayJartModel(
             VectorizedJartVcm(cells, base=base, overrides=draw.array_overrides(0)),
@@ -588,32 +896,64 @@ class MonteCarloEngine:
         victim_rows = np.array([cell[0] for cell in victims])
         victim_cols = np.array([cell[1] for cell in victims])
         lanes = victim_rows * columns + victim_cols
-        bias = write_bias(
+        aggressor_cells = pattern.phases[0].aggressors
+        nominal_bias = write_bias(
             geometry,
-            pattern.phases[0].aggressors,
+            aggressor_cells,
             self.attack.pulse.amplitude_v,
             scheme=self.attack.bias_scheme,
         )
 
-        ambient = self.attack.ambient_temperature_k
+        ambient_default = self.attack.ambient_temperature_k
         total = n_arrays * n_victims
         flipped = np.zeros((n_arrays, n_victims), dtype=bool)
         pulses = np.full((n_arrays, n_victims), self.attack.max_pulses, dtype=np.int64)
         stress = np.zeros((n_arrays, n_victims))
         wall = np.zeros((n_arrays, n_victims))
         final_x = np.full((n_arrays, n_victims), self.montecarlo.x_start)
-        temperature = np.full((n_arrays, n_victims), float(ambient))
+        temperature = np.full((n_arrays, n_victims), float(ambient_default))
         valid = np.zeros((n_arrays, n_victims), dtype=bool)
         array_valid = np.ones(n_arrays, dtype=bool)
+
+        def env_scalar(path: str, index: int, nominal: float) -> float:
+            return env.scalar(path, index, nominal) if env is not None else float(nominal)
 
         for index in range(n_arrays):
             if index:  # array 0's population is already bound from construction
                 model.set_population(
                     VectorizedJartVcm(cells, base=base, overrides=draw.array_overrides(index))
                 )
+            # This array's attack environment (one draw per sampled array).
+            ambient = env_scalar("attack.ambient_temperature_k", index, ambient_default)
+            amplitude = env_scalar(
+                "attack.pulse.amplitude_v", index, self.attack.pulse.amplitude_v
+            )
+            pulse_length = env_scalar("attack.pulse.length_s", index, self.attack.pulse.length_s)
+            duty = env_scalar("attack.pulse.duty_cycle", index, self.attack.pulse.duty_cycle)
+            threshold = env_scalar("attack.flip_threshold", index, self.attack.flip_threshold)
+            if (
+                ambient <= 0.0
+                or pulse_length <= 0.0
+                or not 0.0 < duty <= 1.0
+                or not 0.0 <= threshold <= 1.0
+                or abs(amplitude) > 10.0
+            ):
+                # A draw outside the model's validity guards excludes the
+                # array, never the population (mirrors the anchored lanes).
+                array_valid[index] = False
+                continue
+            temperature[index] = ambient
+            crossbar.ambient_temperature_k = ambient
+            crossbar.hub.ambient_temperature_k = ambient
             crossbar.initialise_states(default_x=0.0)
             for aggressor in pattern.aggressors:
                 crossbar.set_state(aggressor, 1.0)
+            if env is not None and "attack.pulse.amplitude_v" in env.values:
+                bias = write_bias(
+                    geometry, aggressor_cells, amplitude, scheme=self.attack.bias_scheme
+                )
+            else:
+                bias = nominal_bias
             try:
                 snapshot = crossbar.thermal_snapshot(bias)
             except (ConvergenceError, DeviceModelError):
@@ -625,10 +965,10 @@ class MonteCarloEngine:
             outcome = pulses_to_switch_batch(
                 model.kernel.take(lanes),
                 victim_voltage,
-                self.attack.pulse.length_s,
+                pulse_length,
                 np.full(n_victims, self.montecarlo.x_start),
-                self.attack.flip_threshold,
-                duty_cycle=self.attack.pulse.duty_cycle,
+                threshold,
+                duty_cycle=duty,
                 ambient_temperature_k=ambient,
                 crosstalk_temperature_k=crosstalk,
                 max_pulses=self.attack.max_pulses,
@@ -642,6 +982,7 @@ class MonteCarloEngine:
             temperature[index] = outcome.final_temperature_k
             valid[index] = outcome.converged
 
+        confidence, method = self._ci_settings()
         return FullArrayMonteCarloResult(
             n_samples=total,
             seed=self.montecarlo.seed,
@@ -654,9 +995,13 @@ class MonteCarloEngine:
             final_x=final_x.reshape(total),
             victim_temperature_k=temperature.reshape(total),
             valid=valid.reshape(total),
+            draw=draw,
+            ci_confidence=confidence,
+            ci_method=method,
             n_arrays=n_arrays,
             victims=victims,
             array_valid=array_valid,
+            environment_draw=env,
         )
 
     # -- scalar reference path --------------------------------------------
@@ -736,6 +1081,7 @@ class MonteCarloEngine:
             final_x[index] = outcome.final_x
             temperature[index] = outcome.final_temperature_k
 
+        confidence, method = self._ci_settings()
         return MonteCarloResult(
             n_samples=n,
             seed=self.montecarlo.seed,
@@ -748,4 +1094,8 @@ class MonteCarloEngine:
             final_x=final_x,
             victim_temperature_k=temperature,
             valid=valid,
+            weights=draw.weights(),
+            draw=draw,
+            ci_confidence=confidence,
+            ci_method=method,
         )

@@ -1,0 +1,540 @@
+"""Streaming statistical estimators for Monte-Carlo flip probabilities.
+
+The Monte-Carlo engine reports flip probabilities — Bernoulli proportions
+estimated from sampled populations.  This module provides the estimator layer
+every statistical workload shares:
+
+* :class:`StreamingBinomialEstimator` — a streaming success/trial counter with
+  Wilson-score and Jeffreys (Beta posterior) confidence intervals.  Batched
+  updates are exact: feeding one stream in any batching yields identical
+  state, which is what makes adaptive (sequential) sampling reproducible.
+* :class:`StreamingMeanEstimator` — a numerically stable (Welford/Chan)
+  streaming mean/variance with a normal-approximation interval, used for
+  pulses-to-flip statistics accumulated across batches.
+* :class:`ImportanceEstimator` — the self-normalized likelihood-ratio
+  estimator for populations drawn from a tilted proposal distribution, with
+  a delta-method interval and the effective-sample-size diagnostic.
+
+The special functions needed for the intervals (inverse normal CDF,
+regularized incomplete beta and its inverse) are implemented here with
+library-grade algorithms (Acklam's rational approximation; the Lentz
+continued fraction), so the estimator layer has no dependency beyond NumPy —
+SciPy, where installed, is only used by the tests to cross-check them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import MonteCarloError
+
+#: Interval methods understood by :class:`StreamingBinomialEstimator`.
+INTERVAL_METHODS = ("wilson", "jeffreys")
+
+
+# ----------------------------------------------------------------------
+# special functions (NumPy/stdlib only)
+# ----------------------------------------------------------------------
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's algorithm, |rel err| < 1.2e-9)."""
+    if not 0.0 < p < 1.0:
+        raise MonteCarloError(f"normal quantile needs p in (0, 1), got {p}")
+    # Coefficients of Acklam's rational approximation.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low, p_high = 0.02425, 1.0 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    elif p <= p_high:
+        q = p - 0.5
+        r = q * q
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+        )
+    else:
+        q = math.sqrt(-2.0 * math.log1p(-p))
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    # One Halley refinement step against the exact CDF (erfc is in math).
+    err = 0.5 * math.erfc(-x / math.sqrt(2.0)) - p
+    u = err * math.sqrt(2.0 * math.pi) * math.exp(0.5 * x * x)
+    return x - u / (1.0 + 0.5 * x * u)
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction of the incomplete beta function (Lentz's method)."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 300):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            return h
+    return h  # converged to double precision long before 300 terms in practice
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """``I_x(a, b)``, the CDF of the Beta(a, b) distribution at ``x``."""
+    if a <= 0.0 or b <= 0.0:
+        raise MonteCarloError("beta parameters must be positive")
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+        + a * math.log(x) + b * math.log1p(-x)
+    )
+    front = math.exp(ln_front)
+    # The continued fraction converges fast for x < (a + 1) / (a + b + 2);
+    # use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) otherwise.
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def beta_quantile(q: float, a: float, b: float) -> float:
+    """Inverse CDF of Beta(a, b) by bisection on the regularized beta."""
+    if not 0.0 <= q <= 1.0:
+        raise MonteCarloError(f"beta quantile needs q in [0, 1], got {q}")
+    if q == 0.0:
+        return 0.0
+    if q == 1.0:
+        return 1.0
+    low, high = 0.0, 1.0
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if regularized_incomplete_beta(a, b, mid) < q:
+            low = mid
+        else:
+            high = mid
+        if high - low < 1e-14:
+            break
+    return 0.5 * (low + high)
+
+
+def wilson_interval(successes: float, trials: float, confidence: float = 0.95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        return 0.0, 1.0
+    z = normal_quantile(0.5 + 0.5 * confidence)
+    p = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    centre = (p + z2 / (2.0 * trials)) / denominator
+    margin = (z / denominator) * math.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
+    return max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+def jeffreys_interval(successes: float, trials: float, confidence: float = 0.95) -> Tuple[float, float]:
+    """Jeffreys (Beta(1/2, 1/2) posterior) equal-tailed credible interval.
+
+    Follows the standard convention: the lower bound is 0 when no successes
+    were observed and the upper bound is 1 when no failures were, so the
+    interval never excludes a boundary the data cannot rule out.
+    """
+    if trials <= 0:
+        return 0.0, 1.0
+    alpha = 1.0 - confidence
+    a = successes + 0.5
+    b = trials - successes + 0.5
+    low = 0.0 if successes <= 0 else beta_quantile(alpha / 2.0, a, b)
+    high = 1.0 if successes >= trials else beta_quantile(1.0 - alpha / 2.0, a, b)
+    return low, high
+
+
+def fixed_sample_size(target_half_width: float, confidence: float = 0.95) -> int:
+    """Samples a fixed-n run needs so the worst-case (p = 1/2) Wilson interval
+    half-width meets ``target_half_width``.
+
+    At p = 1/2 the Wilson half-width is exactly ``z / (2 sqrt(n + z^2))``, so
+    the bound inverts in closed form.  This is the fixed-n comparator the
+    adaptive benchmarks measure against.
+    """
+    if target_half_width <= 0.0:
+        raise MonteCarloError("target_half_width must be positive")
+    z = normal_quantile(0.5 + 0.5 * confidence)
+    n = z * z / (4.0 * target_half_width * target_half_width) - z * z
+    return max(1, int(math.ceil(n)))
+
+
+# ----------------------------------------------------------------------
+# streaming estimators
+# ----------------------------------------------------------------------
+
+
+class StreamingBinomialEstimator:
+    """Streaming Bernoulli-proportion estimator with Wilson/Jeffreys intervals.
+
+    Updates are batched and associative: any partition of the same outcome
+    stream produces the identical (successes, trials) state, so sequential
+    (adaptive) runs match their one-shot equivalents exactly.
+    """
+
+    def __init__(self, confidence: float = 0.95, method: str = "wilson"):
+        if not 0.0 < confidence < 1.0:
+            raise MonteCarloError("confidence must be in (0, 1)")
+        if method not in INTERVAL_METHODS:
+            raise MonteCarloError(
+                f"unknown interval method {method!r}; expected one of {INTERVAL_METHODS}"
+            )
+        self.confidence = float(confidence)
+        self.method = method
+        self.trials = 0
+        self.successes = 0
+
+    def update(self, outcomes: np.ndarray) -> None:
+        """Fold one batch of boolean outcomes into the stream."""
+        outcomes = np.asarray(outcomes)
+        self.trials += int(outcomes.size)
+        self.successes += int(np.count_nonzero(outcomes))
+
+    def update_counts(self, successes: int, trials: int) -> None:
+        """Fold pre-counted successes/trials (e.g. from a cached record)."""
+        if trials < 0 or successes < 0 or successes > trials:
+            raise MonteCarloError("need 0 <= successes <= trials")
+        self.trials += int(trials)
+        self.successes += int(successes)
+
+    @property
+    def estimate(self) -> float:
+        """The point estimate p-hat (0 while the stream is empty)."""
+        return self.successes / self.trials if self.trials else 0.0
+
+    def interval(self) -> Tuple[float, float]:
+        """The configured confidence interval at the current state."""
+        if self.method == "jeffreys":
+            return jeffreys_interval(self.successes, self.trials, self.confidence)
+        return wilson_interval(self.successes, self.trials, self.confidence)
+
+    def half_width(self) -> float:
+        """Half the current interval width (inf while the stream is empty)."""
+        if not self.trials:
+            return float("inf")
+        low, high = self.interval()
+        return 0.5 * (high - low)
+
+    @property
+    def effective_sample_size(self) -> float:
+        """Trials seen (uniform weights); mirrors :class:`ImportanceEstimator`."""
+        return float(self.trials)
+
+
+class ClusteredBinomialEstimator:
+    """Streaming proportion estimator for cluster-sampled Bernoulli lanes.
+
+    Full-array Monte-Carlo draws whole arrays: the victim lanes of one array
+    share its per-cell draws, environment draw and nodal solve, so they are
+    one *cluster*, not independent trials.  The point estimate is still the
+    pooled lane fraction ``sum(x_a) / sum(m_a)``, but the interval uses the
+    cluster-robust (ratio-estimator) variance over arrays::
+
+        se^2 = A/(A-1) * sum_a (x_a - p m_a)^2 / (sum_a m_a)^2
+
+    which is exact for any within-cluster correlation structure and reduces
+    to the iid width when lanes are actually independent.  Updates stream
+    per batch of clusters via sufficient statistics, so batching is exact.
+    """
+
+    method = "cluster"
+
+    def __init__(self, confidence: float = 0.95):
+        if not 0.0 < confidence < 1.0:
+            raise MonteCarloError("confidence must be in (0, 1)")
+        self.confidence = float(confidence)
+        self.clusters = 0
+        self.trials = 0
+        self.successes = 0
+        self._sum_x2 = 0.0
+        self._sum_xm = 0.0
+        self._sum_m2 = 0.0
+
+    def update(self, outcomes) -> None:
+        """Fold a batch of clusters.
+
+        Accepts either a 2-D bool array (one row per cluster, every lane
+        counted) or a ``(successes, sizes)`` pair of per-cluster arrays for
+        clusters with excluded lanes.
+        """
+        if isinstance(outcomes, tuple):
+            successes, sizes = outcomes
+            self.update_counts(successes, sizes)
+            return
+        outcomes = np.asarray(outcomes, dtype=bool)
+        if outcomes.ndim != 2:
+            raise MonteCarloError("clustered updates need a (clusters, lanes) bool array")
+        sizes = np.full(outcomes.shape[0], outcomes.shape[1], dtype=np.float64)
+        self.update_counts(outcomes.sum(axis=1).astype(np.float64), sizes)
+
+    def update_counts(self, successes: np.ndarray, sizes: np.ndarray) -> None:
+        """Fold per-cluster (successes, lane count) pairs; empty clusters are
+        dropped (an array whose every lane was excluded carries no data)."""
+        successes = np.asarray(successes, dtype=np.float64).ravel()
+        sizes = np.asarray(sizes, dtype=np.float64).ravel()
+        if successes.shape != sizes.shape:
+            raise MonteCarloError("successes and sizes must have the same length")
+        keep = sizes > 0
+        successes, sizes = successes[keep], sizes[keep]
+        self.clusters += int(successes.size)
+        self.trials += int(sizes.sum())
+        self.successes += int(successes.sum())
+        self._sum_x2 += float((successes * successes).sum())
+        self._sum_xm += float((successes * sizes).sum())
+        self._sum_m2 += float((sizes * sizes).sum())
+
+    @property
+    def estimate(self) -> float:
+        """Pooled lane-level proportion."""
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def effective_sample_size(self) -> float:
+        """Number of independent clusters behind the interval."""
+        return float(self.clusters)
+
+    def standard_error(self) -> float:
+        if self.clusters < 2 or self.trials <= 0:
+            return float("inf")
+        p = self.estimate
+        # sum (x_a - p m_a)^2 expanded into the streaming accumulators.
+        spread = self._sum_x2 - 2.0 * p * self._sum_xm + p * p * self._sum_m2
+        factor = self.clusters / (self.clusters - 1.0)
+        return math.sqrt(max(factor * spread, 0.0)) / self.trials
+
+    def interval(self) -> Tuple[float, float]:
+        """Cluster-robust normal interval, clipped to [0, 1].
+
+        At the all-zero / all-one boundaries the spread (and thus the normal
+        width) degenerates; those states fall back to a Wilson bound at the
+        cluster count, the number of genuinely independent observations.
+        """
+        if not self.clusters:
+            return 0.0, 1.0
+        if self.successes <= 0 or self.successes >= self.trials:
+            boundary = 0 if self.successes <= 0 else self.clusters
+            return wilson_interval(boundary, self.clusters, self.confidence)
+        se = self.standard_error()
+        if not math.isfinite(se):
+            return 0.0, 1.0
+        z = normal_quantile(0.5 + 0.5 * self.confidence)
+        p = self.estimate
+        return max(0.0, p - z * se), min(1.0, p + z * se)
+
+    def half_width(self) -> float:
+        if not self.clusters:
+            return float("inf")
+        low, high = self.interval()
+        return 0.5 * (high - low)
+
+
+class StreamingMeanEstimator:
+    """Streaming mean/variance (Chan's parallel Welford) with a normal CI."""
+
+    def __init__(self, confidence: float = 0.95):
+        if not 0.0 < confidence < 1.0:
+            raise MonteCarloError("confidence must be in (0, 1)")
+        self.confidence = float(confidence)
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold one batch of values into the stream."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        n = int(values.size)
+        if n == 0:
+            return
+        batch_mean = float(values.mean())
+        batch_m2 = float(((values - batch_mean) ** 2).sum())
+        total = self.count + n
+        delta = batch_mean - self._mean
+        self._m2 += batch_m2 + delta * delta * self.count * n / total
+        self._mean += delta * n / total
+        self.count = total
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else float("nan")
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance of the stream."""
+        return self._m2 / (self.count - 1) if self.count > 1 else float("nan")
+
+    def interval(self) -> Tuple[float, float]:
+        """Normal-approximation interval on the mean."""
+        if self.count < 2:
+            return float("-inf"), float("inf")
+        z = normal_quantile(0.5 + 0.5 * self.confidence)
+        half = z * math.sqrt(self.variance / self.count)
+        return self._mean - half, self._mean + half
+
+    def half_width(self) -> float:
+        low, high = self.interval()
+        return 0.5 * (high - low)
+
+
+class ImportanceEstimator:
+    """Self-normalized importance-sampling estimator of a Bernoulli mean.
+
+    The population is drawn from a tilted proposal ``g``; each sample carries
+    the likelihood ratio ``w = f/g`` against the nominal distribution ``f``
+    (any constant factor cancels).  The estimate is the ratio estimator
+    ``p = sum(w f) / sum(w)`` with the standard delta-method variance, and
+    :attr:`effective_sample_size` quantifies how much of the sample budget the
+    weight spread wastes — an ESS far below the sample count means the tilt
+    overshot the important region.
+    """
+
+    def __init__(self, confidence: float = 0.95):
+        if not 0.0 < confidence < 1.0:
+            raise MonteCarloError("confidence must be in (0, 1)")
+        self.confidence = float(confidence)
+        self.trials = 0
+        self._sum_w = 0.0
+        self._sum_w2 = 0.0
+        self._sum_wf = 0.0
+        self._sum_w2f = 0.0
+
+    def update(self, outcomes: np.ndarray, weights: np.ndarray) -> None:
+        """Fold one batch of boolean outcomes and their likelihood ratios."""
+        outcomes = np.asarray(outcomes, dtype=bool).ravel()
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if outcomes.shape != weights.shape:
+            raise MonteCarloError("outcomes and weights must have the same length")
+        if np.any(weights < 0.0) or not np.all(np.isfinite(weights)):
+            raise MonteCarloError("importance weights must be finite and non-negative")
+        self.trials += int(outcomes.size)
+        self._sum_w += float(weights.sum())
+        self._sum_w2 += float((weights * weights).sum())
+        flipped = weights[outcomes]
+        self._sum_wf += float(flipped.sum())
+        self._sum_w2f += float((flipped * flipped).sum())
+
+    @property
+    def estimate(self) -> float:
+        """The self-normalized estimate sum(w f)/sum(w)."""
+        return self._sum_wf / self._sum_w if self._sum_w > 0.0 else 0.0
+
+    @property
+    def effective_sample_size(self) -> float:
+        """Kish effective sample size ``(sum w)^2 / sum w^2``."""
+        return self._sum_w * self._sum_w / self._sum_w2 if self._sum_w2 > 0.0 else 0.0
+
+    def standard_error(self) -> float:
+        """Delta-method standard error of the ratio estimate."""
+        if self.trials < 2 or self._sum_w <= 0.0:
+            return float("inf")
+        p = self.estimate
+        # sum of w^2 (f - p)^2 with boolean f: f^2 = f.
+        numerator = (1.0 - 2.0 * p) * self._sum_w2f + p * p * self._sum_w2
+        return math.sqrt(max(numerator, 0.0)) / self._sum_w
+
+    def interval(self) -> Tuple[float, float]:
+        """Normal-approximation interval, clipped to [0, 1].
+
+        With no observed successes (or no failures) the delta-method variance
+        degenerates to zero, which would collapse the interval and fool a
+        sequential stopping rule into instant "convergence"; those boundary
+        states fall back to a Wilson bound at the Kish effective sample size,
+        mirroring how the plain binomial estimator keeps nonzero width at
+        k = 0 and k = n.
+        """
+        se = self.standard_error()
+        if not math.isfinite(se):
+            return 0.0, 1.0
+        if self._sum_wf <= 0.0 or self._sum_wf >= self._sum_w:
+            ess = self.effective_sample_size
+            successes = 0.0 if self._sum_wf <= 0.0 else ess
+            return wilson_interval(successes, ess, self.confidence)
+        z = normal_quantile(0.5 + 0.5 * self.confidence)
+        p = self.estimate
+        return max(0.0, p - z * se), min(1.0, p + z * se)
+
+    def half_width(self) -> float:
+        if not self.trials:
+            return float("inf")
+        low, high = self.interval()
+        return 0.5 * (high - low)
+
+
+@dataclass
+class EstimatorState:
+    """Snapshot of an estimator, serialisable into result summaries."""
+
+    estimate: float
+    ci_low: float
+    ci_high: float
+    half_width: float
+    confidence: float
+    method: str
+    trials: int
+    effective_sample_size: Optional[float] = None
+
+    @classmethod
+    def capture(cls, estimator) -> "EstimatorState":
+        low, high = estimator.interval()
+        method = getattr(estimator, "method", "importance")
+        ess = estimator.effective_sample_size
+        return cls(
+            estimate=float(estimator.estimate),
+            ci_low=float(low),
+            ci_high=float(high),
+            half_width=float(estimator.half_width()),
+            confidence=float(estimator.confidence),
+            method=method,
+            trials=int(estimator.trials),
+            effective_sample_size=float(ess) if ess is not None else None,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "estimate": self.estimate,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "half_width": self.half_width,
+            "confidence": self.confidence,
+            "method": self.method,
+            "trials": self.trials,
+            "effective_sample_size": self.effective_sample_size,
+        }

@@ -21,12 +21,21 @@ multiplicative factors applied to the nominal value — the natural idiom for
 "±5 % sigma around nominal" process variation.  Every distribution owns an
 independent child stream of the population seed (see :mod:`repro.utils.rng`),
 so adding or removing one distribution never changes the draws of the others.
+
+For rare-event studies the sampler can draw from *tilted* proposals instead:
+:class:`ImportanceSettings` shifts the mean (in sigmas) and/or inflates the
+sigma of selected normal/lognormal distributions, and every sample carries
+the summed log likelihood ratio of nominal over proposal densities
+(:attr:`PopulationDraw.log_weights`).  Truncation bounds are preserved on the
+proposal, and because the downstream estimator is self-normalized, the
+truncation normalisation constants — like every other constant factor —
+cancel out of the weights.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
-from typing import Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -174,6 +183,57 @@ class ParameterDistribution(JsonConfig):
         )
 
     # ------------------------------------------------------------------
+    # importance tilts
+    # ------------------------------------------------------------------
+
+    def tilted(self, shift_sigmas: float = 0.0, scale: float = 1.0) -> "ParameterDistribution":
+        """The importance-sampling proposal: mean shifted by ``shift_sigmas``
+        standard deviations and/or sigma inflated by ``scale``.
+
+        For ``lognormal`` the tilt acts in log space (the median moves by
+        ``exp(shift * sigma)``), keeping the proposal in the same family.
+        Truncation bounds carry over unchanged so the proposal's support never
+        exceeds the nominal one.
+        """
+        if self.kind == "uniform":
+            raise MonteCarloError(
+                f"distribution {self.path!r}: importance tilts are only defined for "
+                "normal/lognormal distributions"
+            )
+        if self.sigma <= 0.0:
+            raise MonteCarloError(
+                f"distribution {self.path!r}: importance tilts need a positive sigma"
+            )
+        if scale <= 0.0:
+            raise MonteCarloError(f"distribution {self.path!r}: tilt scale must be positive")
+        if self.kind == "normal":
+            mean = self.mean + shift_sigmas * self.sigma
+        else:
+            mean = float(np.exp(np.log(self.mean) + shift_sigmas * self.sigma))
+        return replace(self, mean=mean, sigma=self.sigma * scale)
+
+    def log_density(self, values: np.ndarray) -> np.ndarray:
+        """Log density of raw draws, up to an additive constant.
+
+        Defined for the tiltable families only (uniform cannot be tilted, so
+        its density is never needed in a likelihood ratio).  Truncation
+        renormalisation is deliberately omitted: likelihood-ratio weights are
+        consumed by a self-normalized estimator, where constant factors
+        cancel (the proposal keeps the same truncation region).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if self.kind == "normal":
+            z = (values - self.mean) / self.sigma
+            return -0.5 * z * z - np.log(self.sigma)
+        if self.kind == "lognormal":
+            z = (np.log(values) - np.log(self.mean)) / self.sigma
+            return -0.5 * z * z - np.log(self.sigma) - np.log(values)
+        raise MonteCarloError(
+            f"distribution {self.path!r}: log_density is only defined for "
+            "normal/lognormal distributions"
+        )
+
+    # ------------------------------------------------------------------
     # per-cell (full-array) draws
     # ------------------------------------------------------------------
 
@@ -240,6 +300,55 @@ class ParameterDistribution(JsonConfig):
 
 
 @dataclass
+class ImportanceSettings(JsonConfig):
+    """Importance-sampling tilt of a population's distributions.
+
+    ``shift_sigmas`` moves the mean of the named path's distribution by the
+    given number of standard deviations (towards the flip boundary, in a rare
+    flip study); ``scale`` inflates its sigma.  Paths not named keep their
+    nominal distribution (and contribute nothing to the weights).  Only
+    normal/lognormal distributions can be tilted.
+    """
+
+    #: path -> mean shift in units of the distribution's sigma.
+    shift_sigmas: Dict[str, float] = field(default_factory=dict)
+    #: path -> multiplicative sigma inflation (> 0).
+    scale: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for path, factor in self.scale.items():
+            if factor <= 0.0:
+                raise MonteCarloError(
+                    f"importance scale for {path!r} must be positive, got {factor}"
+                )
+        if not self.shift_sigmas and not self.scale:
+            raise MonteCarloError("importance settings need at least one shift or scale tilt")
+
+    def paths(self) -> List[str]:
+        """Every path this tilt touches."""
+        return sorted(set(self.shift_sigmas) | set(self.scale))
+
+    def tilts(self, path: str) -> Tuple[float, float]:
+        """(shift_sigmas, scale) applied to one path (identity if untouched)."""
+        return float(self.shift_sigmas.get(path, 0.0)), float(self.scale.get(path, 1.0))
+
+    def proposal_for(self, dist: ParameterDistribution) -> ParameterDistribution:
+        """The tilted proposal distribution for one nominal distribution."""
+        shift, scale = self.tilts(dist.path)
+        return dist.tilted(shift_sigmas=shift, scale=scale)
+
+    def validate_against(self, distributions: Sequence[ParameterDistribution]) -> None:
+        """Reject tilts that address paths the population does not sample."""
+        known = {dist.path for dist in distributions}
+        for path in self.paths():
+            if path not in known:
+                raise MonteCarloError(
+                    f"importance tilt addresses {path!r}, which is not among the sampled "
+                    f"distributions ({sorted(known) or 'none'})"
+                )
+
+
+@dataclass
 class PopulationDraw:
     """The sampled population: one value array per addressed path."""
 
@@ -247,6 +356,15 @@ class PopulationDraw:
     seed: int
     #: path -> float64 array of shape (n_samples,).
     values: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Summed log likelihood ratios (nominal over proposal) per sample when
+    #: the draw came from tilted proposals; ``None`` for plain draws.
+    log_weights: Optional[np.ndarray] = None
+
+    def weights(self) -> Optional[np.ndarray]:
+        """Likelihood-ratio weights (un-normalised), or ``None`` if untilted."""
+        if self.log_weights is None:
+            return None
+        return np.exp(self.log_weights)
 
     def get(self, path: str, nominal: float) -> np.ndarray:
         """Values for ``path``, falling back to the broadcast nominal value."""
@@ -307,18 +425,49 @@ class PopulationSampler:
             seen.add(dist.path)
         self.seed = int(seed)
 
-    def sample(self, n_samples: int, nominals: Mapping[str, float]) -> PopulationDraw:
+    def sample(
+        self,
+        n_samples: int,
+        nominals: Mapping[str, float],
+        spawn: Sequence = (),
+        paths: Optional[Sequence[str]] = None,
+        importance: Optional[ImportanceSettings] = None,
+    ) -> PopulationDraw:
         """Draw a population of ``n_samples`` cells.
 
         ``nominals`` provides the nominal value per path, consumed by
-        ``relative`` distributions (absolute ones ignore it).
+        ``relative`` distributions (absolute ones ignore it).  ``spawn``
+        inserts extra spawn-key elements into each distribution's child
+        stream (``child_rng(seed, "montecarlo", *spawn, path)``) — the
+        adaptive engine keys its batches this way, so batch ``i`` draws the
+        same values regardless of how many batches preceded it.  ``paths``
+        restricts the draw to a subset of the sampled paths (used to split
+        per-cell device draws from per-array environment draws).  With
+        ``importance`` set, the named distributions draw from their tilted
+        proposals and the draw carries per-sample log likelihood ratios.
         """
         if n_samples < 1:
             raise MonteCarloError("n_samples must be at least 1")
+        selected = self.distributions
+        if paths is not None:
+            wanted = set(paths)
+            selected = [dist for dist in self.distributions if dist.path in wanted]
+        if importance is not None:
+            importance.validate_against(selected)
         draw = PopulationDraw(n_samples=n_samples, seed=self.seed)
-        for dist in self.distributions:
-            rng = child_rng(self.seed, "montecarlo", dist.path)
-            values = dist.sample(rng, n_samples)
+        log_weights: Optional[np.ndarray] = None
+        for dist in selected:
+            rng = child_rng(self.seed, "montecarlo", *spawn, dist.path)
+            tilt = (
+                importance is not None
+                and dist.path in importance.paths()
+            )
+            proposal = importance.proposal_for(dist) if tilt else dist
+            values = proposal.sample(rng, n_samples)
+            if tilt:
+                if log_weights is None:
+                    log_weights = np.zeros(n_samples)
+                log_weights += dist.log_density(values) - proposal.log_density(values)
             if dist.relative:
                 if dist.path not in nominals:
                     raise MonteCarloError(
@@ -326,10 +475,16 @@ class PopulationSampler:
                     )
                 values = values * float(nominals[dist.path])
             draw.values[dist.path] = np.asarray(values, dtype=np.float64)
+        draw.log_weights = log_weights
         return draw
 
     def sample_cells(
-        self, n_arrays: int, cells: int, nominals: Mapping[str, float]
+        self,
+        n_arrays: int,
+        cells: int,
+        nominals: Mapping[str, float],
+        spawn: Sequence = (),
+        paths: Optional[Sequence[str]] = None,
     ) -> ArrayPopulationDraw:
         """Draw ``n_arrays`` whole-array populations of ``cells`` cells each.
 
@@ -345,9 +500,13 @@ class PopulationSampler:
             raise MonteCarloError("n_arrays must be at least 1")
         if cells < 1:
             raise MonteCarloError("cells must be at least 1")
+        selected = self.distributions
+        if paths is not None:
+            wanted = set(paths)
+            selected = [dist for dist in self.distributions if dist.path in wanted]
         draw = ArrayPopulationDraw(n_arrays=n_arrays, cells=cells, seed=self.seed)
-        for dist in self.distributions:
-            rng = child_rng(self.seed, "montecarlo", "full-array", dist.path)
+        for dist in selected:
+            rng = child_rng(self.seed, "montecarlo", *spawn, "full-array", dist.path)
             values = dist.sample_cells(rng, n_arrays, cells)
             if dist.relative:
                 if dist.path not in nominals:

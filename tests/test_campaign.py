@@ -294,6 +294,58 @@ def _sleepy_job(payload):
     return JobRecord(index=index, key=key, status="ok", overrides=overrides, result={"pulses": 1})
 
 
+class TestShardedCampaigns:
+    def test_iter_points_matches_materialise(self):
+        spec = small_spec()
+        lazy = list(spec.iter_points())
+        eager = spec.materialise()
+        assert [p.key for p in lazy] == [p.key for p in eager]
+        assert [p.overrides for p in lazy] == [p.overrides for p in eager]
+
+    def test_iter_shards_partitions_without_reordering(self):
+        spec = small_spec(shard_size=3)
+        shards = list(spec.iter_shards())
+        assert [len(shard) for shard in shards] == [3, 1]
+        flattened = [p.index for shard in shards for p in shard]
+        assert flattened == list(range(4))
+
+    def test_random_mode_streams_identically(self):
+        spec = small_spec(
+            mode="random",
+            samples=6,
+            seed=13,
+            axes=[{"path": "attack.pulse.length_s", "low": 10e-9, "high": 90e-9}],
+        )
+        assert [p.key for p in spec.iter_points()] == [p.key for p in spec.materialise()]
+
+    def test_sharded_run_is_record_identical_to_unsharded(self, tmp_path):
+        unsharded = CampaignRunner(small_spec()).run()
+        sharded = CampaignRunner(small_spec(shard_size=2)).run()
+        assert [r.status for r in sharded.records] == [r.status for r in unsharded.records]
+        assert [r.result for r in sharded.records] == [r.result for r in unsharded.records]
+
+    def test_sharded_run_populates_and_reuses_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = CampaignRunner(small_spec(shard_size=2), cache=cache).run()
+        assert first.computed_count == 4
+        second = CampaignRunner(small_spec(shard_size=3), cache=cache).run()
+        assert second.cached_count == 4  # shard size never affects point keys
+        assert [r.result for r in second.records] == [r.result for r in first.records]
+
+    def test_negative_shard_size_rejected(self):
+        with pytest.raises(CampaignError, match="shard_size"):
+            small_spec(shard_size=-1)
+
+    def test_status_streams_over_shards(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = small_spec(shard_size=2)
+        CampaignRunner(spec, cache=cache).run()
+        status = CampaignRunner(small_spec(shard_size=2), cache=cache).status()
+        assert status["total"] == 4
+        assert status["cached"] == 4
+        assert status["missing"] == 0
+
+
 class TestAggregation:
     def test_summary_statistics(self):
         spec = small_spec(axes=[{"path": "attack.pulse.length_s", "values": [10e-9, 50e-9]}])

@@ -206,6 +206,61 @@ class TestMonteCarloCommands:
         assert main(["mc", "map", str(mc_spec_path), "--cache", str(cache_dir)]) == 0
         capsys.readouterr()
 
+    def test_mc_run_export_cells_writes_npz(self, mc_spec_path, tmp_path, capsys):
+        import numpy as np
+
+        out_path = tmp_path / "cells.npz"
+        assert main([
+            "mc", "run", str(mc_spec_path), "--samples", "6",
+            "--export-cells", str(out_path),
+        ]) == 0
+        assert "exported per-cell arrays" in capsys.readouterr().out
+        data = np.load(out_path)
+        assert data["flipped"].shape == (6,)
+        assert data["pulses"].shape == (6,)
+        assert data["param.device.series_resistance_ohm"].shape == (6,)
+        assert data["valid"].dtype == bool
+
+    def test_mc_run_export_cells_full_array_carries_victims(self, mc_spec_path, tmp_path, capsys):
+        import numpy as np
+
+        out_path = tmp_path / "arrays.npz"
+        assert main([
+            "mc", "run", str(mc_spec_path), "--samples", "2", "--mode", "full_array",
+            "--export-cells", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        data = np.load(out_path)
+        assert int(data["n_arrays"]) == 2
+        assert data["victims"].shape[1] == 2
+        assert data["array_valid"].shape == (2,)
+        cells = data["param.device.series_resistance_ohm"]
+        assert cells.shape == (2, 9)  # per-cell draws of the 3x3 arrays
+
+    def test_mc_run_show_distributions(self, mc_spec_path, capsys):
+        assert main(["mc", "run", str(mc_spec_path), "--show-distributions"]) == 0
+        out = capsys.readouterr().out
+        assert "source" in out
+        assert "placeholder" in out
+
+    def test_mc_map_adaptive_refinement(self, mc_spec_path, capsys):
+        assert main([
+            "mc", "map", str(mc_spec_path), "--adaptive",
+            "--target-ci", "0.2", "--batch-size", "8", "--point-max", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "samples per point" in out
+        assert "fewer than the fixed-n equivalent" in out
+
+    def test_campaign_run_shard_size_override(self, spec_path, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "campaign", "run", str(spec_path),
+            "--cache", str(cache_dir), "--shard-size", "2",
+        ]) == 0
+        assert "12 points" in capsys.readouterr().out
+        assert len(ResultCache(cache_dir)) == 12
+
     def test_mc_commands_reject_attack_kind_specs(self, spec_path, capsys):
         assert main(["mc", "run", str(spec_path)]) == 1
         assert "kind='montecarlo'" in capsys.readouterr().err

@@ -23,6 +23,7 @@ EXAMPLES = [
     "spacing_study.py",
     "campaign_sweep.py",
     "montecarlo_flip_probability.py",
+    "adaptive_sampling.py",
 ]
 
 

@@ -235,18 +235,103 @@ class TestFullArrayEngine:
         ).run()
         assert result.victims_per_array == 24
 
-    def test_non_device_distributions_rejected_in_full_array_mode(self):
+    def test_operating_distributions_rejected_in_full_array_mode(self):
+        """operating.* paths stay anchored-only: full-array mode derives the
+        operating point from each sampled array's own nodal solve."""
         config = MonteCarloConfig(
             n_samples=2,
             mode="full_array",
             distributions=[
-                {"path": "attack.pulse.length_s", "kind": "normal", "mean": 50e-9,
-                 "sigma": 5e-9},
+                {"path": "operating.victim_voltage_v", "kind": "normal", "mean": 0.6,
+                 "sigma": 0.05},
             ],
         )
         engine = MonteCarloEngine(config, simulation=small_simulation(), attack=fast_attack())
-        with pytest.raises(MonteCarloError):
+        with pytest.raises(MonteCarloError, match="anchored"):
             engine.run()
+
+    def test_environment_sampled_per_array(self):
+        """attack.* distributions draw once per sampled array (PR 4 leftover:
+        full_array used to reject them outright)."""
+        config = MonteCarloConfig(
+            n_samples=4,
+            seed=11,
+            mode="full_array",
+            distributions=[
+                {"path": "device.series_resistance_ohm", "kind": "normal",
+                 "mean": 1.0, "sigma": 0.03, "relative": True},
+                {"path": "attack.ambient_temperature_k", "kind": "normal",
+                 "mean": 300.0, "sigma": 15.0},
+                {"path": "attack.pulse.amplitude_v", "kind": "normal",
+                 "mean": 1.0, "sigma": 0.03, "relative": True},
+            ],
+        )
+        result = MonteCarloEngine(config, simulation=small_simulation(), attack=fast_attack()).run()
+        assert isinstance(result, FullArrayMonteCarloResult)
+        env = result.environment_draw
+        assert env is not None
+        ambients = env.values["attack.ambient_temperature_k"]
+        assert ambients.shape == (4,)
+        assert len(np.unique(ambients)) == 4  # one independent draw per array
+        # Each valid array's victim lanes sit at (or above) its own sampled
+        # ambient, not the nominal one.
+        per_lane = result.victim_temperature_k.reshape(4, -1)
+        for index in range(4):
+            if result.array_valid[index]:
+                assert per_lane[index].min() >= ambients[index] - 1e-9
+
+    def test_zero_sigma_environment_matches_unsampled_run(self):
+        """A zero-variance environment distribution must not change results."""
+        base = dict(n_samples=3, seed=4, mode="full_array", victim_mode="half_selected")
+        plain = MonteCarloEngine(
+            MonteCarloConfig(**base), simulation=small_simulation(), attack=fast_attack()
+        ).run()
+        degenerate = MonteCarloEngine(
+            MonteCarloConfig(
+                **base,
+                distributions=[
+                    {"path": "attack.ambient_temperature_k", "kind": "normal",
+                     "mean": 300.0, "sigma": 0.0},
+                ],
+            ),
+            simulation=small_simulation(),
+            attack=fast_attack(),
+        ).run()
+        np.testing.assert_array_equal(plain.flipped, degenerate.flipped)
+        np.testing.assert_array_equal(plain.pulses, degenerate.pulses)
+
+    def test_environment_within_die_is_rejected(self):
+        config = MonteCarloConfig(
+            n_samples=2,
+            mode="full_array",
+            distributions=[
+                {"path": "attack.ambient_temperature_k", "kind": "normal",
+                 "mean": 300.0, "sigma": 10.0, "within_die": 0.5},
+            ],
+        )
+        engine = MonteCarloEngine(config, simulation=small_simulation(), attack=fast_attack())
+        with pytest.raises(MonteCarloError, match="per sampled array"):
+            engine.run()
+
+    def test_pathological_environment_draw_excludes_only_that_array(self):
+        """An ambient draw at/below 0 K invalidates its array, not the run."""
+        config = MonteCarloConfig(
+            n_samples=6,
+            seed=0,
+            mode="full_array",
+            distributions=[
+                {"path": "attack.ambient_temperature_k", "kind": "normal",
+                 "mean": 150.0, "sigma": 200.0},
+            ],
+        )
+        result = MonteCarloEngine(
+            config, simulation=small_simulation(), attack=fast_attack()
+        ).run()
+        draws = result.environment_draw.values["attack.ambient_temperature_k"]
+        bad = draws <= 0.0
+        assert bad.any()  # the scenario actually exercises the guard
+        assert not result.array_valid[bad].any()
+        assert result.array_valid[~bad].all()
 
     def test_within_die_rejected_in_anchored_mode(self):
         """Anchored per-victim draws cannot honour within-die correlation; the

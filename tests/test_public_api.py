@@ -26,7 +26,7 @@ SUBPACKAGES = [
 
 
 def test_version_is_exposed():
-    assert repro.__version__ == "1.3.0"
+    assert repro.__version__ == "1.4.0"
 
 
 def test_top_level_exports_resolve():
