@@ -145,6 +145,14 @@ def test_bench_adaptive(benchmark):
         "importance-sampled estimate falls outside the plain reference interval"
     )
 
+    # Telemetry sanity: the adaptive runs above went through the sampler's
+    # instrumented stopping loop.
+    from repro.obs import get_telemetry
+
+    counters = get_telemetry().counters
+    assert counters.get("adaptive.batches", 0) > 0, "telemetry recorded no adaptive batches"
+    assert counters.get("adaptive.samples", 0) > 0, "telemetry recorded no adaptive samples"
+
     write_bench_json(
         "adaptive",
         {

@@ -218,6 +218,16 @@ def test_bench_crosstalk_operator(benchmark):
                 f"matvec at {row['size']}x{row['size']} (required {REQUIRED_SPEEDUP:.0f}x)"
             )
 
+    # Telemetry sanity: every structured operator built above registered its
+    # backend, and at least one structured apply was recorded.
+    from repro.obs import get_telemetry
+
+    counters = get_telemetry().counters
+    built = sum(v for k, v in counters.items() if k.startswith("crosstalk.operator.built."))
+    assert built >= len(rows), f"telemetry saw only {built:.0f} operator builds for {len(rows)} sizes"
+    applies = sum(v for k, v in counters.items() if k.startswith("crosstalk.apply"))
+    assert applies > 0, "telemetry recorded no crosstalk applies"
+
     path = write_bench_json(
         "crosstalk",
         {

@@ -38,6 +38,12 @@ from repro.circuit import CrossbarSolver, ReferenceCrossbarSolver, build_crossba
 from repro.circuit.solver import DENSE_CROSSOVER_NODES
 from repro.config import CrossbarGeometry
 from repro.devices import DeviceStateArrays, JartVcmModel
+from repro.obs import get_telemetry
+
+
+def _dense_solve_count() -> float:
+    """The telemetry counter of linear solves that took the dense path."""
+    return get_telemetry().counters.get("solver.linear.dense", 0.0)
 
 SIZES = [int(s) for s in os.environ.get("REPRO_BENCH_SOLVER_SIZES", "8,16,32,64").split(",") if s]
 REFERENCE_MAX = int(os.environ.get("REPRO_BENCH_SOLVER_REFERENCE_MAX", "64"))
@@ -69,8 +75,10 @@ def _solve_size(size: int, with_reference: bool) -> dict:
     netlist, states, bias = _case(size)
     model = JartVcmModel()
     solver = CrossbarSolver(netlist, model)
+    dense_before = _dense_solve_count()
     fast_op, cold_s = _timed(lambda: solver.solve(bias, states))
     _, warm_s = _timed(lambda: solver.solve(bias, states))
+    dense_solves = _dense_solve_count() - dense_before
 
     row = {
         "size": size,
@@ -80,6 +88,7 @@ def _solve_size(size: int, with_reference: bool) -> dict:
         "cold_s": cold_s,
         "warm_s": warm_s,
         "iterations": fast_op.iterations,
+        "dense_linear_solves": dense_solves,
     }
 
     assert cold_s < CEILING_S, f"{size}x{size} cold solve took {cold_s:.1f}s (ceiling {CEILING_S}s)"
@@ -88,6 +97,12 @@ def _solve_size(size: int, with_reference: bool) -> dict:
             f"{size}x{size} ({netlist.node_count} nodes) fell back to the "
             f"{solver.last_backend} backend — the sparse path must engage above "
             f"{DENSE_CROSSOVER_NODES} nodes"
+        )
+        # The same bar asserted from telemetry: not one linear solve of this
+        # size may have taken the dense fallback.
+        assert dense_solves == 0, (
+            f"{size}x{size}: telemetry recorded {dense_solves:.0f} dense linear "
+            f"solve(s) above the {DENSE_CROSSOVER_NODES}-node crossover"
         )
 
     if with_reference:
@@ -114,11 +129,13 @@ def test_bench_solver_scaling(benchmark):
         # The practical-ceiling demonstration is the benchmarked quantity.
         netlist, states, bias = _case(LARGE_SIZE)
         solver = CrossbarSolver(netlist, JartVcmModel())
+        dense_before = _dense_solve_count()
         start = time.perf_counter()
         large_op = run_once(benchmark, lambda: solver.solve(bias, states))
         large_s = time.perf_counter() - start
         assert large_op.residual_a < solver.residual_tolerance_a
         assert solver.last_backend == "sparse"
+        assert _dense_solve_count() == dense_before, "large solve took the dense fallback"
         assert large_s < CEILING_S
         rows.append(
             {

@@ -10,6 +10,11 @@ Benchmarks additionally persist machine-readable results through
 file (override the directory with ``REPRO_BENCH_JSON_DIR``).  The JSON files
 carry timings plus the array sizes / sample counts they were measured at, so
 the perf trajectory is tracked across PRs.
+
+Every benchmark runs with a fresh live telemetry (:mod:`repro.obs`), and
+:func:`write_bench_json` embeds the run's counter summary under a
+``telemetry`` key — so a perf regression can be cross-read against *what*
+the run actually did (solver iterations, backend choices, batch counts).
 """
 
 from __future__ import annotations
@@ -21,6 +26,16 @@ import time
 from pathlib import Path
 
 import pytest
+
+from repro.obs import disable_telemetry, enable_telemetry, get_telemetry, telemetry_summary
+
+
+@pytest.fixture(autouse=True)
+def bench_telemetry():
+    """A fresh live telemetry per benchmark; off again afterwards."""
+    telemetry = enable_telemetry()
+    yield telemetry
+    disable_telemetry()
 
 
 def run_once(benchmark, function, *args, **kwargs):
@@ -53,6 +68,9 @@ def write_bench_json(name: str, payload: dict) -> Path:
         "machine": platform.machine(),
         **payload,
     }
+    telemetry = get_telemetry()
+    if telemetry.enabled and "telemetry" not in record:
+        record["telemetry"] = telemetry_summary(telemetry.snapshot())
     path = directory / f"BENCH_{name}.json"
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return path

@@ -49,6 +49,17 @@ populations through a NumPy-vectorized device model::
 
 On the command line: ``python -m repro mc run spec.json`` and
 ``python -m repro mc map spec.json --workers 4``.
+
+Every layer is instrumented with opt-in, dependency-free telemetry
+(:mod:`repro.obs`): counters, gauges, log-binned histograms and nested spans
+that cost one attribute check when disabled::
+
+    from repro import Telemetry, telemetry_capture
+    with telemetry_capture(Telemetry()) as tel:
+        MonteCarloEngine(config).run()
+    print(tel.snapshot()["counters"]["solver.iterations"])
+
+On the command line: ``python -m repro profile mc run spec.json``.
 """
 
 from .attack import AttackResult, NeuroHammer, WorstCaseCornerScenario, YieldScenario, hammer_once
@@ -77,6 +88,14 @@ from .montecarlo import (
     flip_probability_map,
     refine_flip_probability_map,
 )
+from .obs import (
+    Telemetry,
+    build_manifest,
+    enable_telemetry,
+    disable_telemetry,
+    get_telemetry,
+    telemetry_capture,
+)
 from .thermal import (
     AnalyticCouplingModel,
     HeatSolver,
@@ -85,7 +104,7 @@ from .thermal import (
     make_crosstalk_operator,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -129,4 +148,10 @@ __all__ = [
     "make_crosstalk_operator",
     "YieldScenario",
     "WorstCaseCornerScenario",
+    "Telemetry",
+    "get_telemetry",
+    "enable_telemetry",
+    "disable_telemetry",
+    "telemetry_capture",
+    "build_manifest",
 ]

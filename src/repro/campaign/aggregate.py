@@ -15,6 +15,7 @@ import math
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import CampaignError
+from ..obs import build_manifest
 from .runner import CampaignReport, JobRecord
 from .spec import CampaignSpec
 
@@ -136,6 +137,10 @@ def campaign_metadata(spec: CampaignSpec, report: CampaignReport) -> Dict[str, A
         "points": len(report.records),
         "cached": report.cached_count,
         "duration_s": report.duration_s,
+        "compute_duration_s": report.compute_duration_s,
+        "manifest": build_manifest(
+            extra={"kind": "campaign", "spec": spec.name, "experiment": spec.experiment}
+        ),
     }
 
 

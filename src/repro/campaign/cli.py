@@ -13,6 +13,7 @@ Subcommands::
     repro mc map SPEC.json [--workers N] [--cache DIR] [--save DIR] [--json]
                            [--adaptive] [--target-ci H] [--budget N]
                            [--threshold P] [--batch-size N] [--point-max N]
+    repro profile [--output OUT.json] CMD...
     repro version
 
 ``run-fig`` regenerates one paper figure and prints its table (figures 3a-3d
@@ -29,6 +30,12 @@ prints the provenance of the spec's variability sigmas instead of running);
 flip-probability map — fixed-n through the campaign runner, or with
 ``--adaptive`` through CI-driven refinement that spends a global sample
 budget where the interval still straddles the flip boundary.
+
+``profile`` runs any other subcommand with telemetry enabled and prints a
+flame-style span table plus counter/histogram report afterwards
+(``--output`` also writes the raw snapshot and a reproducibility manifest
+as JSON); ``campaign run``, ``mc run`` and ``mc map`` additionally accept
+``--telemetry OUT.json`` to capture the same snapshot without the report.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import ReproError
+from ..obs import Telemetry, build_manifest, render_report, telemetry_capture, write_snapshot
 from .aggregate import summarise, to_experiment_result
 from .cache import ResultCache
 from .runner import CampaignRunner
@@ -100,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--save", metavar="DIR", help="write the aggregated CSV/JSON exports into DIR")
     run.add_argument("--json", action="store_true", help="print the full report as JSON instead of a table")
+    _add_telemetry_flag(run)
     run.set_defaults(handler=_cmd_campaign_run)
 
     status = campaign_sub.add_parser("status", help="report cache coverage of a spec")
@@ -133,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mc_run.add_argument("--save", metavar="DIR", help="write the population CSV/JSON exports into DIR")
     mc_run.add_argument("--json", action="store_true", help="print the summary as JSON instead of a table")
+    _add_telemetry_flag(mc_run)
     mc_run.set_defaults(handler=_cmd_mc_run)
 
     mc_map = mc_sub.add_parser("map", help="flip-probability map over a 2-D parameter plane")
@@ -165,11 +175,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mc_map.add_argument("--save", metavar="DIR", help="write the map CSV/JSON exports into DIR")
     mc_map.add_argument("--json", action="store_true", help="print the per-point records as JSON")
+    _add_telemetry_flag(mc_map)
     mc_map.set_defaults(handler=_cmd_mc_map)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="run any repro subcommand with telemetry enabled and print a span/metric report",
+    )
+    profile.add_argument(
+        "--output", metavar="OUT.json", default=None,
+        help="also write the raw telemetry snapshot plus a reproducibility manifest as JSON",
+    )
+    profile.add_argument(
+        "cmd", nargs=argparse.REMAINDER,
+        help="the repro command to profile, e.g. `repro profile mc run SPEC.json`",
+    )
+    profile.set_defaults(handler=_cmd_profile)
 
     version = subparsers.add_parser("version", help="print the library version")
     version.set_defaults(handler=_cmd_version)
     return parser
+
+
+def _add_telemetry_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--telemetry", metavar="OUT.json", default=None,
+        help="capture a telemetry snapshot of this run and write it (with a manifest) as JSON",
+    )
 
 
 _FIGURE_IDS = ("2a", "3a", "3b", "3c", "3d")
@@ -191,6 +223,35 @@ def _open_cache(cache_dir: Optional[str], disabled: bool = False) -> Optional[Re
     if disabled:
         return None
     return ResultCache(cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR)
+
+
+def _command_label(args: argparse.Namespace) -> str:
+    """Dotted span label of a parsed command, e.g. ``mc.run``."""
+    parts = [args.command]
+    for attr in ("campaign_command", "mc_command"):
+        sub = getattr(args, attr, None)
+        if sub:
+            parts.append(sub)
+    return ".".join(parts)
+
+
+def _snapshot_payload(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """A telemetry snapshot plus the reproducibility manifest, ready to write."""
+    return {**snapshot, "manifest": build_manifest(telemetry_snapshot=snapshot)}
+
+
+def _run_with_telemetry(args: argparse.Namespace) -> int:
+    """Dispatch a parsed command, honouring its ``--telemetry OUT.json`` flag."""
+    path = getattr(args, "telemetry", None)
+    if path is None:
+        return args.handler(args)
+    with telemetry_capture(Telemetry()) as tel:
+        with tel.span(f"cli.{_command_label(args)}"):
+            code = args.handler(args)
+        snapshot = tel.snapshot()
+    write_snapshot(path, _snapshot_payload(snapshot))
+    print(f"wrote telemetry snapshot to {path}")
+    return code
 
 
 # ----------------------------------------------------------------------
@@ -245,7 +306,14 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     result = to_experiment_result(spec, report) if not report.failed_records else None
 
     if args.json:
-        print(json.dumps({"summary": summary, "report": report.to_dict()}, indent=2, default=str))
+        manifest = build_manifest(extra={"kind": "campaign", "spec": spec.name, "experiment": spec.experiment})
+        print(
+            json.dumps(
+                {"summary": summary, "report": report.to_dict(), "manifest": manifest},
+                indent=2,
+                default=str,
+            )
+        )
     else:
         print(report.summary())
         if result is not None and result.rows:
@@ -373,7 +441,16 @@ def _cmd_mc_run(args: argparse.Namespace) -> int:
     summary = result.summary()
 
     if args.json:
-        print(json.dumps({"summary": summary, "conditions": result.conditions.to_dict()}, indent=2))
+        print(
+            json.dumps(
+                {
+                    "summary": summary,
+                    "conditions": result.conditions.to_dict(),
+                    "manifest": engine.manifest(),
+                },
+                indent=2,
+            )
+        )
     else:
         table = result.to_experiment_result(max_rows=args.rows)
         print(table.to_table())
@@ -436,6 +513,9 @@ def _cmd_mc_map(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             point_n_max=args.point_max,
         )
+        mc_map.result.metadata.setdefault(
+            "manifest", build_manifest(extra={"kind": "mc_map", "spec": spec.name, "adaptive": True})
+        )
         if args.json:
             print(mc_map.result.to_json())
         else:
@@ -462,6 +542,9 @@ def _cmd_mc_map(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache=ResultCache(args.cache) if args.cache else None,
         )
+        mc_map.result.metadata.setdefault(
+            "manifest", build_manifest(extra={"kind": "mc_map", "spec": spec.name, "adaptive": False})
+        )
         if args.json:
             print(mc_map.result.to_json())
         else:
@@ -479,6 +562,31 @@ def _cmd_mc_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    cmd = list(args.cmd)
+    if cmd and cmd[0] == "--":
+        # argparse.REMAINDER keeps an explicit separator; drop it.
+        cmd = cmd[1:]
+    if not cmd:
+        raise ReproError("`repro profile` needs a command to run, e.g. `repro profile mc run SPEC.json`")
+    if cmd[0] == "profile":
+        raise ReproError("`repro profile` cannot profile itself")
+    inner = build_parser().parse_args(cmd)
+    if getattr(inner, "telemetry", None):
+        print("note: --telemetry is redundant under `repro profile`; ignored")
+        inner.telemetry = None
+    with telemetry_capture(Telemetry()) as tel:
+        with tel.span(f"cli.{_command_label(inner)}"):
+            code = inner.handler(inner)
+        snapshot = tel.snapshot()
+    print()
+    print(render_report(snapshot))
+    if args.output:
+        write_snapshot(args.output, _snapshot_payload(snapshot))
+        print(f"wrote telemetry snapshot to {args.output}")
+    return code
+
+
 def _cmd_version(args: argparse.Namespace) -> int:
     from .. import __version__
 
@@ -491,7 +599,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.handler(args)
+        return _run_with_telemetry(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

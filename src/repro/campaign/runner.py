@@ -23,11 +23,27 @@ from ..attack.neurohammer import AttackResult, NeuroHammer
 from ..circuit.crossbar import CrossbarArray
 from ..config import AttackConfig, SimulationConfig
 from ..errors import CampaignError
+from ..obs import Telemetry, get_telemetry, telemetry_capture, telemetry_enabled
+from ..utils.logging import get_logger
 from .cache import ResultCache
 from .spec import CampaignPoint, CampaignSpec
 
 #: Payload handed to a (possibly remote) job function.
 JobPayload = Tuple[int, str, Dict[str, Any], Dict[str, Any]]
+
+logger = get_logger("campaign.runner")
+
+
+def _init_worker(telemetry_on: bool) -> None:
+    """Pool initializer: arm a worker-local telemetry when the parent's is on.
+
+    The job payload tuple stays untouched (its content feeds the cache keys),
+    so the enable flag travels through the pool initializer instead.
+    """
+    if telemetry_on:
+        from ..obs import enable_telemetry
+
+        enable_telemetry()
 
 
 def attack_result_to_dict(result: AttackResult) -> Dict[str, Any]:
@@ -77,7 +93,10 @@ def execute_montecarlo_point(job: Dict[str, Any]) -> Dict[str, Any]:
     montecarlo = MonteCarloConfig.from_dict(job.get("montecarlo", {}))
     result = MonteCarloEngine(montecarlo, simulation=simulation, attack=attack).run()
     record = result.summary()
-    record.pop("duration_s", None)  # job duration is tracked by the runner
+    # The engine's own wall time survives in the result payload (the runner
+    # tracks the job's total under the JobRecord's duration_s), so cached
+    # replays can still report the original compute cost.
+    record["engine_duration_s"] = record.pop("duration_s", 0.0)
     record["conditions"] = result.conditions.to_dict()
     record["pulse_length_s"] = float(attack.pulse.length_s)
     record["ambient_temperature_k"] = float(attack.ambient_temperature_k)
@@ -103,13 +122,15 @@ class JobRecord:
     error: Optional[str] = None
     duration_s: float = 0.0
     cached: bool = False
+    #: Telemetry snapshot of the job's own scope (when telemetry is active).
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "index": self.index,
             "key": self.key,
             "status": self.status,
@@ -119,10 +140,29 @@ class JobRecord:
             "duration_s": self.duration_s,
             "cached": self.cached,
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
+        return payload
 
 
 def run_campaign_job(payload: JobPayload) -> JobRecord:
-    """Execute one job payload, capturing any exception into the record."""
+    """Execute one job payload, capturing any exception into the record.
+
+    With telemetry active, the job runs under a fresh job-local
+    :class:`~repro.obs.Telemetry` whose snapshot rides back on the record —
+    uniformly for the serial and pool paths, so per-job span trees cross the
+    multiprocessing boundary as plain dicts and the parent merges them.
+    """
+    if telemetry_enabled():
+        with telemetry_capture(Telemetry()) as tel:
+            with tel.span("campaign.job", index=payload[0]):
+                record = _execute_campaign_job(payload)
+            record.telemetry = tel.snapshot()
+        return record
+    return _execute_campaign_job(payload)
+
+
+def _execute_campaign_job(payload: JobPayload) -> JobRecord:
     index, key, job, overrides = payload
     start = time.perf_counter()
     try:
@@ -171,6 +211,12 @@ class CampaignReport:
     def computed_count(self) -> int:
         return sum(1 for record in self.records if not record.cached)
 
+    @property
+    def compute_duration_s(self) -> float:
+        """Summed per-job compute time, including what cached records cost
+        when they were originally computed (preserved through the cache)."""
+        return sum(record.duration_s for record in self.records)
+
     def counts(self) -> Dict[str, int]:
         """Point counts per status plus cache hits."""
         counts = {"total": len(self.records), "ok": 0, "error": 0, "timeout": 0}
@@ -186,7 +232,7 @@ class CampaignReport:
             f"campaign {self.spec_name!r}: {counts['total']} points, "
             f"{counts['ok']} ok ({counts['cached']} cached), "
             f"{counts['error']} errors, {counts['timeout']} timeouts "
-            f"in {self.duration_s:.2f}s"
+            f"in {self.duration_s:.2f}s (compute {self.compute_duration_s:.2f}s)"
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -194,6 +240,7 @@ class CampaignReport:
             "spec_name": self.spec_name,
             "experiment": self.experiment,
             "duration_s": self.duration_s,
+            "compute_duration_s": self.compute_duration_s,
             "counts": self.counts(),
             "records": [record.to_dict() for record in self.records],
         }
@@ -254,36 +301,70 @@ class CampaignRunner:
         the original all-at-once behaviour.
         """
         start = time.perf_counter()
+        tel = get_telemetry()
+        used_pool = self.workers >= 2 or self.timeout_s is not None
         records: Dict[int, JobRecord] = {}
-        for shard in self.spec.iter_shards():
-            pending: List[CampaignPoint] = []
-            for point in shard:
-                cached = self._lookup(point)
-                if cached is not None:
-                    records[point.index] = cached
-                else:
-                    pending.append(point)
+        with tel.span("campaign.run", spec=self.spec.name, workers=self.workers):
+            for shard in self.spec.iter_shards():
+                pending: List[CampaignPoint] = []
+                for point in shard:
+                    cached = self._lookup(point)
+                    if cached is not None:
+                        records[point.index] = cached
+                    else:
+                        pending.append(point)
+                if tel.enabled:
+                    tel.count("campaign.cache.hits", len(shard) - len(pending))
+                    tel.count("campaign.cache.misses", len(pending))
 
-            if pending:
-                payloads = [(p.index, p.key, p.job, p.overrides) for p in pending]
-                # A timeout can only be enforced on a job running in a separate
-                # process, so timeout_s forces the pool path even at workers<=1.
-                if self.workers >= 2 or self.timeout_s is not None:
-                    computed = self._iter_parallel(payloads)
-                else:
-                    computed = self._iter_serial(payloads)
-                # Records are cached as they complete, so an interrupted
-                # campaign keeps every finished point and resumes from there.
-                for record in computed:
-                    records[record.index] = record
-                    self._store(record)
+                if pending:
+                    logger.debug(
+                        "campaign %r: executing %d pending point(s) (%s)",
+                        self.spec.name,
+                        len(pending),
+                        "pool" if used_pool else "serial",
+                    )
+                    payloads = [(p.index, p.key, p.job, p.overrides) for p in pending]
+                    # A timeout can only be enforced on a job running in a separate
+                    # process, so timeout_s forces the pool path even at workers<=1.
+                    if used_pool:
+                        computed = self._iter_parallel(payloads)
+                    else:
+                        computed = self._iter_serial(payloads)
+                    # Records are cached as they complete, so an interrupted
+                    # campaign keeps every finished point and resumes from there.
+                    for record in computed:
+                        records[record.index] = record
+                        self._store(record)
+                        if tel.enabled and record.telemetry is not None:
+                            # Pool jobs ran concurrently with the parent span,
+                            # so their time must not be subtracted from its
+                            # exclusive accounting; serial jobs consumed it.
+                            tel.merge_snapshot(record.telemetry, remote=used_pool)
+                        logger.debug(
+                            "campaign %r: point %d finished with status %r in %.3fs",
+                            self.spec.name,
+                            record.index,
+                            record.status,
+                            record.duration_s,
+                        )
 
+        wall = time.perf_counter() - start
         report = CampaignReport(
             spec_name=self.spec.name,
             experiment=self.spec.experiment,
             records=[records[index] for index in sorted(records)],
-            duration_s=time.perf_counter() - start,
+            duration_s=wall,
         )
+        if tel.enabled:
+            tel.count("campaign.points", len(report.records))
+            if used_pool and wall > 0.0:
+                busy = sum(r.duration_s for r in report.records if not r.cached)
+                tel.gauge(
+                    "campaign.worker_utilization",
+                    busy / (max(1, self.workers) * wall),
+                )
+        logger.debug("%s", report.summary())
         return report
 
     def status(self) -> Dict[str, Any]:
@@ -294,17 +375,21 @@ class CampaignRunner:
         the missing points).
         """
         total = cached = 0
+        cached_duration = 0.0
         missing_labels: List[str] = []
         for point in self.spec.iter_points():
             total += 1
-            if self._lookup(point) is not None:
+            record = self._lookup(point)
+            if record is not None:
                 cached += 1
+                cached_duration += record.duration_s
             else:
                 missing_labels.append(point.label())
         return {
             "spec_name": self.spec.name,
             "total": total,
             "cached": cached,
+            "cached_duration_s": cached_duration,
             "missing": len(missing_labels),
             "missing_points": missing_labels,
         }
@@ -330,7 +415,11 @@ class CampaignRunner:
         remaining: List[JobPayload] = list(payloads)
         ctx = multiprocessing.get_context()
         while remaining:
-            pool = ctx.Pool(processes=max(1, self.workers))
+            pool = ctx.Pool(
+                processes=max(1, self.workers),
+                initializer=_init_worker,
+                initargs=(telemetry_enabled(),),
+            )
             restart = False
             try:
                 if self.timeout_s is None:
@@ -379,13 +468,18 @@ class CampaignRunner:
         payload = self.cache.get(point.key)
         if payload is None or payload.get("status") != "ok" or "result" not in payload:
             return None
+        duration = payload.get("duration_s")
+        if duration is None:
+            # Entries written before the runner recorded job durations: fall
+            # back to the engine's own wall time preserved in the result.
+            duration = (payload.get("result") or {}).get("engine_duration_s", 0.0)
         return JobRecord(
             index=point.index,
             key=point.key,
             status="ok",
             overrides=dict(point.overrides),
             result=payload["result"],
-            duration_s=float(payload.get("duration_s", 0.0)),
+            duration_s=float(duration),
             cached=True,
         )
 

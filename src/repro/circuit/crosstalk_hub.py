@@ -31,6 +31,7 @@ import numpy as np
 from ..config import CrossbarGeometry
 from ..constants import DEFAULT_AMBIENT_TEMPERATURE_K
 from ..errors import ConfigurationError
+from ..obs import get_telemetry
 from ..thermal.coupling import CouplingModel
 from ..thermal.operator import CrosstalkOperator, make_crosstalk_operator
 
@@ -53,6 +54,10 @@ class CrosstalkHub:
         self.operator: CrosstalkOperator = make_crosstalk_operator(
             self.coupling, backend=self.backend
         )
+        # Metric names are precomputed so the per-solve apply path does not
+        # build strings when telemetry is enabled.
+        self._apply_metric = "crosstalk.apply." + self.operator.backend
+        self._apply_single_metric = "crosstalk.apply_single." + self.operator.backend
 
     @property
     def geometry(self) -> CrossbarGeometry:
@@ -95,6 +100,9 @@ class CrosstalkHub:
                 filament temperatures *excluding* crosstalk (self-heating on
                 top of ambient).
         """
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count(self._apply_metric)
         return self.operator.apply(self._rises(filament_temperatures_k))
 
     def additional_temperature_for(
@@ -107,6 +115,9 @@ class CrosstalkHub:
         indexing it.
         """
         self.geometry.validate_cell(*victim)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count(self._apply_single_metric)
         return self.operator.apply_single(
             tuple(victim), self._rises(filament_temperatures_k)
         )

@@ -51,6 +51,7 @@ from ..devices.base import (
     MemristorModel,
 )
 from ..errors import ConfigurationError, ConvergenceError
+from ..obs import get_telemetry
 from .drivers import BiasPattern
 from .netlist import GROUND_NODE, CrossbarNetlist
 
@@ -229,6 +230,8 @@ class CrossbarSolver:
             np.unique(dev_w).size == nd and np.unique(dev_b).size == nd
         )
 
+        get_telemetry().count("solver.jacobian.structure_builds")
+
         if _HAVE_SCIPY:
             self._linear_operator = _sparse.csr_matrix(
                 (self._base_data.copy(), self._csr_indices.copy(), self._csr_indptr.copy()),
@@ -302,10 +305,12 @@ class CrossbarSolver:
         extra_g, driver_currents = self._driver_stamps(bias)
         x_arr, t_arr = self._state_arrays(states)
 
+        warm_started = False
         if initial_guess is not None:
             voltages = np.array(initial_guess, dtype=float)
         elif self._last_solution is not None and len(self._last_solution) == n:
             voltages = self._last_solution.copy()
+            warm_started = True
         else:
             voltages = np.zeros(n)
 
@@ -334,7 +339,23 @@ class CrossbarSolver:
             prev_step = max_step
             iterations = solve_count + 1
 
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("solver.solves")
+            tel.count("solver.iterations", iterations)
+            if iterations:
+                # Every Newton iteration ran one linear solve on this backend
+                # and scattered into the precomputed CSR slots.
+                tel.count(f"solver.linear.{self.last_backend}", iterations)
+                tel.count("solver.jacobian.reuses", iterations)
+            if warm_started:
+                tel.count("solver.warm_starts")
+            tel.observe("solver.residual_a", residual)
+            tel.observe("solver.iterations_per_solve", iterations)
+
         if not converged:
+            if tel.enabled:
+                tel.count("solver.failures")
             raise ConvergenceError(
                 f"crossbar Newton solve did not converge after {self.max_iterations} iterations "
                 f"(residual {residual:.3g} A)"

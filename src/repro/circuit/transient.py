@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs import get_telemetry
 from .crossbar import CrossbarArray
 from .drivers import BiasPattern, idle_bias
 from .pulses import StimulusSchedule, StimulusSegment
@@ -207,6 +208,16 @@ class TransientSimulator:
             stop_on_flip_of: If given, the simulation ends as soon as this
                 cell crosses the flip threshold.
         """
+        tel = get_telemetry()
+        with tel.span("transient.run"):
+            return self._run(schedule, stop_on_flip_of, tel)
+
+    def _run(
+        self,
+        schedule: StimulusSchedule,
+        stop_on_flip_of: Optional[Cell],
+        tel,
+    ) -> TransientResult:
         crossbar = self.crossbar
         state = crossbar.state
         batched = crossbar.model.batched()
@@ -232,6 +243,8 @@ class TransientSimulator:
                 voltages = snapshot.operating_point.device_voltages_v
                 rates = batched.state_derivative(voltages, state.x, state.temperature_k)
                 dt = self._choose_dt(rates, remaining, segment.duration_s)
+                if tel.enabled:
+                    tel.observe("transient.dt_s", dt)
                 state.x[...] = batched.clamp_state(state.x + rates * dt)
                 time_s += dt
                 remaining -= dt
@@ -264,6 +277,11 @@ class TransientSimulator:
                         segment.label,
                     )
             crossbar.reset_temperatures()
+
+        if tel.enabled:
+            tel.count("transient.runs")
+            tel.count("transient.steps", steps)
+            tel.count("transient.flips", len(flips))
 
         return TransientResult(trace=trace, flip_events=flips, simulated_time_s=time_s, steps=steps)
 

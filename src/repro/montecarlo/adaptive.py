@@ -26,6 +26,7 @@ import numpy as np
 
 from ..config import JsonConfig
 from ..errors import MonteCarloError
+from ..obs import get_telemetry
 from .estimators import (
     INTERVAL_METHODS,
     EstimatorState,
@@ -171,12 +172,24 @@ class AdaptiveSampler:
             self.estimator.update(outcomes)
         self.next_batch_index = index + 1
         self.n_drawn += n
-        return AdaptiveBatchRecord(
+        record = AdaptiveBatchRecord(
             index=index,
             n_drawn=n,
             estimate=float(self.estimator.estimate),
             half_width=float(self.estimator.half_width()),
         )
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("adaptive.batches")
+            tel.count("adaptive.samples", n)
+            tel.event(
+                "adaptive.batch",
+                index=record.index,
+                n=record.n_drawn,
+                estimate=record.estimate,
+                half_width=record.half_width,
+            )
+        return record
 
     @property
     def satisfied(self) -> bool:
@@ -200,6 +213,9 @@ class AdaptiveSampler:
             if self.exhausted:
                 reason = "n_max"
                 break
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count(f"adaptive.stops.{reason}")
         return AdaptiveOutcome(
             state=EstimatorState.capture(self.estimator),
             n_drawn=self.n_drawn,

@@ -38,6 +38,8 @@ from ..devices.kinetics import pulses_to_switch
 from ..devices.thermal import solve_operating_point
 from ..errors import ConvergenceError, DeviceModelError, MonteCarloError
 from ..circuit.drivers import write_bias
+from ..obs import build_manifest, get_telemetry
+from ..utils.logging import get_logger
 from .adaptive import AdaptiveConfig, AdaptiveOutcome, AdaptiveSampler
 from .estimators import (
     ClusteredBinomialEstimator,
@@ -62,6 +64,8 @@ from .vectorized import (
 
 #: Evaluation modes of :class:`MonteCarloEngine`.
 MONTECARLO_MODES = ("anchored", "full_array")
+
+logger = get_logger("montecarlo.engine")
 
 
 def _concat_draws(draws: List[Optional[Any]]):
@@ -337,7 +341,13 @@ class MonteCarloResult:
                 f"({self.engine} engine, seed {self.seed})"
             ),
             columns=["cell", "flipped", "pulses", "final_x", "victim_temperature_k", "valid"],
-            metadata={"summary": self.summary(), "conditions": self.conditions.to_dict()},
+            metadata={
+                "summary": self.summary(),
+                "conditions": self.conditions.to_dict(),
+                "manifest": build_manifest(
+                    seed=self.seed, extra={"kind": "montecarlo", "engine": self.engine}
+                ),
+            },
         )
         count = self.n_samples if max_rows is None else min(self.n_samples, max_rows)
         for index in range(count):
@@ -461,6 +471,10 @@ class MonteCarloEngine:
         """Solve (once) the nominal crossbar operating point of the attack."""
         if self._conditions is not None:
             return self._conditions
+        with get_telemetry().span("mc.nominal_conditions"):
+            return self._solve_nominal_conditions()
+
+    def _solve_nominal_conditions(self) -> NominalConditions:
         crossbar = CrossbarArray(
             geometry=self.simulation.geometry,
             wires=self.simulation.wires,
@@ -584,13 +598,26 @@ class MonteCarloEngine:
         :class:`~repro.montecarlo.adaptive.AdaptiveConfig`).
         """
         start = time.perf_counter()
-        conditions = self.nominal_conditions()
-        if self.montecarlo.adaptive is not None:
-            result = self._run_adaptive(conditions, vectorized)
-        else:
-            n = n_samples if n_samples is not None else self.montecarlo.n_samples
-            result = self._run_fixed(n, conditions, vectorized)
+        tel = get_telemetry()
+        with tel.span("mc.run", mode=self.montecarlo.mode):
+            conditions = self.nominal_conditions()
+            if self.montecarlo.adaptive is not None:
+                result = self._run_adaptive(conditions, vectorized)
+            else:
+                n = n_samples if n_samples is not None else self.montecarlo.n_samples
+                result = self._run_fixed(n, conditions, vectorized)
         result.duration_s = time.perf_counter() - start
+        if tel.enabled:
+            tel.count("mc.runs")
+            if result.weights is not None:
+                tel.gauge("mc.effective_sample_size", result.effective_sample_size)
+        logger.debug(
+            "mc run finished: mode=%s n=%d flipped=%d duration=%.3fs",
+            self.montecarlo.mode,
+            result.n_samples,
+            result.flipped_count,
+            result.duration_s,
+        )
         return result
 
     def run_batch(self, n: int, batch_index: int, vectorized: bool = True) -> MonteCarloResult:
@@ -606,10 +633,31 @@ class MonteCarloEngine:
         result.duration_s = time.perf_counter() - start
         return result
 
+    def manifest(self, telemetry_snapshot: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Reproducibility manifest of this engine's configuration."""
+        extra: Dict[str, Any] = {
+            "kind": "montecarlo",
+            "mode": self.montecarlo.mode,
+            "adaptive": self.montecarlo.adaptive is not None,
+            "importance": self.montecarlo.importance is not None,
+        }
+        if self.montecarlo.adaptive is None:
+            extra["n_samples"] = self.montecarlo.n_samples
+        return build_manifest(
+            seed=self.montecarlo.seed,
+            backends={"mode": self.montecarlo.mode},
+            telemetry_snapshot=telemetry_snapshot,
+            extra=extra,
+        )
+
     def _run_fixed(
         self, n: int, conditions: NominalConditions, vectorized: bool, spawn=()
     ) -> MonteCarloResult:
         """One fixed-size evaluation through the configured mode."""
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("mc.batches")
+            tel.count("mc.samples", n)
         if self.montecarlo.mode == "full_array":
             if not vectorized:
                 raise MonteCarloError(
@@ -918,69 +966,75 @@ class MonteCarloEngine:
         def env_scalar(path: str, index: int, nominal: float) -> float:
             return env.scalar(path, index, nominal) if env is not None else float(nominal)
 
-        for index in range(n_arrays):
-            if index:  # array 0's population is already bound from construction
-                model.set_population(
-                    VectorizedJartVcm(cells, base=base, overrides=draw.array_overrides(index))
+        tel = get_telemetry()
+        with tel.span("mc.full_array.arrays", n_arrays=n_arrays):
+            for index in range(n_arrays):
+                if index:  # array 0's population is already bound from construction
+                    model.set_population(
+                        VectorizedJartVcm(cells, base=base, overrides=draw.array_overrides(index))
+                    )
+                # This array's attack environment (one draw per sampled array).
+                ambient = env_scalar("attack.ambient_temperature_k", index, ambient_default)
+                amplitude = env_scalar(
+                    "attack.pulse.amplitude_v", index, self.attack.pulse.amplitude_v
                 )
-            # This array's attack environment (one draw per sampled array).
-            ambient = env_scalar("attack.ambient_temperature_k", index, ambient_default)
-            amplitude = env_scalar(
-                "attack.pulse.amplitude_v", index, self.attack.pulse.amplitude_v
-            )
-            pulse_length = env_scalar("attack.pulse.length_s", index, self.attack.pulse.length_s)
-            duty = env_scalar("attack.pulse.duty_cycle", index, self.attack.pulse.duty_cycle)
-            threshold = env_scalar("attack.flip_threshold", index, self.attack.flip_threshold)
-            if (
-                ambient <= 0.0
-                or pulse_length <= 0.0
-                or not 0.0 < duty <= 1.0
-                or not 0.0 <= threshold <= 1.0
-                or abs(amplitude) > 10.0
-            ):
-                # A draw outside the model's validity guards excludes the
-                # array, never the population (mirrors the anchored lanes).
-                array_valid[index] = False
-                continue
-            temperature[index] = ambient
-            crossbar.ambient_temperature_k = ambient
-            crossbar.hub.ambient_temperature_k = ambient
-            crossbar.initialise_states(default_x=0.0)
-            for aggressor in pattern.aggressors:
-                crossbar.set_state(aggressor, 1.0)
-            if env is not None and "attack.pulse.amplitude_v" in env.values:
-                bias = write_bias(
-                    geometry, aggressor_cells, amplitude, scheme=self.attack.bias_scheme
+                pulse_length = env_scalar("attack.pulse.length_s", index, self.attack.pulse.length_s)
+                duty = env_scalar("attack.pulse.duty_cycle", index, self.attack.pulse.duty_cycle)
+                threshold = env_scalar("attack.flip_threshold", index, self.attack.flip_threshold)
+                if (
+                    ambient <= 0.0
+                    or pulse_length <= 0.0
+                    or not 0.0 < duty <= 1.0
+                    or not 0.0 <= threshold <= 1.0
+                    or abs(amplitude) > 10.0
+                ):
+                    # A draw outside the model's validity guards excludes the
+                    # array, never the population (mirrors the anchored lanes).
+                    array_valid[index] = False
+                    continue
+                temperature[index] = ambient
+                crossbar.ambient_temperature_k = ambient
+                crossbar.hub.ambient_temperature_k = ambient
+                crossbar.initialise_states(default_x=0.0)
+                for aggressor in pattern.aggressors:
+                    crossbar.set_state(aggressor, 1.0)
+                if env is not None and "attack.pulse.amplitude_v" in env.values:
+                    bias = write_bias(
+                        geometry, aggressor_cells, amplitude, scheme=self.attack.bias_scheme
+                    )
+                else:
+                    bias = nominal_bias
+                try:
+                    snapshot = crossbar.thermal_snapshot(bias)
+                except (ConvergenceError, DeviceModelError):
+                    # A pathological sampled array must not abort the population.
+                    array_valid[index] = False
+                    continue
+                victim_voltage = snapshot.operating_point.device_voltages_v[victim_rows, victim_cols]
+                crosstalk = snapshot.crosstalk_temperatures_k[victim_rows, victim_cols]
+                outcome = pulses_to_switch_batch(
+                    model.kernel.take(lanes),
+                    victim_voltage,
+                    pulse_length,
+                    np.full(n_victims, self.montecarlo.x_start),
+                    threshold,
+                    duty_cycle=duty,
+                    ambient_temperature_k=ambient,
+                    crosstalk_temperature_k=crosstalk,
+                    max_pulses=self.attack.max_pulses,
+                    raise_on_failure=False,
                 )
-            else:
-                bias = nominal_bias
-            try:
-                snapshot = crossbar.thermal_snapshot(bias)
-            except (ConvergenceError, DeviceModelError):
-                # A pathological sampled array must not abort the population.
-                array_valid[index] = False
-                continue
-            victim_voltage = snapshot.operating_point.device_voltages_v[victim_rows, victim_cols]
-            crosstalk = snapshot.crosstalk_temperatures_k[victim_rows, victim_cols]
-            outcome = pulses_to_switch_batch(
-                model.kernel.take(lanes),
-                victim_voltage,
-                pulse_length,
-                np.full(n_victims, self.montecarlo.x_start),
-                threshold,
-                duty_cycle=duty,
-                ambient_temperature_k=ambient,
-                crosstalk_temperature_k=crosstalk,
-                max_pulses=self.attack.max_pulses,
-                raise_on_failure=False,
-            )
-            flipped[index] = outcome.flipped & outcome.converged
-            pulses[index] = outcome.pulses
-            stress[index] = outcome.stress_time_s
-            wall[index] = outcome.wall_clock_s
-            final_x[index] = outcome.final_x
-            temperature[index] = outcome.final_temperature_k
-            valid[index] = outcome.converged
+                flipped[index] = outcome.flipped & outcome.converged
+                pulses[index] = outcome.pulses
+                stress[index] = outcome.stress_time_s
+                wall[index] = outcome.wall_clock_s
+                final_x[index] = outcome.final_x
+                temperature[index] = outcome.final_temperature_k
+                valid[index] = outcome.converged
+
+        if tel.enabled:
+            tel.count("mc.arrays", n_arrays)
+            tel.count("mc.invalid_arrays", n_arrays - int(array_valid.sum()))
 
         confidence, method = self._ci_settings()
         return FullArrayMonteCarloResult(

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..config import AttackConfig, JsonConfig, SimulationConfig
 from ..errors import MonteCarloError
+from ..obs import get_telemetry
 from ..utils.tables import matrix_heatmap
 from .adaptive import AdaptiveConfig
 from .estimators import StreamingMeanEstimator, fixed_sample_size
@@ -136,6 +137,9 @@ def flip_probability_map(
         x_axis, y_axis, name=name, simulation=simulation, attack=attack, montecarlo=montecarlo
     )
     report = CampaignRunner(spec, cache=cache, workers=workers).run()
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.count("map.points", len(x_axis.values) * len(y_axis.values))
     result = to_experiment_result(
         spec,
         report,
@@ -328,32 +332,38 @@ def refine_flip_probability_map(
 
     total = 0
     exhausted_budget = False
-    while not exhausted_budget:
-        pending = [
-            state
-            for state in states
-            if not state.sampler.satisfied and not state.sampler.exhausted
-        ]
-        if not pending:
-            break
-        # The flip boundary first: undecided (straddling) points carry the
-        # map's information; plateaus only polish an already-decided answer.
-        pending.sort(
-            key=lambda state: (
-                not state.straddles(threshold),
-                -state.half_width(),
-                state.index,
-            )
-        )
-        for state in pending:
-            next_n = min(adaptive.batch_size, adaptive.n_max - state.sampler.n_drawn)
-            if budget and total + next_n > budget:
-                # The budget is a hard ceiling: never start a batch that
-                # would cross it.
-                exhausted_budget = True
+    tel = get_telemetry()
+    with tel.span("mc.map.refine", points=len(states)):
+        while not exhausted_budget:
+            pending = [
+                state
+                for state in states
+                if not state.sampler.satisfied and not state.sampler.exhausted
+            ]
+            if not pending:
                 break
-            record = state.sampler.step()
-            total += record.n_drawn
+            if tel.enabled:
+                tel.count("map.refine.rounds")
+            # The flip boundary first: undecided (straddling) points carry the
+            # map's information; plateaus only polish an already-decided answer.
+            pending.sort(
+                key=lambda state: (
+                    not state.straddles(threshold),
+                    -state.half_width(),
+                    state.index,
+                )
+            )
+            for state in pending:
+                next_n = min(adaptive.batch_size, adaptive.n_max - state.sampler.n_drawn)
+                if budget and total + next_n > budget:
+                    # The budget is a hard ceiling: never start a batch that
+                    # would cross it.
+                    exhausted_budget = True
+                    break
+                record = state.sampler.step()
+                total += record.n_drawn
+    if tel.enabled:
+        tel.count("map.refine.samples", total)
 
     shape = (len(x_axis.values), len(y_axis.values))
     # NaN marks points the budget never reached (no batch drawn).

@@ -1,0 +1,83 @@
+"""Opt-in observability: telemetry metrics, span tracing, run manifests.
+
+The subsystem is dependency-free and disabled by default.  Instrumented code
+asks for the process-wide instance and pays one attribute check when it is
+off::
+
+    from repro.obs import get_telemetry
+
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.count("solver.solves")
+
+Enable it for a scope with :func:`telemetry_capture` (or globally with
+:func:`enable_telemetry`), then export::
+
+    from repro.obs import telemetry_capture, render_report
+
+    with telemetry_capture() as tel:
+        engine.run()
+    print(render_report(tel.snapshot()))
+
+The ``repro profile <cmd...>`` CLI wraps any subcommand in exactly this
+pattern, and ``--telemetry out.json`` on ``mc run`` / ``mc map`` /
+``campaign run`` writes the snapshot without changing the command's output.
+"""
+
+from .manifest import MANIFEST_SCHEMA_VERSION, build_manifest, telemetry_summary
+from .spans import (
+    SpanAggregate,
+    SpanRecord,
+    aggregate_spans,
+    find_span,
+    spans_from_snapshot,
+    total_wall_s,
+)
+from .export import (
+    render_aggregate_table,
+    render_metrics,
+    render_report,
+    render_span_table,
+    write_snapshot,
+)
+from .telemetry import (
+    BINS_PER_DECADE,
+    MAX_EVENTS_PER_NAME,
+    NULL_TELEMETRY,
+    LogHistogram,
+    NullTelemetry,
+    Telemetry,
+    disable_telemetry,
+    enable_telemetry,
+    get_telemetry,
+    telemetry_capture,
+    telemetry_enabled,
+)
+
+__all__ = [
+    "BINS_PER_DECADE",
+    "MANIFEST_SCHEMA_VERSION",
+    "MAX_EVENTS_PER_NAME",
+    "NULL_TELEMETRY",
+    "LogHistogram",
+    "NullTelemetry",
+    "SpanAggregate",
+    "SpanRecord",
+    "Telemetry",
+    "aggregate_spans",
+    "build_manifest",
+    "disable_telemetry",
+    "enable_telemetry",
+    "find_span",
+    "get_telemetry",
+    "render_aggregate_table",
+    "render_metrics",
+    "render_report",
+    "render_span_table",
+    "spans_from_snapshot",
+    "telemetry_capture",
+    "telemetry_enabled",
+    "telemetry_summary",
+    "total_wall_s",
+    "write_snapshot",
+]

@@ -1,0 +1,137 @@
+"""Rendering and persistence of telemetry snapshots.
+
+Two human surfaces — a flame-style span table and a metric listing — plus a
+JSON writer for machine consumption (CI smoke checks, benchmark sidecars).
+All functions take the *snapshot dict* rather than a live ``Telemetry`` so
+they work equally on freshly captured and deserialised data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .spans import SpanRecord, aggregate_spans, spans_from_snapshot, total_wall_s
+
+
+def write_snapshot(path: Union[str, Path], snapshot: Dict[str, Any], indent: int = 2) -> Path:
+    """Write a telemetry snapshot as JSON; parent directories are created."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=indent, sort_keys=True, default=str) + "\n")
+    return path
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:9.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:8.2f}ms"
+    return f"{value * 1e6:8.1f}us"
+
+
+def render_span_table(snapshot: Dict[str, Any], max_depth: Optional[int] = None) -> str:
+    """The flame-style span tree: one indented row per span occurrence.
+
+    Sibling spans of the same name are coalesced into one row (calls > 1)
+    so per-iteration spans do not flood the table; ``%wall`` is the span's
+    total share of the root wall time, ``excl`` the time spent in the span
+    itself and not in any locally timed child.
+    """
+    roots = spans_from_snapshot(snapshot)
+    if not roots:
+        return "(no spans recorded)"
+    wall = total_wall_s(roots) or 1.0
+    lines = [f"{'span':<44} {'calls':>6} {'total':>10} {'excl':>10} {'%wall':>6}"]
+    lines.append("-" * len(lines[0]))
+
+    def emit(spans: List[SpanRecord], depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        groups: Dict[str, List[SpanRecord]] = {}
+        for span in spans:
+            groups.setdefault(span.name, []).append(span)
+        for name, group in groups.items():
+            total = sum(s.duration_s for s in group)
+            exclusive = sum(s.exclusive_s for s in group)
+            label = ("  " * depth) + name + (" [remote]" if any(s.remote for s in group) else "")
+            lines.append(
+                f"{label:<44} {len(group):>6} {_format_seconds(total)} "
+                f"{_format_seconds(exclusive)} {100.0 * total / wall:5.1f}%"
+            )
+            children = [child for span in group for child in span.children]
+            emit(children, depth + 1)
+
+    emit(roots, 0)
+    return "\n".join(lines)
+
+
+def render_aggregate_table(snapshot: Dict[str, Any]) -> str:
+    """Per-name span totals, largest exclusive time first."""
+    roots = spans_from_snapshot(snapshot)
+    if not roots:
+        return "(no spans recorded)"
+    wall = total_wall_s(roots) or 1.0
+    lines = [f"{'span (by name)':<36} {'calls':>6} {'total':>10} {'excl':>10} {'%excl':>6}"]
+    lines.append("-" * len(lines[0]))
+    for row in aggregate_spans(roots):
+        name = row.name + (" [remote]" if row.remote else "")
+        lines.append(
+            f"{name:<36} {row.calls:>6} {_format_seconds(row.total_s)} "
+            f"{_format_seconds(row.exclusive_s)} {100.0 * row.exclusive_s / wall:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: Dict[str, Any]) -> str:
+    """Counters, gauges and histogram summaries as an aligned listing."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            value = counters[name]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<42} {rendered:>12}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            gauge = gauges[name]
+            lines.append(
+                f"  {name:<42} {gauge['value']:>12.6g}  "
+                f"(min {gauge['min']:.6g}, max {gauge['max']:.6g}, n={gauge['n']})"
+            )
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            if hist["count"]:
+                lines.append(
+                    f"  {name:<42} n={hist['count']:<8} mean={hist['mean']:.4g} "
+                    f"min={hist['min']:.4g} max={hist['max']:.4g}"
+                )
+    events = snapshot.get("events", {})
+    if events:
+        lines.append("events:")
+        for name in sorted(events):
+            lines.append(f"  {name:<42} {len(events[name]):>8} recorded")
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def render_report(snapshot: Dict[str, Any]) -> str:
+    """The full human-readable profile: span table plus metric listing."""
+    parts = [render_span_table(snapshot)]
+    aggregate = render_aggregate_table(snapshot)
+    if aggregate != "(no spans recorded)":
+        parts.append("")
+        parts.append(aggregate)
+    parts.append("")
+    parts.append(render_metrics(snapshot))
+    open_spans = snapshot.get("open_spans", 0)
+    if open_spans:
+        parts.append("")
+        parts.append(f"WARNING: {open_spans} span(s) still open at snapshot time")
+    return "\n".join(parts)

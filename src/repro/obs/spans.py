@@ -1,0 +1,122 @@
+"""Span records: nested wall-time intervals with exclusive-time accounting.
+
+A span is one timed phase (``mc.run``, ``solver.solve``, one campaign job).
+Spans nest, forming a tree per telemetry scope; *exclusive* time is a span's
+duration minus the time attributed to its (locally measured) children, so
+summing exclusive times over a whole tree recovers the root's wall time
+exactly — the invariant the ``repro profile`` span table is built on.
+
+Spans merged from a concurrently running process (campaign pool workers) are
+flagged ``remote``: their durations overlap the host span's clock rather than
+consuming it, so they are excluded from the host's exclusive-time subtraction
+(and can legitimately sum to more than the host's wall time — that surplus is
+exactly the parallel speedup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One timed interval in the span tree."""
+
+    name: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    start_s: float = 0.0
+    duration_s: float = 0.0
+    children: List["SpanRecord"] = field(default_factory=list)
+    #: True when the span was measured in another process running concurrently
+    #: with its host span (campaign pool workers).
+    remote: bool = False
+
+    @property
+    def exclusive_s(self) -> float:
+        """Wall time spent in this span but not in any locally timed child."""
+        child_time = sum(child.duration_s for child in self.children if not child.remote)
+        return max(0.0, self.duration_s - child_time)
+
+    def walk(self) -> Iterator["SpanRecord"]:
+        """Depth-first iteration over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "exclusive_s": self.exclusive_s,
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.remote:
+            payload["remote"] = True
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SpanRecord":
+        return cls(
+            name=str(payload.get("name", "?")),
+            attrs=dict(payload.get("attrs", {})),
+            start_s=float(payload.get("start_s", 0.0)),
+            duration_s=float(payload.get("duration_s", 0.0)),
+            children=[cls.from_dict(child) for child in payload.get("children", [])],
+            remote=bool(payload.get("remote", False)),
+        )
+
+
+@dataclass
+class SpanAggregate:
+    """Per-name totals across a span forest (the profile table rows)."""
+
+    name: str
+    calls: int = 0
+    total_s: float = 0.0
+    exclusive_s: float = 0.0
+    max_s: float = 0.0
+    remote: bool = False
+
+    def add(self, span: SpanRecord) -> None:
+        self.calls += 1
+        self.total_s += span.duration_s
+        self.exclusive_s += span.exclusive_s
+        if span.duration_s > self.max_s:
+            self.max_s = span.duration_s
+        self.remote = self.remote or span.remote
+
+
+def aggregate_spans(roots: List[SpanRecord]) -> List[SpanAggregate]:
+    """Fold a span forest into per-name aggregates, largest exclusive first."""
+    by_name: Dict[str, SpanAggregate] = {}
+    for root in roots:
+        for span in root.walk():
+            aggregate = by_name.get(span.name)
+            if aggregate is None:
+                aggregate = by_name[span.name] = SpanAggregate(name=span.name)
+            aggregate.add(span)
+    return sorted(by_name.values(), key=lambda a: a.exclusive_s, reverse=True)
+
+
+def spans_from_snapshot(snapshot: Dict[str, Any]) -> List[SpanRecord]:
+    """Rehydrate the span forest from a telemetry snapshot dict."""
+    return [SpanRecord.from_dict(payload) for payload in snapshot.get("spans", [])]
+
+
+def total_wall_s(roots: List[SpanRecord]) -> float:
+    """Summed duration of the root spans (the profile table's 100% mark)."""
+    return sum(root.duration_s for root in roots)
+
+
+def find_span(roots: List[SpanRecord], name: str) -> Optional[SpanRecord]:
+    """First span with the given name in depth-first order, or None."""
+    for root in roots:
+        for span in root.walk():
+            if span.name == name:
+                return span
+    return None

@@ -49,6 +49,7 @@ except Exception:  # pragma: no cover - exercised only on scipy-less installs
 
 from ..config import CrossbarGeometry
 from ..errors import ConfigurationError
+from ..obs import get_telemetry
 from .coupling import CouplingModel
 
 Cell = Tuple[int, int]
@@ -248,6 +249,22 @@ def make_crosstalk_operator(
     back to the dense table.  Explicit ``"fft"``/``"stencil"`` backends raise
     if the model cannot state a kernel; ``"dense"`` always works.
     """
+    operator = _build_crosstalk_operator(coupling, backend, stencil_max_taps)
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.count(f"crosstalk.operator.built.{operator.backend}")
+        if isinstance(operator, FftCrosstalkOperator):
+            tel.gauge("crosstalk.fft_size", float(np.prod(operator._fft_shape)))
+        elif isinstance(operator, StencilCrosstalkOperator):
+            tel.gauge("crosstalk.stencil_taps", float(operator.taps))
+    return operator
+
+
+def _build_crosstalk_operator(
+    coupling: CouplingModel,
+    backend: str,
+    stencil_max_taps: int,
+) -> CrosstalkOperator:
     if backend not in OPERATOR_BACKENDS:
         raise ConfigurationError(
             f"unknown crosstalk backend {backend!r}; expected one of {OPERATOR_BACKENDS}"

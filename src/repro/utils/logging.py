@@ -22,12 +22,29 @@ def get_logger(name: Optional[str] = None) -> logging.Logger:
     return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
 
 
+_console_handler: Optional[logging.Handler] = None
+
+
 def configure_console_logging(level: int = logging.INFO) -> logging.Logger:
-    """Attach a simple console handler to the library logger (for examples/CLIs)."""
+    """Attach a simple console handler to the library logger (for examples/CLIs).
+
+    Idempotent: repeated calls — including with different levels — retune the
+    one managed handler instead of stacking duplicates, so every record is
+    still emitted exactly once.
+    """
+    global _console_handler
     logger = get_logger()
-    if not any(isinstance(handler, logging.StreamHandler) for handler in logger.handlers):
-        handler = logging.StreamHandler()
-        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s"))
-        logger.addHandler(handler)
+    if _console_handler is None or _console_handler not in logger.handlers:
+        existing = next(
+            (h for h in logger.handlers if isinstance(h, logging.StreamHandler)), None
+        )
+        if existing is None:
+            existing = logging.StreamHandler()
+            existing.setFormatter(
+                logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+            )
+            logger.addHandler(existing)
+        _console_handler = existing
+    _console_handler.setLevel(level)
     logger.setLevel(level)
     return logger

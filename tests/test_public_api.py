@@ -22,11 +22,12 @@ SUBPACKAGES = [
     "repro.defense",
     "repro.experiments",
     "repro.utils",
+    "repro.obs",
 ]
 
 
 def test_version_is_exposed():
-    assert repro.__version__ == "1.4.0"
+    assert repro.__version__ == "1.5.0"
 
 
 def test_top_level_exports_resolve():
