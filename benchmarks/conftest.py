@@ -7,9 +7,11 @@ section end to end.
 
 Benchmarks additionally persist machine-readable results through
 :func:`write_bench_json`, which writes ``BENCH_<name>.json`` next to this
-file (override the directory with ``REPRO_BENCH_JSON_DIR``).  The JSON files
+file (override the directory with ``REPRO_BENCH_JSON_DIR``) and appends the
+same record to ``BENCH_history.jsonl`` in that directory.  The JSON files
 carry timings plus the array sizes / sample counts they were measured at, so
-the perf trajectory is tracked across PRs.
+the perf trajectory is tracked across PRs — and ``repro obs check-bench``
+gates the latest history entry against ``BENCH_baselines.json``.
 
 Every benchmark runs with a fresh live telemetry (:mod:`repro.obs`), and
 :func:`write_bench_json` embeds the run's counter summary under a
@@ -27,7 +29,14 @@ from pathlib import Path
 
 import pytest
 
-from repro.obs import disable_telemetry, enable_telemetry, get_telemetry, telemetry_summary
+from repro.obs import (
+    HISTORY_FILENAME,
+    append_history,
+    disable_telemetry,
+    enable_telemetry,
+    get_telemetry,
+    telemetry_summary,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -73,4 +82,7 @@ def write_bench_json(name: str, payload: dict) -> Path:
         record["telemetry"] = telemetry_summary(telemetry.snapshot())
     path = directory / f"BENCH_{name}.json"
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    # The snapshot file is the latest point; the history line is the
+    # trajectory `repro obs check-bench` gates against.
+    append_history(record, directory / HISTORY_FILENAME)
     return path

@@ -13,7 +13,13 @@ Subcommands::
     repro mc map SPEC.json [--workers N] [--cache DIR] [--save DIR] [--json]
                            [--adaptive] [--target-ci H] [--budget N]
                            [--threshold P] [--batch-size N] [--point-max N]
-    repro profile [--output OUT.json] CMD...
+    repro profile [--output OUT.json] [--top N] [--sort total|excl] CMD...
+    repro obs runs [--limit N] [--json]
+    repro obs show RUN [--json]
+    repro obs diff RUN_A RUN_B [--json]
+    repro obs top RUN [--once] [--poll S] [--timeout S]
+    repro obs export RUN [--output OUT.prom]
+    repro obs check-bench [--bench-dir DIR] [--baselines FILE] [--json]
     repro version
 
 ``run-fig`` regenerates one paper figure and prints its table (figures 3a-3d
@@ -21,8 +27,9 @@ execute through the campaign engine and accept ``--workers``/``--cache``);
 ``campaign run`` executes an arbitrary sweep spec through the worker pool
 with the result cache (``--shard-size`` streams very large sweeps through
 the cache in bounded-memory shards), and ``campaign status`` reports how
-much of a spec is already answered by the cache without computing anything.
-``mc run`` evaluates one Monte-Carlo cell population from a
+much of a spec is already answered by the cache without computing anything
+(``--follow`` instead tails the live heartbeat of a run executing in another
+process).  ``mc run`` evaluates one Monte-Carlo cell population from a
 ``kind="montecarlo"`` spec (``--export-cells`` dumps the per-cell sampled
 parameters and outcomes as npz for offline analysis; ``--show-distributions``
 prints the provenance of the spec's variability sigmas instead of running);
@@ -36,6 +43,15 @@ flame-style span table plus counter/histogram report afterwards
 (``--output`` also writes the raw snapshot and a reproducibility manifest
 as JSON); ``campaign run``, ``mc run`` and ``mc map`` additionally accept
 ``--telemetry OUT.json`` to capture the same snapshot without the report.
+
+Every ``campaign run`` / ``mc run`` / ``mc map`` / ``profile`` invocation is
+additionally recorded in the run ledger under the obs dir (``--obs-dir``,
+``$REPRO_OBS_DIR``, default ``.repro-obs``; ``--no-obs`` skips it) together
+with a live heartbeat file a concurrent process can tail.  The ``repro obs``
+group reads that ledger: ``runs`` lists recorded invocations, ``show``
+renders one snapshot, ``diff`` reports counter/gauge/span deltas between two
+runs, ``top`` tails a running job, ``export`` emits OpenMetrics text, and
+``check-bench`` gates the benchmark trajectory against committed baselines.
 """
 
 from __future__ import annotations
@@ -43,15 +59,44 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
-from ..obs import Telemetry, build_manifest, render_report, telemetry_capture, write_snapshot
+from ..obs import (
+    BASELINES_FILENAME,
+    DEFAULT_OBS_DIR,
+    OBS_DIR_ENV,
+    HeartbeatWriter,
+    RunLedger,
+    Telemetry,
+    build_manifest,
+    check_bench,
+    diff_snapshots,
+    follow_heartbeat,
+    gate_passed,
+    heartbeat_scope,
+    load_baselines,
+    load_bench_records,
+    new_run_id,
+    read_heartbeat,
+    render_check_report,
+    render_diff,
+    render_heartbeat,
+    render_openmetrics,
+    render_report,
+    render_runs_table,
+    telemetry_capture,
+    write_snapshot,
+)
+from ..utils.logging import get_logger
 from .aggregate import summarise, to_experiment_result
 from .cache import ResultCache
 from .runner import CampaignRunner
 from .spec import CampaignSpec
+
+logger = get_logger("campaign.cli")
 
 #: Default on-disk cache used by ``campaign run`` unless --no-cache is given.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -109,11 +154,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--save", metavar="DIR", help="write the aggregated CSV/JSON exports into DIR")
     run.add_argument("--json", action="store_true", help="print the full report as JSON instead of a table")
     _add_telemetry_flag(run)
+    _add_obs_flags(run)
     run.set_defaults(handler=_cmd_campaign_run)
 
     status = campaign_sub.add_parser("status", help="report cache coverage of a spec")
     status.add_argument("spec", help="path to a CampaignSpec JSON file")
     status.add_argument("--cache", metavar="DIR", default=None, help=f"cache directory (default {DEFAULT_CACHE_DIR})")
+    status.add_argument(
+        "--shard-size", type=int, default=None, metavar="N",
+        help="report per-shard coverage at N points per shard (overrides the spec)",
+    )
+    status.add_argument(
+        "--follow", action="store_true",
+        help="tail the live heartbeat of a run of this spec executing in another process",
+    )
+    status.add_argument("--poll", type=float, default=0.1, metavar="S", help="heartbeat poll interval (default 0.1s)")
+    status.add_argument(
+        "--timeout", type=float, default=60.0, metavar="S",
+        help="give up after S seconds without a (new) heartbeat (default 60)",
+    )
+    _add_obs_dir_flag(status)
     status.set_defaults(handler=_cmd_campaign_status)
 
     mc = subparsers.add_parser("mc", help="Monte-Carlo variability studies")
@@ -143,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     mc_run.add_argument("--save", metavar="DIR", help="write the population CSV/JSON exports into DIR")
     mc_run.add_argument("--json", action="store_true", help="print the summary as JSON instead of a table")
     _add_telemetry_flag(mc_run)
+    _add_obs_flags(mc_run)
     mc_run.set_defaults(handler=_cmd_mc_run)
 
     mc_map = mc_sub.add_parser("map", help="flip-probability map over a 2-D parameter plane")
@@ -176,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
     mc_map.add_argument("--save", metavar="DIR", help="write the map CSV/JSON exports into DIR")
     mc_map.add_argument("--json", action="store_true", help="print the per-point records as JSON")
     _add_telemetry_flag(mc_map)
+    _add_obs_flags(mc_map)
     mc_map.set_defaults(handler=_cmd_mc_map)
 
     profile = subparsers.add_parser(
@@ -187,10 +249,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the raw telemetry snapshot plus a reproducibility manifest as JSON",
     )
     profile.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="keep only the N largest span groups per sibling level of the table",
+    )
+    profile.add_argument(
+        "--sort", choices=("total", "excl"), default="total",
+        help="span-table sibling order: total or exclusive time (default total)",
+    )
+    _add_obs_flags(profile)
+    profile.add_argument(
         "cmd", nargs=argparse.REMAINDER,
         help="the repro command to profile, e.g. `repro profile mc run SPEC.json`",
     )
     profile.set_defaults(handler=_cmd_profile)
+
+    obs = subparsers.add_parser(
+        "obs",
+        help="cross-run observability: run ledger, live monitoring, metrics export, bench gate",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_runs = obs_sub.add_parser("runs", help="list the recorded runs in the ledger")
+    obs_runs.add_argument("--limit", type=int, default=20, metavar="N", help="show the N most recent runs (default 20)")
+    obs_runs.add_argument("--json", action="store_true", help="print the index entries as JSON")
+    _add_obs_dir_flag(obs_runs)
+    obs_runs.set_defaults(handler=_cmd_obs_runs)
+
+    obs_show = obs_sub.add_parser("show", help="render one recorded run's telemetry snapshot")
+    obs_show.add_argument("run", help="run id, unique prefix, or `latest`/`latest~N`")
+    obs_show.add_argument("--json", action="store_true", help="print the raw persisted payload as JSON")
+    _add_obs_dir_flag(obs_show)
+    obs_show.set_defaults(handler=_cmd_obs_show)
+
+    obs_diff = obs_sub.add_parser("diff", help="counter/gauge/span deltas between two recorded runs")
+    obs_diff.add_argument("run_a", help="baseline run reference")
+    obs_diff.add_argument("run_b", help="comparison run reference")
+    obs_diff.add_argument("--json", action="store_true", help="print the structured diff as JSON")
+    _add_obs_dir_flag(obs_diff)
+    obs_diff.set_defaults(handler=_cmd_obs_diff)
+
+    obs_top = obs_sub.add_parser("top", help="tail the live heartbeat of a running job")
+    obs_top.add_argument("run", help="run id, unique prefix, or `latest`")
+    obs_top.add_argument("--once", action="store_true", help="print the current state and exit")
+    obs_top.add_argument("--poll", type=float, default=0.1, metavar="S", help="poll interval (default 0.1s)")
+    obs_top.add_argument(
+        "--timeout", type=float, default=60.0, metavar="S",
+        help="give up after S seconds without a new heartbeat (default 60)",
+    )
+    _add_obs_dir_flag(obs_top)
+    obs_top.set_defaults(handler=_cmd_obs_top)
+
+    obs_export = obs_sub.add_parser(
+        "export", help="render a recorded run's snapshot as OpenMetrics/Prometheus text"
+    )
+    obs_export.add_argument("run", help="run id, unique prefix, or `latest`/`latest~N`")
+    obs_export.add_argument("--output", metavar="OUT.prom", default=None, help="write to a file instead of stdout")
+    _add_obs_dir_flag(obs_export)
+    obs_export.set_defaults(handler=_cmd_obs_export)
+
+    obs_check = obs_sub.add_parser(
+        "check-bench", help="gate the benchmark trajectory against committed baselines"
+    )
+    obs_check.add_argument(
+        "--bench-dir", metavar="DIR", default="benchmarks",
+        help="directory holding BENCH_history.jsonl / BENCH_*.json (default benchmarks/)",
+    )
+    obs_check.add_argument(
+        "--baselines", metavar="FILE", default=None,
+        help=f"baselines file (default <bench-dir>/{BASELINES_FILENAME})",
+    )
+    obs_check.add_argument("--json", action="store_true", help="print the check report as JSON")
+    obs_check.set_defaults(handler=_cmd_obs_check_bench)
 
     version = subparsers.add_parser("version", help="print the library version")
     version.set_defaults(handler=_cmd_version)
@@ -201,6 +330,21 @@ def _add_telemetry_flag(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--telemetry", metavar="OUT.json", default=None,
         help="capture a telemetry snapshot of this run and write it (with a manifest) as JSON",
+    )
+
+
+def _add_obs_dir_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--obs-dir", metavar="DIR", default=None,
+        help=f"obs directory (default ${OBS_DIR_ENV} or {DEFAULT_OBS_DIR})",
+    )
+
+
+def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
+    _add_obs_dir_flag(subparser)
+    subparser.add_argument(
+        "--no-obs", action="store_true",
+        help="skip run-ledger recording and the live heartbeat for this invocation",
     )
 
 
@@ -228,7 +372,7 @@ def _open_cache(cache_dir: Optional[str], disabled: bool = False) -> Optional[Re
 def _command_label(args: argparse.Namespace) -> str:
     """Dotted span label of a parsed command, e.g. ``mc.run``."""
     parts = [args.command]
-    for attr in ("campaign_command", "mc_command"):
+    for attr in ("campaign_command", "mc_command", "obs_command"):
         sub = getattr(args, attr, None)
         if sub:
             parts.append(sub)
@@ -240,17 +384,103 @@ def _snapshot_payload(snapshot: Dict[str, Any]) -> Dict[str, Any]:
     return {**snapshot, "manifest": build_manifest(telemetry_snapshot=snapshot)}
 
 
-def _run_with_telemetry(args: argparse.Namespace) -> int:
-    """Dispatch a parsed command, honouring its ``--telemetry OUT.json`` flag."""
-    path = getattr(args, "telemetry", None)
-    if path is None:
+def _peek_spec_name(spec_path: Optional[str]) -> Optional[str]:
+    """The spec's name without full validation (for heartbeat/ledger labels)."""
+    if not spec_path:
+        return None
+    try:
+        payload = json.loads(Path(spec_path).read_text(encoding="utf-8"))
+        name = payload.get("name")
+        return str(name) if name else None
+    except (OSError, ValueError, AttributeError):
+        return None
+
+
+def _run_recorded(
+    args: argparse.Namespace,
+    label: str,
+    command: str,
+    spec_path: Optional[str],
+    dispatch: Callable[[], int],
+) -> Tuple[int, Dict[str, Any]]:
+    """Run one CLI invocation under live telemetry, heartbeat, and the ledger.
+
+    Telemetry is always captured (the snapshot is returned either way); the
+    run ledger and the live heartbeat are skipped under ``--no-obs``.  Ledger
+    recording is silent on stdout — failures to persist degrade to debug
+    logging, never to breaking the command.  Errors are recorded too: the
+    handler's exception propagates, but the ledger keeps the partial snapshot
+    with status ``error`` and the heartbeat terminates as ``failed``.
+    """
+    ledger: Optional[RunLedger] = None
+    heartbeat: Optional[HeartbeatWriter] = None
+    run_id = new_run_id()
+    spec_name = _peek_spec_name(spec_path)
+    if not getattr(args, "no_obs", False):
+        try:
+            ledger = RunLedger(getattr(args, "obs_dir", None))
+            heartbeat = HeartbeatWriter(
+                ledger.live_dir / f"{run_id}.json",
+                run_id=run_id,
+                label=label,
+                spec_name=spec_name,
+            )
+        except OSError as exc:
+            logger.debug("obs recording unavailable: %s", exc)
+            ledger = heartbeat = None
+    telemetry = Telemetry()
+    started = time.time()
+    code: Optional[int] = None
+    try:
+        with telemetry_capture(telemetry):
+            with telemetry.span(f"cli.{label}"):
+                if heartbeat is not None:
+                    with heartbeat_scope(heartbeat):
+                        code = dispatch()
+                else:
+                    code = dispatch()
+    finally:
+        snapshot = telemetry.snapshot()
+        status = "ok" if code == 0 else "error"
+        if heartbeat is not None:
+            heartbeat.finish("done" if status == "ok" else "failed")
+        if ledger is not None:
+            try:
+                entry = ledger.record(
+                    command,
+                    snapshot,
+                    run_id=run_id,
+                    label=label,
+                    spec_name=spec_name,
+                    status=status,
+                    started_unix_s=started,
+                    manifest=build_manifest(telemetry_snapshot=snapshot),
+                )
+                logger.debug("recorded run %s in %s", entry.run_id, ledger.root)
+            except OSError as exc:
+                logger.debug("obs ledger recording failed: %s", exc)
+    return code, snapshot
+
+
+def _run_with_telemetry(args: argparse.Namespace, argv: Optional[List[str]] = None) -> int:
+    """Dispatch a parsed command; recordable ones go through the run ledger.
+
+    Commands carrying the ``--telemetry`` flag (``campaign run``, ``mc run``,
+    ``mc map``) always run under live telemetry now that every invocation is
+    ledger-recorded; the flag still controls whether the snapshot is *also*
+    written to an explicit path.  ``profile`` does its own recording; every
+    other command dispatches directly.
+    """
+    if not hasattr(args, "telemetry"):
         return args.handler(args)
-    with telemetry_capture(Telemetry()) as tel:
-        with tel.span(f"cli.{_command_label(args)}"):
-            code = args.handler(args)
-        snapshot = tel.snapshot()
-    write_snapshot(path, _snapshot_payload(snapshot))
-    print(f"wrote telemetry snapshot to {path}")
+    label = _command_label(args)
+    command = "repro " + " ".join(str(arg) for arg in argv) if argv else "repro " + label.replace(".", " ")
+    code, snapshot = _run_recorded(
+        args, label, command, getattr(args, "spec", None), lambda: args.handler(args)
+    )
+    if args.telemetry:
+        write_snapshot(args.telemetry, _snapshot_payload(snapshot))
+        print(f"wrote telemetry snapshot to {args.telemetry}")
     return code
 
 
@@ -339,6 +569,12 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
     spec = _load_spec(args.spec)
+    if args.follow:
+        return _follow_spec_heartbeat(args, spec)
+    if args.shard_size is not None:
+        if args.shard_size < 0:
+            raise ReproError("--shard-size must be non-negative (0 = no sharding)")
+        spec.shard_size = args.shard_size
     cache = _open_cache(args.cache)
     runner = CampaignRunner(spec, cache=cache)
     status = runner.status()
@@ -346,10 +582,54 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         f"campaign {status['spec_name']!r}: {status['cached']}/{status['total']} points cached, "
         f"{status['missing']} to compute"
     )
+    if "shards" in status:
+        print(f"  shards ({status['shard_size']} points each):")
+        shards = status["shards"]
+        for shard in shards[:20]:
+            marker = "complete" if shard["cached"] == shard["total"] else "partial"
+            print(
+                f"    shard {shard['shard']:>4}: {shard['cached']}/{shard['total']} cached ({marker})"
+            )
+        if len(shards) > 20:
+            print(f"    ... and {len(shards) - 20} more shards")
     for label in status["missing_points"][:10]:
         print(f"  missing: {label}")
     if status["missing"] > 10:
         print(f"  ... and {status['missing'] - 10} more")
+    return 0
+
+
+def _follow_spec_heartbeat(args: argparse.Namespace, spec: CampaignSpec) -> int:
+    """Tail the heartbeat of a run of ``spec`` executing in another process.
+
+    Waits (up to ``--timeout``) for a heartbeat whose ``spec_name`` matches,
+    preferring a currently-running one, then prints one progress line per new
+    heartbeat sequence number until the run terminates.
+    """
+    live_dir = RunLedger(getattr(args, "obs_dir", None)).live_dir
+    path: Optional[Path] = None
+    deadline = time.monotonic() + args.timeout
+    while time.monotonic() < deadline:
+        candidates = []
+        if live_dir.is_dir():
+            for candidate in live_dir.glob("*.json"):
+                state = read_heartbeat(candidate)
+                if state is not None and state.get("spec_name") == spec.name:
+                    candidates.append(
+                        (state.get("status") == "running", state.get("started_unix_s", 0.0), candidate)
+                    )
+        if candidates:
+            # Prefer a currently-running heartbeat; otherwise show the most
+            # recent finished one (its terminal state prints once).
+            running = [entry for entry in candidates if entry[0]]
+            path = max(running or candidates, key=lambda entry: entry[1])[2]
+            break
+        time.sleep(args.poll)
+    if path is None:
+        print(f"no live run of spec {spec.name!r} found under {live_dir}")
+        return 1
+    for state in follow_heartbeat(path, poll_s=args.poll, timeout_s=args.timeout):
+        print(render_heartbeat(state), flush=True)
     return 0
 
 
@@ -575,16 +855,132 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if getattr(inner, "telemetry", None):
         print("note: --telemetry is redundant under `repro profile`; ignored")
         inner.telemetry = None
-    with telemetry_capture(Telemetry()) as tel:
-        with tel.span(f"cli.{_command_label(inner)}"):
-            code = inner.handler(inner)
-        snapshot = tel.snapshot()
+    # Recording happens here, at the invocation level; the inner handler is
+    # dispatched directly so a profiled campaign is not double-recorded.
+    code, snapshot = _run_recorded(
+        args,
+        _command_label(inner),
+        "repro profile " + " ".join(cmd),
+        getattr(inner, "spec", None),
+        lambda: inner.handler(inner),
+    )
     print()
-    print(render_report(snapshot))
+    print(render_report(snapshot, sort=args.sort, top=args.top))
     if args.output:
         write_snapshot(args.output, _snapshot_payload(snapshot))
         print(f"wrote telemetry snapshot to {args.output}")
     return code
+
+
+# ----------------------------------------------------------------------
+# obs subcommands
+# ----------------------------------------------------------------------
+
+
+def _open_ledger(args: argparse.Namespace) -> RunLedger:
+    return RunLedger(getattr(args, "obs_dir", None))
+
+
+def _cmd_obs_runs(args: argparse.Namespace) -> int:
+    ledger = _open_ledger(args)
+    entries = ledger.entries()
+    if args.json:
+        shown = entries[-args.limit:] if args.limit and args.limit > 0 else entries
+        print(json.dumps([entry.to_dict() for entry in shown], indent=2, default=str))
+    else:
+        print(render_runs_table(entries, limit=args.limit))
+    return 0
+
+
+def _cmd_obs_show(args: argparse.Namespace) -> int:
+    ledger = _open_ledger(args)
+    payload = ledger.load_snapshot(args.run)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return 0
+    print(
+        f"run {payload.get('run_id', args.run)}: {payload.get('command', '?')} "
+        f"[{payload.get('status', '?')}] in {float(payload.get('duration_s', 0.0)):.2f}s"
+    )
+    print()
+    print(render_report(payload))
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    ledger = _open_ledger(args)
+    entry_a = ledger.resolve(args.run_a)
+    entry_b = ledger.resolve(args.run_b)
+    diff = diff_snapshots(ledger.load_snapshot(entry_a.run_id), ledger.load_snapshot(entry_b.run_id))
+    if args.json:
+        print(json.dumps({"run_a": entry_a.run_id, "run_b": entry_b.run_id, "diff": diff},
+                         indent=2, default=str))
+    else:
+        print(render_diff(diff, run_a=entry_a.run_id, run_b=entry_b.run_id))
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    ledger = _open_ledger(args)
+    live_dir = ledger.live_dir
+    if not live_dir.is_dir():
+        raise ReproError(f"no live heartbeats under {live_dir}")
+    paths = sorted(live_dir.glob("*.json"))
+    if not paths:
+        raise ReproError(f"no live heartbeats under {live_dir}")
+    if args.run == "latest":
+        path = max(paths, key=lambda p: (read_heartbeat(p) or {}).get("updated_unix_s", 0.0))
+    else:
+        matches = [p for p in paths if p.stem == args.run] or [
+            p for p in paths if p.stem.startswith(args.run)
+        ]
+        if not matches:
+            raise ReproError(f"no heartbeat matches {args.run!r} under {live_dir}")
+        if len(matches) > 1:
+            raise ReproError(
+                f"heartbeat reference {args.run!r} is ambiguous: "
+                f"matches {sorted(p.stem for p in matches)[:5]}"
+            )
+        path = matches[0]
+    if args.once:
+        state = read_heartbeat(path)
+        if state is None:
+            raise ReproError(f"heartbeat {path} is unreadable")
+        print(render_heartbeat(state))
+        return 0
+    for state in follow_heartbeat(path, poll_s=args.poll, timeout_s=args.timeout):
+        print(render_heartbeat(state), flush=True)
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    ledger = _open_ledger(args)
+    text = render_openmetrics(ledger.load_snapshot(args.run))
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        print(f"wrote OpenMetrics exposition to {path}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_obs_check_bench(args: argparse.Namespace) -> int:
+    bench_dir = Path(args.bench_dir)
+    baselines_path = Path(args.baselines) if args.baselines else bench_dir / BASELINES_FILENAME
+    baselines = load_baselines(baselines_path)
+    records = load_bench_records(bench_dir)
+    results = check_bench(records, baselines)
+    passed = gate_passed(results)
+    if args.json:
+        print(json.dumps({"passed": passed, "checks": [r.to_dict() for r in results]},
+                         indent=2, default=str))
+    else:
+        print(render_check_report(results))
+        print()
+        print("bench gate: PASS" if passed else "bench gate: FAIL")
+    return 0 if passed else 1
 
 
 def _cmd_version(args: argparse.Namespace) -> int:
@@ -599,7 +995,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return _run_with_telemetry(args)
+        return _run_with_telemetry(args, list(argv) if argv is not None else sys.argv[1:])
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

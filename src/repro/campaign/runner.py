@@ -23,7 +23,7 @@ from ..attack.neurohammer import AttackResult, NeuroHammer
 from ..circuit.crossbar import CrossbarArray
 from ..config import AttackConfig, SimulationConfig
 from ..errors import CampaignError
-from ..obs import Telemetry, get_telemetry, telemetry_capture, telemetry_enabled
+from ..obs import Telemetry, get_heartbeat, get_telemetry, telemetry_capture, telemetry_enabled
 from ..utils.logging import get_logger
 from .cache import ResultCache
 from .spec import CampaignPoint, CampaignSpec
@@ -302,8 +302,12 @@ class CampaignRunner:
         """
         start = time.perf_counter()
         tel = get_telemetry()
+        hb = get_heartbeat()
         used_pool = self.workers >= 2 or self.timeout_s is not None
         records: Dict[int, JobRecord] = {}
+        cache_hits = failed = 0
+        if hb.enabled:
+            hb.update(spec_name=self.spec.name, total=self.spec.point_count(), workers=self.workers)
         with tel.span("campaign.run", spec=self.spec.name, workers=self.workers):
             for shard in self.spec.iter_shards():
                 pending: List[CampaignPoint] = []
@@ -313,9 +317,13 @@ class CampaignRunner:
                         records[point.index] = cached
                     else:
                         pending.append(point)
+                cache_hits += len(shard) - len(pending)
                 if tel.enabled:
                     tel.count("campaign.cache.hits", len(shard) - len(pending))
                     tel.count("campaign.cache.misses", len(pending))
+                if hb.enabled:
+                    # Shard boundary: cached points count as done immediately.
+                    hb.advance(len(shard) - len(pending), cached=cache_hits)
 
                 if pending:
                     logger.debug(
@@ -336,6 +344,10 @@ class CampaignRunner:
                     for record in computed:
                         records[record.index] = record
                         self._store(record)
+                        if not record.ok:
+                            failed += 1
+                        if hb.enabled:
+                            hb.advance(1, failed=failed)
                         if tel.enabled and record.telemetry is not None:
                             # Pool jobs ran concurrently with the parent span,
                             # so their time must not be subtracted from its
@@ -356,14 +368,19 @@ class CampaignRunner:
             records=[records[index] for index in sorted(records)],
             duration_s=wall,
         )
+        utilization: Optional[float] = None
+        if used_pool and wall > 0.0:
+            busy = sum(r.duration_s for r in report.records if not r.cached)
+            utilization = busy / (max(1, self.workers) * wall)
         if tel.enabled:
             tel.count("campaign.points", len(report.records))
-            if used_pool and wall > 0.0:
-                busy = sum(r.duration_s for r in report.records if not r.cached)
-                tel.gauge(
-                    "campaign.worker_utilization",
-                    busy / (max(1, self.workers) * wall),
-                )
+            if utilization is not None:
+                tel.gauge("campaign.worker_utilization", utilization)
+        if hb.enabled:
+            if utilization is not None:
+                hb.update(worker_utilization=utilization)
+            else:
+                hb.update()
         logger.debug("%s", report.summary())
         return report
 
@@ -377,15 +394,24 @@ class CampaignRunner:
         total = cached = 0
         cached_duration = 0.0
         missing_labels: List[str] = []
+        shard_size = self.spec.shard_size
+        shards: List[Dict[str, int]] = []
         for point in self.spec.iter_points():
             total += 1
-            record = self._lookup(point)
-            if record is not None:
+            hit = self._lookup(point)
+            if hit is not None:
                 cached += 1
-                cached_duration += record.duration_s
+                cached_duration += hit.duration_s
             else:
                 missing_labels.append(point.label())
-        return {
+            if shard_size:
+                shard_index = point.index // shard_size
+                while len(shards) <= shard_index:
+                    shards.append({"shard": len(shards), "total": 0, "cached": 0})
+                shards[shard_index]["total"] += 1
+                if hit is not None:
+                    shards[shard_index]["cached"] += 1
+        status: Dict[str, Any] = {
             "spec_name": self.spec.name,
             "total": total,
             "cached": cached,
@@ -393,6 +419,10 @@ class CampaignRunner:
             "missing": len(missing_labels),
             "missing_points": missing_labels,
         }
+        if shard_size:
+            status["shard_size"] = shard_size
+            status["shards"] = shards
+        return status
 
     # ------------------------------------------------------------------
     # execution paths

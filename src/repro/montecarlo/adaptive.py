@@ -26,7 +26,7 @@ import numpy as np
 
 from ..config import JsonConfig
 from ..errors import MonteCarloError
-from ..obs import get_telemetry
+from ..obs import get_heartbeat, get_telemetry
 from .estimators import (
     INTERVAL_METHODS,
     EstimatorState,
@@ -188,6 +188,16 @@ class AdaptiveSampler:
                 n=record.n_drawn,
                 estimate=record.estimate,
                 half_width=record.half_width,
+            )
+        hb = get_heartbeat()
+        if hb.enabled:
+            # Batch boundary: enough for a concurrent `status --follow` /
+            # `obs top` reader to see convergence progress live.
+            hb.update(
+                samples=self.n_drawn,
+                batches=self.next_batch_index,
+                estimate=record.estimate,
+                ci_half_width=record.half_width,
             )
         return record
 

@@ -38,7 +38,7 @@ from ..devices.kinetics import pulses_to_switch
 from ..devices.thermal import solve_operating_point
 from ..errors import ConvergenceError, DeviceModelError, MonteCarloError
 from ..circuit.drivers import write_bias
-from ..obs import build_manifest, get_telemetry
+from ..obs import build_manifest, get_heartbeat, get_telemetry
 from ..utils.logging import get_logger
 from .adaptive import AdaptiveConfig, AdaptiveOutcome, AdaptiveSampler
 from .estimators import (
@@ -967,8 +967,13 @@ class MonteCarloEngine:
             return env.scalar(path, index, nominal) if env is not None else float(nominal)
 
         tel = get_telemetry()
+        hb = get_heartbeat()
         with tel.span("mc.full_array.arrays", n_arrays=n_arrays):
             for index in range(n_arrays):
+                if hb.enabled:
+                    # Array boundary: each iteration is one whole-array
+                    # re-solve, the natural progress unit of this mode.
+                    hb.update(arrays_done=index, samples=index * n_victims)
                 if index:  # array 0's population is already bound from construction
                     model.set_population(
                         VectorizedJartVcm(cells, base=base, overrides=draw.array_overrides(index))
@@ -1035,6 +1040,8 @@ class MonteCarloEngine:
         if tel.enabled:
             tel.count("mc.arrays", n_arrays)
             tel.count("mc.invalid_arrays", n_arrays - int(array_valid.sum()))
+        if hb.enabled:
+            hb.update(arrays_done=n_arrays, samples=total)
 
         confidence, method = self._ci_settings()
         return FullArrayMonteCarloResult(

@@ -22,9 +22,51 @@ Enable it for a scope with :func:`telemetry_capture` (or globally with
 The ``repro profile <cmd...>`` CLI wraps any subcommand in exactly this
 pattern, and ``--telemetry out.json`` on ``mc run`` / ``mc map`` /
 ``campaign run`` writes the snapshot without changing the command's output.
+
+On top of the in-process layer sit the cross-run surfaces: the run ledger
+(:mod:`repro.obs.store` — every CLI run's snapshot persisted under the obs
+dir, ``repro obs runs/show/diff``), live heartbeat monitoring
+(:mod:`repro.obs.live` — ``campaign status --follow`` / ``repro obs top``),
+OpenMetrics export (:mod:`repro.obs.metrics_export`) and the benchmark
+regression gate (:mod:`repro.obs.regress` — ``repro obs check-bench``).
 """
 
+from .live import (
+    NULL_HEARTBEAT,
+    HeartbeatWriter,
+    NullHeartbeat,
+    find_heartbeats,
+    follow_heartbeat,
+    get_heartbeat,
+    heartbeat_scope,
+    read_heartbeat,
+    render_heartbeat,
+)
 from .manifest import MANIFEST_SCHEMA_VERSION, build_manifest, telemetry_summary
+from .metrics_export import metric_name, parse_openmetrics, render_openmetrics
+from .regress import (
+    BASELINES_FILENAME,
+    HISTORY_FILENAME,
+    CheckResult,
+    append_history,
+    check_bench,
+    gate_passed,
+    load_baselines,
+    load_bench_records,
+    load_history,
+    render_check_report,
+)
+from .store import (
+    DEFAULT_OBS_DIR,
+    OBS_DIR_ENV,
+    RunEntry,
+    RunLedger,
+    default_obs_dir,
+    diff_snapshots,
+    new_run_id,
+    render_diff,
+    render_runs_table,
+)
 from .spans import (
     SpanAggregate,
     SpanRecord,
@@ -55,24 +97,55 @@ from .telemetry import (
 )
 
 __all__ = [
+    "BASELINES_FILENAME",
     "BINS_PER_DECADE",
+    "DEFAULT_OBS_DIR",
+    "HISTORY_FILENAME",
     "MANIFEST_SCHEMA_VERSION",
     "MAX_EVENTS_PER_NAME",
+    "NULL_HEARTBEAT",
     "NULL_TELEMETRY",
+    "OBS_DIR_ENV",
+    "CheckResult",
+    "HeartbeatWriter",
     "LogHistogram",
+    "NullHeartbeat",
     "NullTelemetry",
+    "RunEntry",
+    "RunLedger",
     "SpanAggregate",
     "SpanRecord",
     "Telemetry",
     "aggregate_spans",
+    "append_history",
     "build_manifest",
+    "check_bench",
+    "default_obs_dir",
+    "diff_snapshots",
     "disable_telemetry",
     "enable_telemetry",
+    "find_heartbeats",
     "find_span",
+    "follow_heartbeat",
+    "gate_passed",
+    "get_heartbeat",
     "get_telemetry",
+    "heartbeat_scope",
+    "load_baselines",
+    "load_bench_records",
+    "load_history",
+    "metric_name",
+    "new_run_id",
+    "parse_openmetrics",
+    "read_heartbeat",
     "render_aggregate_table",
+    "render_check_report",
+    "render_diff",
+    "render_heartbeat",
     "render_metrics",
+    "render_openmetrics",
     "render_report",
+    "render_runs_table",
     "render_span_table",
     "spans_from_snapshot",
     "telemetry_capture",

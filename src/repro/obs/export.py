@@ -31,14 +31,25 @@ def _format_seconds(value: float) -> str:
     return f"{value * 1e6:8.1f}us"
 
 
-def render_span_table(snapshot: Dict[str, Any], max_depth: Optional[int] = None) -> str:
+def render_span_table(
+    snapshot: Dict[str, Any],
+    max_depth: Optional[int] = None,
+    sort: str = "total",
+    top: Optional[int] = None,
+) -> str:
     """The flame-style span tree: one indented row per span occurrence.
 
     Sibling spans of the same name are coalesced into one row (calls > 1)
     so per-iteration spans do not flood the table; ``%wall`` is the span's
     total share of the root wall time, ``excl`` the time spent in the span
     itself and not in any locally timed child.
+
+    Sibling groups are emitted in deterministic order: by ``sort`` key
+    (``"total"`` or ``"excl"`` time, descending), name ascending as the
+    tie-break.  ``top`` keeps only the N largest groups per sibling level.
     """
+    if sort not in ("total", "excl"):
+        raise ValueError(f"sort must be 'total' or 'excl', not {sort!r}")
     roots = spans_from_snapshot(snapshot)
     if not roots:
         return "(no spans recorded)"
@@ -52,9 +63,19 @@ def render_span_table(snapshot: Dict[str, Any], max_depth: Optional[int] = None)
         groups: Dict[str, List[SpanRecord]] = {}
         for span in spans:
             groups.setdefault(span.name, []).append(span)
+        rows = []
         for name, group in groups.items():
             total = sum(s.duration_s for s in group)
             exclusive = sum(s.exclusive_s for s in group)
+            rows.append((name, group, total, exclusive))
+        key = (lambda row: (-row[2], row[0])) if sort == "total" else (lambda row: (-row[3], row[0]))
+        rows.sort(key=key)
+        if top is not None and top > 0 and len(rows) > top:
+            dropped = len(rows) - top
+            rows = rows[:top]
+        else:
+            dropped = 0
+        for name, group, total, exclusive in rows:
             label = ("  " * depth) + name + (" [remote]" if any(s.remote for s in group) else "")
             lines.append(
                 f"{label:<44} {len(group):>6} {_format_seconds(total)} "
@@ -62,6 +83,8 @@ def render_span_table(snapshot: Dict[str, Any], max_depth: Optional[int] = None)
             )
             children = [child for span in group for child in span.children]
             emit(children, depth + 1)
+        if dropped:
+            lines.append(("  " * depth) + f"... ({dropped} more)")
 
     emit(roots, 0)
     return "\n".join(lines)
@@ -109,10 +132,16 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
         for name in sorted(histograms):
             hist = histograms[name]
             if hist["count"]:
-                lines.append(
+                line = (
                     f"  {name:<42} n={hist['count']:<8} mean={hist['mean']:.4g} "
                     f"min={hist['min']:.4g} max={hist['max']:.4g}"
                 )
+                if hist.get("p50") is not None:
+                    line += (
+                        f" p50={hist['p50']:.4g} p90={hist.get('p90', 0.0):.4g} "
+                        f"p99={hist.get('p99', 0.0):.4g}"
+                    )
+                lines.append(line)
     events = snapshot.get("events", {})
     if events:
         lines.append("events:")
@@ -121,9 +150,13 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
     return "\n".join(lines) if lines else "(no metrics recorded)"
 
 
-def render_report(snapshot: Dict[str, Any]) -> str:
+def render_report(
+    snapshot: Dict[str, Any],
+    sort: str = "total",
+    top: Optional[int] = None,
+) -> str:
     """The full human-readable profile: span table plus metric listing."""
-    parts = [render_span_table(snapshot)]
+    parts = [render_span_table(snapshot, sort=sort, top=top)]
     aggregate = render_aggregate_table(snapshot)
     if aggregate != "(no spans recorded)":
         parts.append("")

@@ -1,0 +1,175 @@
+"""OpenMetrics / Prometheus text exposition for telemetry snapshots.
+
+Renders any snapshot (live or ledger-persisted) in the text format a
+Prometheus-compatible scraper ingests — the exporter the ROADMAP's
+``repro serve`` layer will sit behind.  Log-binned histograms become
+cumulative ``_bucket{le=...}`` samples; span forests are folded into
+per-name aggregates exposed as labelled counters.
+
+A minimal :func:`parse_openmetrics` is included so exports can be
+round-trip-verified (and so tests don't need a real Prometheus client).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Tuple
+
+from .spans import aggregate_spans, spans_from_snapshot
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, prefix: str = "repro_") -> str:
+    """A raw telemetry name as a valid OpenMetrics metric name."""
+    cleaned = _NAME_OK.sub("_", name.replace(".", "_"))
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return prefix + cleaned
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_openmetrics(snapshot: Dict[str, Any], prefix: str = "repro_") -> str:
+    """The snapshot as OpenMetrics text exposition (terminated by # EOF)."""
+    lines: List[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        family = metric_name(name, prefix)
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family}_total {_fmt(float(snapshot['counters'][name]))}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        family = metric_name(name, prefix)
+        gauge = snapshot["gauges"][name]
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_fmt(float(gauge.get('value', 0.0)))}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        family = metric_name(name, prefix)
+        hist = snapshot["histograms"][name]
+        lines.append(f"# TYPE {family} histogram")
+        # Log bins are half-open [low, high); a bucket's `le` upper bound is
+        # the bin's high edge.  Nonpositive observations sit below every
+        # positive edge, so they seed the cumulative count.
+        cumulative = int(hist.get("nonpositive", 0))
+        for _low, high, count in hist.get("bins", []):
+            cumulative += int(count)
+            lines.append(f'{family}_bucket{{le="{_fmt(float(high))}"}} {cumulative}')
+        lines.append(f'{family}_bucket{{le="+Inf"}} {int(hist.get("count", cumulative))}')
+        lines.append(f"{family}_sum {_fmt(float(hist.get('sum', 0.0)))}")
+        lines.append(f"{family}_count {int(hist.get('count', cumulative))}")
+
+    aggregates = aggregate_spans(spans_from_snapshot(snapshot))
+    if aggregates:
+        for family_suffix, doc in (
+            ("span_seconds", "Total wall time per span name"),
+            ("span_exclusive_seconds", "Exclusive wall time per span name"),
+            ("span_calls", "Number of calls per span name"),
+        ):
+            family = prefix + family_suffix
+            lines.append(f"# TYPE {family} counter")
+            for row in aggregates:
+                label = _escape_label(row.name)
+                value = {
+                    "span_seconds": row.total_s,
+                    "span_exclusive_seconds": row.exclusive_s,
+                    "span_calls": float(row.calls),
+                }[family_suffix]
+                lines.append(f'{family}_total{{span="{label}"}} {_fmt(value)}')
+
+    if "elapsed_s" in snapshot:
+        family = prefix + "elapsed_seconds"
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_fmt(float(snapshot['elapsed_s']))}")
+    if "open_spans" in snapshot:
+        family = prefix + "open_spans"
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {int(snapshot['open_spans'])}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# minimal parser (round-trip verification)
+# ----------------------------------------------------------------------
+
+_TYPE_RE = re.compile(r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<type>\w+)$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"')
+
+
+def _unescape_label(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_openmetrics(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse exposition text into ``{family: {type, samples}}``.
+
+    ``samples`` maps ``(sample_name, labels_tuple)`` to float value, where
+    ``labels_tuple`` is a sorted tuple of ``(key, value)`` pairs.  Raises
+    ValueError on malformed lines or a missing ``# EOF`` terminator, which
+    is what makes it useful as a round-trip check.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    current: str = ""
+    saw_eof = False
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ValueError("content after # EOF terminator")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        match = _TYPE_RE.match(line)
+        if match:
+            current = match.group("name")
+            families[current] = {"type": match.group("type"), "samples": {}}
+            continue
+        if line.startswith("#"):
+            continue  # HELP/UNIT lines are legal; we don't emit or need them
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"malformed sample line: {line!r}")
+        sample_name = match.group("name")
+        labels: List[Tuple[str, str]] = []
+        if match.group("labels"):
+            labels = [
+                (m.group("key"), _unescape_label(m.group("value")))
+                for m in _LABEL_RE.finditer(match.group("labels"))
+            ]
+        family = current if sample_name.startswith(current) and current else sample_name
+        if family not in families:
+            families[family] = {"type": "untyped", "samples": {}}
+        families[family]["samples"][(sample_name, tuple(sorted(labels)))] = _parse_value(
+            match.group("value")
+        )
+    if not saw_eof:
+        raise ValueError("exposition not terminated by # EOF")
+    return families

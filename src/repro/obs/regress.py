@@ -1,0 +1,271 @@
+"""Performance-regression gate over the benchmark trajectory.
+
+Benchmarks persist ``BENCH_<name>.json`` snapshots *and* append every record
+to ``BENCH_history.jsonl`` (see ``benchmarks/conftest.py``), giving the perf
+trajectory a history.  ``repro obs check-bench`` compares the latest record
+per benchmark against committed baselines with per-metric tolerance and
+exits non-zero on regression — the CI gate for hot-path slowdowns.
+
+Baselines file schema (``benchmarks/BENCH_baselines.json``)::
+
+    {
+      "default_tolerance": 0.25,
+      "metrics": [
+        {
+          "metric": "montecarlo.vectorized_s",     # <benchmark>.<dotted path>
+          "baseline": 0.067,
+          "direction": "lower",                    # lower|higher is better
+          "tolerance": 0.25,                       # optional, overrides default
+          "when": {"n_samples": 1000}              # optional record matcher
+        }
+      ]
+    }
+
+``when`` matches against top-level record keys, so smoke-configuration
+entries (CI shrinks problem sizes via env vars) and full-run entries can
+coexist with different baselines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import ReproError
+
+#: Trajectory file benchmarks append to, next to the BENCH_*.json snapshots.
+HISTORY_FILENAME = "BENCH_history.jsonl"
+
+#: Committed baselines consumed by ``repro obs check-bench``.
+BASELINES_FILENAME = "BENCH_baselines.json"
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def append_history(record: Dict[str, Any], path: Union[str, Path]) -> None:
+    """Append one benchmark record as a JSONL line (single O_APPEND write)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, sort_keys=True, default=str) + "\n"
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
+
+
+def load_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """All history records in append order; corrupt lines are skipped."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return []
+    records: List[Dict[str, Any]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(payload, dict):
+            records.append(payload)
+    return records
+
+
+def load_bench_records(bench_dir: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Latest record per benchmark from a bench dir.
+
+    Prefers the ``BENCH_history.jsonl`` trajectory; benchmarks present only
+    as ``BENCH_<name>.json`` snapshots (older runs) are read from those.
+    """
+    bench_dir = Path(bench_dir)
+    latest: Dict[str, Dict[str, Any]] = {}
+    for record in load_history(bench_dir / HISTORY_FILENAME):
+        name = record.get("benchmark")
+        if name:
+            latest[str(name)] = record
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        if path.name == BASELINES_FILENAME:
+            continue
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        name = record.get("benchmark") or path.stem[len("BENCH_"):]
+        if str(name) not in latest:
+            latest[str(name)] = record
+    return list(latest.values())
+
+
+def _dig(record: Dict[str, Any], dotted: str) -> Optional[float]:
+    node: Any = record
+    for part in dotted.split("."):
+        if isinstance(node, dict) and part in node:
+            node = node[part]
+        elif isinstance(node, list):
+            try:
+                node = node[int(part)]
+            except (ValueError, IndexError):
+                return None
+        else:
+            return None
+    try:
+        return float(node)
+    except (TypeError, ValueError):
+        return None
+
+
+def _matches(record: Dict[str, Any], when: Optional[Dict[str, Any]]) -> bool:
+    if not when:
+        return True
+    for key, expected in when.items():
+        if key not in record:
+            return False
+        actual = record[key]
+        if isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
+            if float(actual) != float(expected):
+                return False
+        elif actual != expected:
+            return False
+    return True
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one baseline check."""
+
+    metric: str
+    status: str  # "ok" | "fail" | "skipped" | "missing"
+    baseline: Optional[float] = None
+    actual: Optional[float] = None
+    limit: Optional[float] = None
+    direction: str = "lower"
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "status": self.status,
+            "baseline": self.baseline,
+            "actual": self.actual,
+            "limit": self.limit,
+            "direction": self.direction,
+            "detail": self.detail,
+        }
+
+
+def load_baselines(path: Union[str, Path]) -> Dict[str, Any]:
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ReproError(f"baselines file {path} is unreadable: {exc}") from exc
+    except ValueError as exc:
+        raise ReproError(f"baselines file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "metrics" not in payload:
+        raise ReproError(f"baselines file {path} must be an object with a 'metrics' list")
+    return payload
+
+
+def check_bench(
+    records: List[Dict[str, Any]],
+    baselines: Dict[str, Any],
+) -> List[CheckResult]:
+    """Check the latest bench records against committed baselines.
+
+    Each baseline's ``metric`` is ``<benchmark>.<dotted path into record>``.
+    A ``lower``-direction metric fails when the actual exceeds
+    ``baseline * (1 + tolerance)``; ``higher`` fails below
+    ``baseline * (1 - tolerance)``.
+    """
+    default_tol = float(baselines.get("default_tolerance", DEFAULT_TOLERANCE))
+    by_name = {str(record.get("benchmark")): record for record in records}
+    results: List[CheckResult] = []
+    for spec in baselines.get("metrics", []):
+        metric = str(spec.get("metric", ""))
+        bench_name, _, dotted = metric.partition(".")
+        direction = str(spec.get("direction", "lower"))
+        baseline = float(spec["baseline"])
+        tolerance = float(spec.get("tolerance", default_tol))
+        record = by_name.get(bench_name)
+        if record is None:
+            results.append(
+                CheckResult(metric, "missing", baseline=baseline, direction=direction,
+                            detail=f"no record for benchmark {bench_name!r}")
+            )
+            continue
+        if not _matches(record, spec.get("when")):
+            results.append(
+                CheckResult(metric, "skipped", baseline=baseline, direction=direction,
+                            detail="record does not match 'when' condition")
+            )
+            continue
+        actual = _dig(record, dotted)
+        if actual is None:
+            results.append(
+                CheckResult(metric, "missing", baseline=baseline, direction=direction,
+                            detail=f"path {dotted!r} absent from record")
+            )
+            continue
+        if direction == "higher":
+            limit = baseline * (1.0 - tolerance)
+            ok = actual >= limit
+        else:
+            limit = baseline * (1.0 + tolerance)
+            ok = actual <= limit
+        results.append(
+            CheckResult(
+                metric,
+                "ok" if ok else "fail",
+                baseline=baseline,
+                actual=actual,
+                limit=limit,
+                direction=direction,
+                detail="" if ok else (
+                    f"{actual:.6g} {'<' if direction == 'higher' else '>'} "
+                    f"allowed {limit:.6g} (baseline {baseline:.6g}, "
+                    f"tolerance {tolerance:.0%})"
+                ),
+            )
+        )
+    return results
+
+
+def gate_passed(results: List[CheckResult]) -> bool:
+    """True iff no check failed and at least one actually ran.
+
+    A gate that silently checks nothing (wrong dir, renamed benchmarks)
+    must fail rather than green-light CI.
+    """
+    checked = [r for r in results if r.status in ("ok", "fail")]
+    if not checked:
+        return False
+    return all(r.status == "ok" for r in checked)
+
+
+def render_check_report(results: List[CheckResult]) -> str:
+    if not results:
+        return "(no baselines configured)"
+    width = max(len(r.metric) for r in results)
+    lines = [f"{'metric':<{width}} {'status':<8} {'actual':>12} {'baseline':>12} {'limit':>12}"]
+    lines.append("-" * len(lines[0]))
+    for r in results:
+        actual = f"{r.actual:.6g}" if r.actual is not None else "-"
+        baseline = f"{r.baseline:.6g}" if r.baseline is not None else "-"
+        limit = f"{r.limit:.6g}" if r.limit is not None else "-"
+        lines.append(f"{r.metric:<{width}} {r.status:<8} {actual:>12} {baseline:>12} {limit:>12}")
+        if r.detail:
+            lines.append(f"{'':<{width}}   {r.detail}")
+    checked = sum(1 for r in results if r.status in ("ok", "fail"))
+    failed = sum(1 for r in results if r.status == "fail")
+    lines.append("")
+    lines.append(
+        f"{checked} checked, {failed} failed, "
+        f"{sum(1 for r in results if r.status == 'skipped')} skipped, "
+        f"{sum(1 for r in results if r.status == 'missing')} missing"
+    )
+    return "\n".join(lines)

@@ -14,6 +14,17 @@ from repro.devices import JartVcmModel, LinearIonDriftModel
 from repro.thermal import AnalyticCouplingModel
 
 
+@pytest.fixture(autouse=True)
+def _obs_dir_in_tmp(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test tmp dir.
+
+    CLI invocations now record every run under the obs dir; without this,
+    tests calling ``main()`` would litter ``.repro-obs`` into the repo
+    working directory.
+    """
+    monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "repro-obs"))
+
+
 @pytest.fixture(scope="session")
 def jart_model() -> JartVcmModel:
     """The default JART-style VCM model (stateless, safe to share)."""

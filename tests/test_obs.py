@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import logging
+import sys
 import time
 from pathlib import Path
 
@@ -274,13 +275,35 @@ class TestMergeSnapshot:
             time.sleep(0.005)
         host = Telemetry()
         with host.span("campaign.run") as run_span:
-            time.sleep(0.005)
+            # Sleep well past the worker's span: exclusive_s clamps at zero,
+            # so the host span must outlast the merged child even when the
+            # worker's sleep overshoots under scheduler load.
+            time.sleep(0.02)
             host.merge_snapshot(worker.snapshot(), remote=False)
         (job,) = run_span.children
         assert job.remote is False
         assert run_span.exclusive_s == pytest.approx(
             run_span.duration_s - job.duration_s
         )
+
+    def test_merge_path_respects_event_cap_dropping_oldest(self):
+        """Merging a large remote event series keeps only the newest entries."""
+        remote = Telemetry()
+        for index in range(MAX_EVENTS_PER_NAME):
+            remote.event("adaptive.batch", index=index)
+        wire = json.loads(json.dumps(remote.snapshot()))
+
+        host = Telemetry()
+        for index in range(100):
+            host.event("adaptive.batch", index=-1 - index)
+        host.merge_snapshot(wire, remote=True)
+        series = host.events["adaptive.batch"]
+        assert len(series) == MAX_EVENTS_PER_NAME
+        # The host's 100 pre-merge events were the oldest, so the cap dropped
+        # them (plus none of the remote tail): the merged series is exactly
+        # the remote run's events, newest-aligned.
+        assert series[0]["index"] == 0
+        assert series[-1]["index"] == MAX_EVENTS_PER_NAME - 1
 
     def test_multiprocessing_campaign_merge(self, tmp_path):
         """Pool workers' span trees and counters fold back into the parent."""
@@ -511,6 +534,15 @@ class TestManifest:
         assert manifest["telemetry"]["open_spans"] == 0
         assert manifest["telemetry"]["root_spans"] == ["root"]
         json.dumps(manifest)  # must serialise
+
+    def test_manifest_without_scipy(self, monkeypatch):
+        """A scipy-less install still builds a full manifest (scipy: null)."""
+        monkeypatch.setitem(sys.modules, "scipy", None)
+        manifest = build_manifest(seed=1)
+        assert manifest["versions"]["scipy"] is None
+        assert manifest["versions"]["numpy"]
+        assert manifest["versions"]["repro"]
+        json.dumps(manifest)  # must serialise with the null version
 
 
 class TestCliSurface:

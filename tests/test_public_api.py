@@ -27,7 +27,7 @@ SUBPACKAGES = [
 
 
 def test_version_is_exposed():
-    assert repro.__version__ == "1.5.0"
+    assert repro.__version__ == "1.6.0"
 
 
 def test_top_level_exports_resolve():
