@@ -40,8 +40,13 @@ from repro.obs import (
 
 
 @pytest.fixture(autouse=True)
-def bench_telemetry():
-    """A fresh live telemetry per benchmark; off again afterwards."""
+def bench_telemetry(monkeypatch):
+    """A fresh live telemetry per benchmark; off again afterwards.
+
+    Also strips any ambient ``REPRO_FAULTS`` plan so a chaos-testing shell
+    cannot inject faults into timing runs.
+    """
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
     telemetry = enable_telemetry()
     yield telemetry
     disable_telemetry()

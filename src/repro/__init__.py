@@ -74,7 +74,8 @@ from .config import (
     WireParameters,
 )
 from .devices import DeviceState, JartVcmModel, JartVcmParameters
-from .errors import CampaignError, MonteCarloError, ReproError
+from .errors import CampaignError, CampaignInterrupted, FaultInjectionError, MonteCarloError, ReproError
+from .faults import FaultPlan, RetryPolicy, graceful_shutdown, is_retryable, register_retryable
 from .montecarlo import (
     AdaptiveConfig,
     AdaptiveSampler,
@@ -104,7 +105,7 @@ from .thermal import (
     make_crosstalk_operator,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",
@@ -128,7 +129,14 @@ __all__ = [
     "extract_alpha_values",
     "ReproError",
     "CampaignError",
+    "CampaignInterrupted",
+    "FaultInjectionError",
     "MonteCarloError",
+    "FaultPlan",
+    "RetryPolicy",
+    "graceful_shutdown",
+    "is_retryable",
+    "register_retryable",
     "CampaignSpec",
     "SweepAxis",
     "CampaignRunner",

@@ -51,8 +51,12 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Return the cached payload for ``key``, or ``None`` on a miss.
 
-        A corrupt or unreadable entry counts as a miss so that a damaged
-        cache degrades to recomputation instead of failing the campaign.
+        A corrupt entry (unparseable, or not a JSON object) counts as a miss
+        so that a damaged cache degrades to recomputation instead of failing
+        the campaign — and it is quarantined: the file is renamed to
+        ``<key>.corrupt`` so the recomputed result can land cleanly, the
+        evidence survives for inspection, and every later lookup of the key
+        is a plain miss instead of a repeated parse failure.
         """
         path = self.path_for(key)
         try:
@@ -62,10 +66,21 @@ class ResultCache:
         try:
             payload = json.loads(text)
         except ValueError:
-            return None
+            payload = None
         if not isinstance(payload, dict):
+            self._quarantine(path)
             return None
         return payload
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (``.json`` → ``.corrupt``) and count it."""
+        with contextlib.suppress(OSError):
+            os.replace(path, path.with_suffix(".corrupt"))
+        from ..obs import get_telemetry
+
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("cache.corrupt_entries")
 
     def put(self, key: str, payload: Dict[str, Any]) -> Path:
         """Atomically store ``payload`` under ``key``; returns the entry path.
@@ -120,12 +135,13 @@ class ResultCache:
         return self.path_for(key).exists()
 
     def stats(self) -> Dict[str, Any]:
-        """Entry count and total size of the cache directory."""
+        """Entry count, total size, and quarantined-entry count of the cache."""
         paths = self._entry_paths()
         return {
             "root": str(self.root),
             "entries": len(paths),
             "bytes": sum(path.stat().st_size for path in paths),
+            "corrupt": len(list(self.root.glob("*.corrupt"))),
         }
 
     def __contains__(self, key: str) -> bool:

@@ -5,7 +5,8 @@ Subcommands::
     repro run-fig {2a,3a,3b,3c,3d} [--save DIR] [--chart] [--workers N] [--cache DIR]
     repro campaign run SPEC.json [--workers N] [--cache DIR] [--no-cache]
                                  [--timeout S] [--chunksize N] [--shard-size N]
-                                 [--save DIR] [--json]
+                                 [--retries N] [--retry-delay S] [--max-crashes N]
+                                 [--inject-faults SPEC] [--save DIR] [--json]
     repro campaign status SPEC.json [--cache DIR]
     repro mc run SPEC.json [--samples N] [--seed N] [--mode anchored|full_array]
                            [--scalar] [--rows N] [--export-cells OUT.npz]
@@ -29,7 +30,12 @@ with the result cache (``--shard-size`` streams very large sweeps through
 the cache in bounded-memory shards), and ``campaign status`` reports how
 much of a spec is already answered by the cache without computing anything
 (``--follow`` instead tails the live heartbeat of a run executing in another
-process).  ``mc run`` evaluates one Monte-Carlo cell population from a
+process).  ``campaign run`` is fault tolerant: transiently failing points are
+retried with seeded backoff (``--retries``/``--retry-delay``), a point that
+keeps killing its worker is quarantined after ``--max-crashes`` crashes, the
+first SIGINT/SIGTERM drains bookkeeping and exits 130 with every finished
+point cached, and ``--inject-faults`` arms the deterministic chaos harness
+(:mod:`repro.faults.inject`) used to test all of the above.  ``mc run`` evaluates one Monte-Carlo cell population from a
 ``kind="montecarlo"`` spec (``--export-cells`` dumps the per-cell sampled
 parameters and outcomes as npz for offline analysis; ``--show-distributions``
 prints the provenance of the spec's variability sigmas instead of running);
@@ -58,12 +64,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..errors import ReproError
+from ..errors import CampaignInterrupted, ReproError
+from ..faults import FAULTS_ENV, FaultPlan, RetryPolicy
 from ..obs import (
     BASELINES_FILENAME,
     DEFAULT_OBS_DIR,
@@ -87,6 +95,7 @@ from ..obs import (
     render_openmetrics,
     render_report,
     render_runs_table,
+    resilience_counts,
     telemetry_capture,
     write_snapshot,
 )
@@ -150,6 +159,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--shard-size", type=int, default=None, metavar="N",
         help="materialise and dispatch N points at a time (overrides the spec; 0 = all at once)",
+    )
+    run.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-execute a transiently failing point up to N times with seeded backoff (0 disables; default 2)",
+    )
+    run.add_argument(
+        "--retry-delay", type=float, default=0.05, metavar="S",
+        help="base backoff before the first retry; doubles per retry with seeded jitter (default 0.05s)",
+    )
+    run.add_argument(
+        "--max-crashes", type=int, default=3, metavar="N",
+        help="quarantine a point after it crashes its worker N times (default 3)",
+    )
+    run.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="chaos harness: seeded fault-injection spec, e.g. 'raise@1x2;kill@4x99;seed=7' "
+        "(see repro.faults.inject; equivalent to setting $REPRO_FAULTS)",
     )
     run.add_argument("--save", metavar="DIR", help="write the aggregated CSV/JSON exports into DIR")
     run.add_argument("--json", action="store_true", help="print the full report as JSON instead of a table")
@@ -431,6 +457,7 @@ def _run_recorded(
     telemetry = Telemetry()
     started = time.time()
     code: Optional[int] = None
+    interrupted = False
     try:
         with telemetry_capture(telemetry):
             with telemetry.span(f"cli.{label}"):
@@ -439,11 +466,22 @@ def _run_recorded(
                         code = dispatch()
                 else:
                     code = dispatch()
+    except CampaignInterrupted:
+        # A drained SIGINT/SIGTERM stop: completed work is cached, the run is
+        # resumable — record that distinctly from a genuine failure.
+        interrupted = True
+        raise
     finally:
         snapshot = telemetry.snapshot()
-        status = "ok" if code == 0 else "error"
+        if interrupted:
+            status = "interrupted"
+        else:
+            status = "ok" if code == 0 else "error"
         if heartbeat is not None:
-            heartbeat.finish("done" if status == "ok" else "failed")
+            if interrupted:
+                heartbeat.finish("interrupted")
+            else:
+                heartbeat.finish("done" if status == "ok" else "failed")
         if ledger is not None:
             try:
                 entry = ledger.record(
@@ -523,6 +561,15 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         if args.shard_size < 0:
             raise ReproError("--shard-size must be non-negative (0 = all at once)")
         spec.shard_size = args.shard_size
+    if args.retries < 0:
+        raise ReproError("--retries must be non-negative (0 disables retrying)")
+    retry = (
+        RetryPolicy(max_attempts=args.retries + 1, base_delay_s=args.retry_delay)
+        if args.retries
+        else None
+    )
+    if args.inject_faults:
+        FaultPlan.parse(args.inject_faults)  # reject a bad spec before any work runs
     cache = _open_cache(args.cache, disabled=args.no_cache)
     runner = CampaignRunner(
         spec,
@@ -530,8 +577,22 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         timeout_s=args.timeout,
         chunksize=args.chunksize,
+        retry=retry,
+        max_crashes=args.max_crashes,
     )
-    report = runner.run()
+    # The harness reads $REPRO_FAULTS so pool workers inherit the schedule;
+    # scope the flag's value to this run and restore whatever was there.
+    previous_faults = os.environ.get(FAULTS_ENV)
+    if args.inject_faults:
+        os.environ[FAULTS_ENV] = args.inject_faults
+    try:
+        report = runner.run()
+    finally:
+        if args.inject_faults:
+            if previous_faults is None:
+                os.environ.pop(FAULTS_ENV, None)
+            else:
+                os.environ[FAULTS_ENV] = previous_faults
     summary = summarise(report)
     result = to_experiment_result(spec, report) if not report.failed_records else None
 
@@ -539,13 +600,23 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         manifest = build_manifest(extra={"kind": "campaign", "spec": spec.name, "experiment": spec.experiment})
         print(
             json.dumps(
-                {"summary": summary, "report": report.to_dict(), "manifest": manifest},
+                {
+                    "summary": summary,
+                    "report": report.to_dict(),
+                    "resilience": runner.resilience,
+                    "manifest": manifest,
+                },
                 indent=2,
                 default=str,
             )
         )
     else:
         print(report.summary())
+        if any(runner.resilience.values()):
+            print(
+                "resilience: "
+                + " ".join(f"{key}={value}" for key, value in runner.resilience.items() if value)
+            )
         if result is not None and result.rows:
             print()
             print(result.to_table())
@@ -582,6 +653,24 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         f"campaign {status['spec_name']!r}: {status['cached']}/{status['total']} points cached, "
         f"{status['missing']} to compute"
     )
+    if cache is not None:
+        corrupt = cache.stats().get("corrupt", 0)
+        if corrupt:
+            print(f"  quarantined cache entries: {corrupt} (*.corrupt files under {cache.root})")
+    state = _latest_spec_heartbeat(args, spec.name)
+    if state is not None:
+        parts = [
+            f"{key}={int(state[key])}"
+            for key in ("retried", "crashed", "quarantined")
+            if state.get(key)
+        ]
+        if parts or state.get("status") == "interrupted":
+            line = f"  last run [{state.get('run_id', '?')}] {state.get('status', '?')}"
+            if parts:
+                line += ": " + " ".join(parts)
+            if state.get("status") == "interrupted":
+                line += " (completed points are cached; rerun to resume)"
+            print(line)
     if "shards" in status:
         print(f"  shards ({status['shard_size']} points each):")
         shards = status["shards"]
@@ -597,6 +686,24 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     if status["missing"] > 10:
         print(f"  ... and {status['missing'] - 10} more")
     return 0
+
+
+def _latest_spec_heartbeat(args: argparse.Namespace, spec_name: str) -> Optional[Dict[str, Any]]:
+    """The most recent heartbeat of this spec under the obs live dir, if any."""
+    try:
+        live_dir = RunLedger(getattr(args, "obs_dir", None)).live_dir
+    except (OSError, ReproError):
+        return None
+    if not live_dir.is_dir():
+        return None
+    best: Optional[Dict[str, Any]] = None
+    for candidate in live_dir.glob("*.json"):
+        state = read_heartbeat(candidate)
+        if state is None or state.get("spec_name") != spec_name:
+            continue
+        if best is None or state.get("started_unix_s", 0.0) > best.get("started_unix_s", 0.0):
+            best = state
+    return best
 
 
 def _follow_spec_heartbeat(args: argparse.Namespace, spec: CampaignSpec) -> int:
@@ -902,6 +1009,12 @@ def _cmd_obs_show(args: argparse.Namespace) -> int:
         f"run {payload.get('run_id', args.run)}: {payload.get('command', '?')} "
         f"[{payload.get('status', '?')}] in {float(payload.get('duration_s', 0.0)):.2f}s"
     )
+    resilience = resilience_counts(payload)
+    if any(resilience.values()):
+        print(
+            "resilience: "
+            + " ".join(f"{key}={value}" for key, value in resilience.items() if value)
+        )
     print()
     print(render_report(payload))
     return 0
@@ -996,6 +1109,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _run_with_telemetry(args, list(argv) if argv is not None else sys.argv[1:])
+    except CampaignInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        # Second signal (or an interrupt outside a graceful scope): the
+        # classic 128+SIGINT exit without a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -9,12 +9,24 @@ runs, never *what* it computes.
 Error handling happens inside the job function: an exception in one point is
 captured into its :class:`JobRecord` instead of tearing down the campaign,
 mirroring how hardware RowHammer harnesses keep a long sweep alive when a
-single configuration misbehaves.
+single configuration misbehaves.  On top of that the runner is fault
+tolerant (see :mod:`repro.faults`):
+
+* transient failures are retried per point under a seeded
+  :class:`~repro.faults.RetryPolicy` (exponential backoff + jitter);
+* a worker that dies (OOM kill, segfault, injected ``kill`` fault) is
+  detected through start sentinels plus pid liveness probes, the pool is
+  respawned, unfinished points are re-dispatched, and a point that keeps
+  killing its worker is quarantined with a ``status="crashed"`` record;
+* SIGINT/SIGTERM drain in-flight bookkeeping and raise
+  :class:`~repro.errors.CampaignInterrupted` — completed points are cached,
+  so the next run resumes where the interrupted one stopped.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -22,7 +34,17 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 from ..attack.neurohammer import AttackResult, NeuroHammer
 from ..circuit.crossbar import CrossbarArray
 from ..config import AttackConfig, SimulationConfig
-from ..errors import CampaignError
+from ..errors import CampaignError, CampaignInterrupted
+from ..faults import (
+    RetryPolicy,
+    ShutdownFlag,
+    corrupt_cache_entry,
+    fire_point_faults,
+    graceful_shutdown,
+    is_retryable,
+    set_current_attempt,
+    should_corrupt_cache,
+)
 from ..obs import Telemetry, get_heartbeat, get_telemetry, telemetry_capture, telemetry_enabled
 from ..utils.logging import get_logger
 from .cache import ResultCache
@@ -31,19 +53,79 @@ from .spec import CampaignPoint, CampaignSpec
 #: Payload handed to a (possibly remote) job function.
 JobPayload = Tuple[int, str, Dict[str, Any], Dict[str, Any]]
 
+#: Poll interval of the pool wait loop (sentinels, results, deadlines, pids).
+_POOL_POLL_S = 0.02
+
+#: Fresh resilience-counter template for one runner execution.
+_ZERO_RESILIENCE = {"retried": 0, "crashed": 0, "quarantined": 0, "pool_restarts": 0}
+
+#: How long the parent waits for results that crossed the pipe before a
+#: worker died to be delivered, before attributing the crash.
+_CRASH_DRAIN_S = 0.5
+
+
+def _latest_started_index(started: Dict[int, Tuple[int, float]], pid: int) -> Optional[int]:
+    """The most recently announced job of one worker pid (its true victim)."""
+    best: Optional[int] = None
+    best_t = float("-inf")
+    for index, (p, t_start) in started.items():
+        if p == pid and t_start > best_t:
+            best, best_t = index, t_start
+    return best
+
 logger = get_logger("campaign.runner")
 
+#: Worker-side start-sentinel queue, armed by :func:`_init_worker`; ``None``
+#: in the parent and on the serial path.
+_worker_start_queue: Optional[Any] = None
 
-def _init_worker(telemetry_on: bool) -> None:
-    """Pool initializer: arm a worker-local telemetry when the parent's is on.
+
+def _init_worker(telemetry_on: bool, start_queue: Optional[Any] = None) -> None:
+    """Pool initializer: arm worker-local telemetry and the start sentinel.
 
     The job payload tuple stays untouched (its content feeds the cache keys),
-    so the enable flag travels through the pool initializer instead.
+    so the telemetry flag and the sentinel queue travel through the pool
+    initializer instead.
+
+    Workers forked while the parent holds the graceful-shutdown scope inherit
+    its cooperative signal handlers, under which ``pool.terminate()``'s
+    SIGTERM would merely set a flag and never kill the worker.  Reset SIGTERM
+    to its default so teardown works, and ignore SIGINT so a terminal Ctrl-C
+    (delivered to the whole process group) interrupts only the parent, which
+    then drains and tears the pool down deliberately.
     """
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    if hasattr(signal, "SIGTERM"):
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    global _worker_start_queue
+    _worker_start_queue = start_queue
     if telemetry_on:
         from ..obs import enable_telemetry
 
         enable_telemetry()
+
+
+def _dispatch_job(job_fn: Callable[[JobPayload], "JobRecord"], payload: JobPayload, attempt: int) -> "JobRecord":
+    """Execute one job attempt, announcing the start to the parent first.
+
+    The start sentinel ``(point index, worker pid)`` is what lets the parent
+    attribute a dead worker to the point it was running and start that job's
+    timeout clock.  ``SimpleQueue.put`` is synchronous (no feeder thread), so
+    the sentinel survives even a SIGKILL landing right after it.  The attempt
+    number is parked in process-local fault-injection context so transient
+    (``x1``) injected faults stop firing once the point is retried.
+    """
+    if _worker_start_queue is not None:
+        _worker_start_queue.put((payload[0], os.getpid()))
+    set_current_attempt(attempt)
+    try:
+        record = job_fn(payload)
+    finally:
+        set_current_attempt(0)
+    record.attempts = attempt + 1
+    return record
 
 
 def attack_result_to_dict(result: AttackResult) -> Dict[str, Any]:
@@ -112,11 +194,11 @@ def execute_point(job: Dict[str, Any]) -> Dict[str, Any]:
 
 @dataclass
 class JobRecord:
-    """Outcome of one campaign point: a result, an error, or a timeout."""
+    """Outcome of one campaign point: a result, an error, a timeout or a crash."""
 
     index: int
     key: str
-    status: str  # "ok" | "error" | "timeout"
+    status: str  # "ok" | "error" | "timeout" | "crashed"
     overrides: Dict[str, Any] = field(default_factory=dict)
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
@@ -124,6 +206,12 @@ class JobRecord:
     cached: bool = False
     #: Telemetry snapshot of the job's own scope (when telemetry is active).
     telemetry: Optional[Dict[str, Any]] = None
+    #: Executions of this point in this run (retries and crash re-dispatches
+    #: included); 1 for a single clean execution.
+    attempts: int = 1
+    #: For error records: whether the captured exception classified as
+    #: transient (see :func:`repro.faults.is_retryable`).
+    retryable: bool = False
 
     @property
     def ok(self) -> bool:
@@ -139,7 +227,10 @@ class JobRecord:
             "error": self.error,
             "duration_s": self.duration_s,
             "cached": self.cached,
+            "attempts": self.attempts,
         }
+        if self.status == "error":
+            payload["retryable"] = self.retryable
         if self.telemetry is not None:
             payload["telemetry"] = self.telemetry
         return payload
@@ -166,6 +257,9 @@ def _execute_campaign_job(payload: JobPayload) -> JobRecord:
     index, key, job, overrides = payload
     start = time.perf_counter()
     try:
+        # Chaos harness hook: inert unless $REPRO_FAULTS is set.  Raised
+        # faults land in the except-clause like any real point failure.
+        fire_point_faults(index)
         result = execute_point(job)
     except Exception as exc:  # noqa: BLE001 — one bad point must not kill the sweep
         return JobRecord(
@@ -175,6 +269,7 @@ def _execute_campaign_job(payload: JobPayload) -> JobRecord:
             overrides=overrides,
             error=f"{type(exc).__name__}: {exc}",
             duration_s=time.perf_counter() - start,
+            retryable=is_retryable(exc),
         )
     return JobRecord(
         index=index,
@@ -218,22 +313,32 @@ class CampaignReport:
         return sum(record.duration_s for record in self.records)
 
     def counts(self) -> Dict[str, int]:
-        """Point counts per status plus cache hits."""
-        counts = {"total": len(self.records), "ok": 0, "error": 0, "timeout": 0}
+        """Point counts per status plus cache hits and re-executions."""
+        counts = {"total": len(self.records), "ok": 0, "error": 0, "timeout": 0, "crashed": 0}
         for record in self.records:
             counts[record.status] = counts.get(record.status, 0) + 1
         counts["cached"] = self.cached_count
+        # Re-executions beyond the first attempt: retries of transient
+        # failures plus crash re-dispatches.
+        counts["retried"] = sum(
+            max(0, record.attempts - 1) for record in self.records if not record.cached
+        )
         return counts
 
     def summary(self) -> str:
         """One-line human-readable digest."""
         counts = self.counts()
-        return (
+        line = (
             f"campaign {self.spec_name!r}: {counts['total']} points, "
             f"{counts['ok']} ok ({counts['cached']} cached), "
-            f"{counts['error']} errors, {counts['timeout']} timeouts "
-            f"in {self.duration_s:.2f}s (compute {self.compute_duration_s:.2f}s)"
+            f"{counts['error']} errors, {counts['timeout']} timeouts"
         )
+        if counts["crashed"]:
+            line += f", {counts['crashed']} crashed"
+        if counts["retried"]:
+            line += f", {counts['retried']} retried"
+        line += f" in {self.duration_s:.2f}s (compute {self.compute_duration_s:.2f}s)"
+        return line
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -255,13 +360,23 @@ class CampaignRunner:
     points are served from disk and only the missing ones are executed, which
     also makes interrupted campaigns resumable.
 
-    ``timeout_s`` bounds the wall-clock wait per job; a point that exceeds it
-    is recorded with status ``"timeout"`` and its pool is torn down so
-    stragglers cannot outlive the campaign.  Because a timeout can only be
-    enforced across a process boundary, setting ``timeout_s`` routes even a
-    ``workers=0`` run through a single-process pool.  ``chunksize`` batches
-    job dispatch on the no-timeout pool path only; with a timeout, jobs are
-    dispatched one at a time so each gets its own deadline.
+    ``timeout_s`` bounds the wall-clock compute per job (measured from the
+    job's start sentinel); a point that exceeds it is recorded with status
+    ``"timeout"`` and its pool is torn down so stragglers cannot outlive the
+    campaign.  Because a timeout can only be enforced across a process
+    boundary, setting ``timeout_s`` routes even a ``workers=0`` run through a
+    single-process pool.
+
+    ``retry`` applies a :class:`~repro.faults.RetryPolicy` to error records
+    whose exception classified as transient (solver non-convergence,
+    OS-level flakes, injected transient faults); retries re-dispatch after a
+    seeded backoff.  Timeouts are never retried — a hang is presumed
+    deterministic.  ``max_crashes`` bounds how many times a point may take a
+    worker down with it before it is quarantined with a ``"crashed"`` record.
+
+    ``chunksize`` is accepted for backward compatibility but jobs are now
+    dispatched individually so each one has its own start sentinel, deadline
+    and crash attribution.
     """
 
     def __init__(
@@ -272,6 +387,8 @@ class CampaignRunner:
         timeout_s: Optional[float] = None,
         chunksize: int = 1,
         job_fn: Callable[[JobPayload], JobRecord] = run_campaign_job,
+        retry: Optional[RetryPolicy] = None,
+        max_crashes: int = 3,
     ):
         if workers is None:
             workers = 0
@@ -281,12 +398,20 @@ class CampaignRunner:
             raise CampaignError("timeout_s must be positive")
         if chunksize < 1:
             raise CampaignError("chunksize must be >= 1")
+        if max_crashes < 1:
+            raise CampaignError("max_crashes must be >= 1")
         self.spec = spec
         self.cache = cache
         self.workers = workers
         self.timeout_s = timeout_s
         self.chunksize = chunksize
         self.job_fn = job_fn
+        self.retry = retry
+        self.max_crashes = max_crashes
+        #: Resilience counters of the most recent :meth:`run`.
+        self.resilience: Dict[str, int] = dict(_ZERO_RESILIENCE)
+        self._shutdown: Optional[ShutdownFlag] = None
+        self._used_pool = False
 
     # ------------------------------------------------------------------
 
@@ -299,67 +424,81 @@ class CampaignRunner:
         points executed and stored, then dropped before the next shard is
         materialised.  Without sharding there is exactly one shard, which is
         the original all-at-once behaviour.
+
+        On SIGINT/SIGTERM the run drains its bookkeeping (completed records
+        are stored and cached) and raises
+        :class:`~repro.errors.CampaignInterrupted`; a second signal aborts
+        immediately.
         """
         start = time.perf_counter()
         tel = get_telemetry()
         hb = get_heartbeat()
         used_pool = self.workers >= 2 or self.timeout_s is not None
+        self._used_pool = used_pool
+        self.resilience = dict(_ZERO_RESILIENCE)
         records: Dict[int, JobRecord] = {}
         cache_hits = failed = 0
         if hb.enabled:
             hb.update(spec_name=self.spec.name, total=self.spec.point_count(), workers=self.workers)
-        with tel.span("campaign.run", spec=self.spec.name, workers=self.workers):
-            for shard in self.spec.iter_shards():
-                pending: List[CampaignPoint] = []
-                for point in shard:
-                    cached = self._lookup(point)
-                    if cached is not None:
-                        records[point.index] = cached
-                    else:
-                        pending.append(point)
-                cache_hits += len(shard) - len(pending)
-                if tel.enabled:
-                    tel.count("campaign.cache.hits", len(shard) - len(pending))
-                    tel.count("campaign.cache.misses", len(pending))
-                if hb.enabled:
-                    # Shard boundary: cached points count as done immediately.
-                    hb.advance(len(shard) - len(pending), cached=cache_hits)
-
-                if pending:
-                    logger.debug(
-                        "campaign %r: executing %d pending point(s) (%s)",
-                        self.spec.name,
-                        len(pending),
-                        "pool" if used_pool else "serial",
-                    )
-                    payloads = [(p.index, p.key, p.job, p.overrides) for p in pending]
-                    # A timeout can only be enforced on a job running in a separate
-                    # process, so timeout_s forces the pool path even at workers<=1.
-                    if used_pool:
-                        computed = self._iter_parallel(payloads)
-                    else:
-                        computed = self._iter_serial(payloads)
-                    # Records are cached as they complete, so an interrupted
-                    # campaign keeps every finished point and resumes from there.
-                    for record in computed:
-                        records[record.index] = record
-                        self._store(record)
-                        if not record.ok:
-                            failed += 1
+        with graceful_shutdown() as shutdown:
+            self._shutdown = shutdown
+            try:
+                with tel.span("campaign.run", spec=self.spec.name, workers=self.workers):
+                    for shard in self.spec.iter_shards():
+                        pending: List[CampaignPoint] = []
+                        for point in shard:
+                            cached = self._lookup(point)
+                            if cached is not None:
+                                records[point.index] = cached
+                            else:
+                                pending.append(point)
+                        cache_hits += len(shard) - len(pending)
+                        if tel.enabled:
+                            tel.count("campaign.cache.hits", len(shard) - len(pending))
+                            tel.count("campaign.cache.misses", len(pending))
                         if hb.enabled:
-                            hb.advance(1, failed=failed)
-                        if tel.enabled and record.telemetry is not None:
-                            # Pool jobs ran concurrently with the parent span,
-                            # so their time must not be subtracted from its
-                            # exclusive accounting; serial jobs consumed it.
-                            tel.merge_snapshot(record.telemetry, remote=used_pool)
-                        logger.debug(
-                            "campaign %r: point %d finished with status %r in %.3fs",
-                            self.spec.name,
-                            record.index,
-                            record.status,
-                            record.duration_s,
-                        )
+                            # Shard boundary: cached points count as done immediately.
+                            hb.advance(len(shard) - len(pending), cached=cache_hits)
+                        self._check_interrupted(records)
+
+                        if pending:
+                            logger.debug(
+                                "campaign %r: executing %d pending point(s) (%s)",
+                                self.spec.name,
+                                len(pending),
+                                "pool" if used_pool else "serial",
+                            )
+                            payloads = [(p.index, p.key, p.job, p.overrides) for p in pending]
+                            # A timeout can only be enforced on a job running in a separate
+                            # process, so timeout_s forces the pool path even at workers<=1.
+                            if used_pool:
+                                computed = self._iter_parallel(payloads)
+                            else:
+                                computed = self._iter_serial(payloads)
+                            # Records are cached as they complete, so an interrupted
+                            # campaign keeps every finished point and resumes from there.
+                            for record in computed:
+                                records[record.index] = record
+                                self._store(record)
+                                if not record.ok:
+                                    failed += 1
+                                if hb.enabled:
+                                    hb.advance(1, failed=failed)
+                                if tel.enabled and record.telemetry is not None:
+                                    # Pool jobs ran concurrently with the parent span,
+                                    # so their time must not be subtracted from its
+                                    # exclusive accounting; serial jobs consumed it.
+                                    tel.merge_snapshot(record.telemetry, remote=used_pool)
+                                logger.debug(
+                                    "campaign %r: point %d finished with status %r in %.3fs",
+                                    self.spec.name,
+                                    record.index,
+                                    record.status,
+                                    record.duration_s,
+                                )
+                            self._check_interrupted(records)
+            finally:
+                self._shutdown = None
 
         wall = time.perf_counter() - start
         report = CampaignReport(
@@ -428,65 +567,359 @@ class CampaignRunner:
     # execution paths
     # ------------------------------------------------------------------
 
+    def _stop_requested(self) -> bool:
+        return self._shutdown is not None and self._shutdown.requested
+
+    def _check_interrupted(self, records: Dict[int, JobRecord]) -> None:
+        if not self._stop_requested():
+            return
+        signal_name = self._shutdown.signal_name if self._shutdown else "signal"
+        raise CampaignInterrupted(
+            f"campaign {self.spec.name!r} interrupted by {signal_name}: "
+            f"{len(records)} point(s) finished and cached; rerun the same spec to resume"
+        )
+
     def _iter_serial(self, payloads: Sequence[JobPayload]) -> Iterator[JobRecord]:
         """Serial fallback — same job function, same records, same bits."""
         for payload in payloads:
-            yield self.job_fn(payload)
+            attempt = 0
+            while True:
+                record = _dispatch_job(self.job_fn, payload, attempt)
+                if self._wants_retry(record, attempt):
+                    attempt += 1
+                    delay = self.retry.delay_s(attempt, key=record.key)  # type: ignore[union-attr]
+                    self._note_retry(record, delay)
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    continue
+                yield record
+                break
+            if self._stop_requested():
+                return
 
     def _iter_parallel(self, payloads: Sequence[JobPayload]) -> Iterator[JobRecord]:
         """Fan out over a pool, yielding each record as it completes.
 
-        When a job exceeds ``timeout_s`` its worker is hung, so the pool is
-        torn down and a fresh one is started for the jobs that have not
-        finished yet — a straggler can neither hold a worker slot hostage
-        nor cause queued jobs to be misreported as timed out.  Results that
-        completed before the teardown are collected, not recomputed.
+        The pool runs in *generations*: one pool serves dispatches until a
+        fault forces a teardown — a job past its deadline (its worker is
+        hung) or a dead worker (its in-flight job is lost).  Results that
+        completed before the teardown are always harvested, never
+        recomputed; everything unfinished is re-dispatched by the next
+        generation.  A point whose worker died ``max_crashes`` times is
+        quarantined with a ``"crashed"`` record instead of being
+        re-dispatched forever.
         """
-        remaining: List[JobPayload] = list(payloads)
+        pending: Dict[int, JobPayload] = {payload[0]: payload for payload in payloads}
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        crashes: Dict[int, int] = {index: 0 for index in pending}
+        not_before: Dict[int, float] = {index: 0.0 for index in pending}
         ctx = multiprocessing.get_context()
-        while remaining:
-            pool = ctx.Pool(
-                processes=max(1, self.workers),
-                initializer=_init_worker,
-                initargs=(telemetry_enabled(),),
-            )
-            restart = False
-            try:
-                if self.timeout_s is None:
-                    yield from pool.imap(self.job_fn, remaining, chunksize=self.chunksize)
-                    remaining = []
-                else:
-                    handles = [(payload, pool.apply_async(self.job_fn, (payload,))) for payload in remaining]
-                    remaining = []
-                    for position, (payload, handle) in enumerate(handles):
-                        index, key, _job, overrides = payload
-                        try:
-                            yield handle.get(timeout=self.timeout_s)
-                        except multiprocessing.TimeoutError:
-                            restart = True
-                            yield JobRecord(
-                                index=index,
-                                key=key,
-                                status="timeout",
-                                overrides=overrides,
-                                error=f"job exceeded timeout of {self.timeout_s}s",
-                                duration_s=self.timeout_s,
-                            )
-                            # Harvest what already finished; everything else
-                            # goes to the fresh pool.
-                            for later_payload, later_handle in handles[position + 1 :]:
-                                if later_handle.ready():
-                                    yield later_handle.get()
-                                else:
-                                    remaining.append(later_payload)
+        while pending:
+            outcome = yield from self._run_pool_generation(ctx, pending, attempts, crashes, not_before)
+            if outcome == "interrupted":
+                return
+            if outcome is not None:
+                self._note_pool_restart(outcome)
+
+    def _run_pool_generation(
+        self,
+        ctx: Any,
+        pending: Dict[int, JobPayload],
+        attempts: Dict[int, int],
+        crashes: Dict[int, int],
+        not_before: Dict[int, float],
+    ) -> Iterator[JobRecord]:
+        """One pool lifetime; returns the teardown reason (None = drained)."""
+        start_queue = ctx.SimpleQueue()
+        pool = ctx.Pool(
+            processes=max(1, self.workers),
+            initializer=_init_worker,
+            initargs=(telemetry_enabled(), start_queue),
+        )
+        waiting = dict(pending)  # index -> payload, not yet dispatched
+        handles: Dict[int, Any] = {}  # index -> AsyncResult
+        started: Dict[int, Tuple[int, float]] = {}  # index -> (worker pid, t_start)
+        workers_seen: Dict[int, Any] = {}  # pid -> Process snapshot
+        outcome: Optional[str] = None
+        try:
+            while waiting or handles:
+                now = time.monotonic()
+                for index in [i for i in waiting if not_before[i] <= now]:
+                    handles[index] = pool.apply_async(
+                        _dispatch_job, (self.job_fn, waiting.pop(index), attempts[index])
+                    )
+                while not start_queue.empty():
+                    s_index, s_pid = start_queue.get()
+                    if s_index in handles:
+                        started[s_index] = (s_pid, time.monotonic())
+                # Snapshot worker processes: the pool replaces dead workers in
+                # place, so liveness must be probed on the objects we saw.
+                for proc in getattr(pool, "_pool", []):
+                    if proc.pid is not None:
+                        workers_seen.setdefault(proc.pid, proc)
+                progressed = False
+                for index in [i for i in handles if handles[i].ready()]:
+                    progressed = True
+                    record = self._harvest(handles.pop(index), pending[index], attempts[index])
+                    started.pop(index, None)
+                    final = self._settle(record, pending, attempts, not_before, waiting)
+                    if final is not None:
+                        yield final
+                if self._stop_requested():
+                    outcome = "interrupted"
+                    break
+                timed_out = self._expire_deadlines(handles, started, pending, attempts)
+                if timed_out:
+                    for record in timed_out:
+                        yield record
+                    outcome = "timeout"
+                    break
+                dead_pids = {pid for pid, proc in workers_seen.items() if proc.exitcode is not None}
+                if dead_pids and (handles or waiting):
+                    # A dead worker is only guilty of the job named by its
+                    # *last* start sentinel.  Any earlier sentinel from the
+                    # same pid means that job completed (the worker moved
+                    # on) and its result is fully in the outqueue pipe —
+                    # the result-handler thread delivers it independent of
+                    # worker death, so drain before attributing blame.
+                    drain_deadline = time.monotonic() + _CRASH_DRAIN_S
+                    while True:
+                        for index in [i for i in handles if handles[i].ready()]:
+                            record = self._harvest(handles.pop(index), pending[index], attempts[index])
+                            started.pop(index, None)
+                            final = self._settle(record, pending, attempts, not_before, waiting)
+                            if final is not None:
+                                yield final
+                        lagging = [
+                            index
+                            for index, (pid, _t0) in started.items()
+                            if pid in dead_pids
+                            and index in handles
+                            and index != _latest_started_index(started, pid)
+                        ]
+                        if not lagging or time.monotonic() >= drain_deadline:
                             break
-            finally:
-                if restart:
-                    # The straggler is still holding a worker; don't wait.
-                    pool.terminate()
-                else:
-                    pool.close()
-                pool.join()
+                        time.sleep(_POOL_POLL_S)
+                    for record in self._attribute_crashes(
+                        dead_pids, handles, started, pending, attempts, crashes
+                    ):
+                        yield record
+                    outcome = "worker-crash"
+                    break
+                if not progressed:
+                    time.sleep(_POOL_POLL_S)
+            # Teardown harvest: whatever finished while we decided to restart
+            # is collected here — completed results are never recomputed.
+            for index in [i for i in handles if handles[i].ready()]:
+                record = self._harvest(handles.pop(index), pending[index], attempts[index])
+                final = self._settle(record, pending, attempts, not_before, waiting)
+                if final is not None:
+                    yield final
+        finally:
+            if outcome is not None:
+                # A worker is hung or dead (or we are stopping): don't wait.
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+        return outcome
+
+    def _wants_retry(self, record: JobRecord, attempt: int) -> bool:
+        return (
+            self.retry is not None
+            and record.status == "error"
+            and record.retryable
+            and attempt + 1 < self.retry.max_attempts
+            and not self._stop_requested()
+        )
+
+    def _settle(
+        self,
+        record: JobRecord,
+        pending: Dict[int, JobPayload],
+        attempts: Dict[int, int],
+        not_before: Dict[int, float],
+        waiting: Dict[int, JobPayload],
+    ) -> Optional[JobRecord]:
+        """Decide a harvested record's fate: final (returned) or re-dispatch."""
+        index = record.index
+        if self._wants_retry(record, attempts[index]):
+            attempts[index] += 1
+            delay = self.retry.delay_s(attempts[index], key=record.key)  # type: ignore[union-attr]
+            self._note_retry(record, delay)
+            not_before[index] = time.monotonic() + delay
+            waiting[index] = pending[index]
+            return None
+        del pending[index]
+        return record
+
+    def _harvest(self, handle: Any, payload: JobPayload, attempt: int) -> JobRecord:
+        """Fetch one finished handle, degrading delivery failures to records.
+
+        ``AsyncResult.get`` re-raises whatever crossed the pipe — typically a
+        ``MaybeEncodingError`` for an unpicklable result, or an exception a
+        custom ``job_fn`` let escape.  One bad delivery must not kill the
+        campaign, so it becomes an ordinary error record.
+        """
+        index, key, _job, overrides = payload
+        try:
+            return handle.get()
+        except Exception as exc:  # noqa: BLE001 — degrade, don't die
+            logger.warning("campaign point %d failed in result delivery: %s", index, exc)
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.count("campaign.harvest_errors")
+            return JobRecord(
+                index=index,
+                key=key,
+                status="error",
+                overrides=overrides,
+                error=f"result delivery failed: {type(exc).__name__}: {exc}",
+                retryable=is_retryable(exc),
+                attempts=attempt + 1,
+            )
+
+    def _expire_deadlines(
+        self,
+        handles: Dict[int, Any],
+        started: Dict[int, Tuple[int, float]],
+        pending: Dict[int, JobPayload],
+        attempts: Dict[int, int],
+    ) -> List[JobRecord]:
+        """Turn jobs past their per-job deadline into timeout records.
+
+        The clock starts at the job's start sentinel, so queued jobs are not
+        charged for time spent waiting behind a straggler.  Timeouts are
+        terminal — a hang is presumed deterministic, so there is no retry.
+        """
+        if self.timeout_s is None:
+            return []
+        now = time.monotonic()
+        expired: List[JobRecord] = []
+        for index, (_pid, t_start) in list(started.items()):
+            if index not in handles or now - t_start <= self.timeout_s:
+                continue
+            handles.pop(index)
+            started.pop(index)
+            payload = pending.pop(index)
+            expired.append(
+                JobRecord(
+                    index=index,
+                    key=payload[1],
+                    status="timeout",
+                    overrides=payload[3],
+                    error=f"job exceeded timeout of {self.timeout_s}s",
+                    duration_s=self.timeout_s,
+                    attempts=attempts[index] + 1,
+                )
+            )
+        return expired
+
+    def _attribute_crashes(
+        self,
+        dead_pids: Sequence[int],
+        handles: Dict[int, Any],
+        started: Dict[int, Tuple[int, float]],
+        pending: Dict[int, JobPayload],
+        attempts: Dict[int, int],
+        crashes: Dict[int, int],
+    ) -> List[JobRecord]:
+        """Map dead workers to the points they ran; quarantine repeat killers.
+
+        A worker that died before announcing its job cannot be attributed;
+        the pool restart alone re-dispatches everything unfinished, which is
+        the conservative recovery (no crash is charged to any point).
+        """
+        dead = set(dead_pids)
+        victims = [index for index, (pid, _t0) in started.items() if pid in dead and index in handles]
+        if not victims:
+            logger.warning(
+                "campaign %r: worker died before announcing its job; restarting pool",
+                self.spec.name,
+            )
+            return []
+        records: List[JobRecord] = []
+        for index in sorted(victims):
+            handles.pop(index)
+            started.pop(index)
+            crashes[index] += 1
+            self._note_crash(index, crashes[index])
+            if crashes[index] >= self.max_crashes:
+                payload = pending.pop(index)
+                records.append(
+                    JobRecord(
+                        index=index,
+                        key=payload[1],
+                        status="crashed",
+                        overrides=payload[3],
+                        error=(
+                            f"worker crashed {crashes[index]} time(s) running this point; "
+                            f"quarantined at max_crashes={self.max_crashes}"
+                        ),
+                        attempts=crashes[index],
+                    )
+                )
+                self._note_quarantine(index)
+            # else: the point stays pending and the next generation retries it.
+        return records
+
+    # ------------------------------------------------------------------
+    # resilience bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_retry(self, record: JobRecord, delay: float) -> None:
+        self.resilience["retried"] += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("campaign.retries")
+            if record.telemetry is not None:
+                # The failed attempt's spans would otherwise be lost: only
+                # the final record flows through the run loop's merge.
+                tel.merge_snapshot(record.telemetry, remote=self._used_pool)
+        hb = get_heartbeat()
+        if hb.enabled:
+            hb.update(retried=self.resilience["retried"])
+        logger.debug(
+            "campaign %r: point %d attempt %d failed (%s); retrying in %.3fs",
+            self.spec.name,
+            record.index,
+            record.attempts,
+            record.error,
+            delay,
+        )
+
+    def _note_crash(self, index: int, count: int) -> None:
+        self.resilience["crashed"] += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("campaign.crashes")
+        hb = get_heartbeat()
+        if hb.enabled:
+            hb.update(crashed=self.resilience["crashed"])
+        logger.warning(
+            "campaign %r: worker crashed running point %d (crash %d/%d)",
+            self.spec.name,
+            index,
+            count,
+            self.max_crashes,
+        )
+
+    def _note_quarantine(self, index: int) -> None:
+        self.resilience["quarantined"] += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("campaign.quarantined")
+        hb = get_heartbeat()
+        if hb.enabled:
+            hb.update(quarantined=self.resilience["quarantined"])
+        logger.warning("campaign %r: point %d quarantined", self.spec.name, index)
+
+    def _note_pool_restart(self, reason: str) -> None:
+        self.resilience["pool_restarts"] += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("campaign.pool_restarts")
+        logger.warning("campaign %r: worker pool restarted (%s)", self.spec.name, reason)
 
     # ------------------------------------------------------------------
     # cache glue
@@ -518,7 +951,7 @@ class CampaignRunner:
         # by the next run instead of being replayed from disk.
         if self.cache is None or not record.ok:
             return
-        self.cache.put(
+        path = self.cache.put(
             record.key,
             {
                 "status": record.status,
@@ -529,3 +962,7 @@ class CampaignRunner:
                 "experiment": self.spec.experiment,
             },
         )
+        # Chaos harness hook: damage the freshly written entry so the next
+        # run exercises the cache-quarantine path.  Inert without $REPRO_FAULTS.
+        if should_corrupt_cache(record.index):
+            corrupt_cache_entry(path)

@@ -51,9 +51,14 @@ from ..devices.base import (
     MemristorModel,
 )
 from ..errors import ConfigurationError, ConvergenceError
+from ..faults import register_retryable
 from ..obs import get_telemetry
 from .drivers import BiasPattern
 from .netlist import GROUND_NODE, CrossbarNetlist
+
+# A failed Newton solve is a warm-start/damping artefact more often than a
+# property of the configuration, so campaigns may retry it (see repro.faults).
+register_retryable(ConvergenceError)
 
 Cell = Tuple[int, int]
 

@@ -43,5 +43,19 @@ class CampaignError(ReproError):
     """A campaign spec, cache or runner was used inconsistently."""
 
 
+class CampaignInterrupted(CampaignError):
+    """A campaign was stopped by SIGINT/SIGTERM after draining bookkeeping.
+
+    Completed points were stored in the result cache before this was raised,
+    so the next run of the same spec resumes where the interrupted one left
+    off.  The CLI maps this to heartbeat/ledger status ``interrupted`` and a
+    130 exit code.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection spec (``REPRO_FAULTS`` / ``--inject-faults``) is invalid."""
+
+
 class MonteCarloError(ReproError):
     """A Monte-Carlo population spec or engine was used inconsistently."""

@@ -1,0 +1,145 @@
+"""Retry policies and transient-vs-deterministic error classification.
+
+A long campaign meets two very different kinds of failure.  *Transient*
+failures — a Newton solve that wandered off from an unlucky warm start, an
+OS-level flake such as a dropped pipe or a momentary out-of-memory — would
+very likely succeed if simply run again.  *Deterministic* failures — an
+invalid configuration, an attack spec whose victim equals an aggressor —
+will fail identically forever, and retrying them only burns wall clock.
+
+The split is expressed through a **retryable-exception registry**: subsystems
+register the exception types whose failures are worth retrying
+(:func:`register_retryable`), and :func:`is_retryable` classifies a caught
+exception against it.  ``repro.circuit.solver`` registers its
+:class:`~repro.errors.ConvergenceError` on import; common OS-level flakes are
+registered here.  An exception instance can also override the registry with
+an explicit boolean ``retryable`` attribute.
+
+:class:`RetryPolicy` is the schedule half: bounded attempts with exponential
+backoff whose jitter is drawn from the shared seeded RNG tree
+(:mod:`repro.utils.rng`), so two runs of the same campaign back off
+identically — retries never make a campaign non-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Type
+
+from ..errors import CampaignError
+from ..utils.rng import child_rng
+
+#: Exception types whose failures are considered transient.  Seeded with the
+#: OS-level flakes a multiprocessing campaign can realistically hit; domain
+#: subsystems add their own via :func:`register_retryable`.
+_RETRYABLE_TYPES: set = {
+    ConnectionError,  # includes BrokenPipeError / ConnectionResetError
+    TimeoutError,
+    InterruptedError,
+    BlockingIOError,
+    EOFError,
+    MemoryError,
+}
+
+
+def register_retryable(exc_type: Type[BaseException]) -> Type[BaseException]:
+    """Mark ``exc_type`` (and its subclasses) as transient; usable as a decorator.
+
+    Returns the type unchanged so it can annotate an exception definition::
+
+        @register_retryable
+        class FlakyBackendError(ReproError):
+            ...
+    """
+    if not (isinstance(exc_type, type) and issubclass(exc_type, BaseException)):
+        raise TypeError(f"register_retryable needs an exception type, got {exc_type!r}")
+    _RETRYABLE_TYPES.add(exc_type)
+    return exc_type
+
+
+def retryable_types() -> FrozenSet[Type[BaseException]]:
+    """The currently registered transient exception types (a snapshot)."""
+    return frozenset(_RETRYABLE_TYPES)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True when ``exc`` should be treated as transient.
+
+    An explicit boolean ``retryable`` attribute on the instance wins over the
+    registry, so a subsystem can flag one specific raise either way without
+    (de)registering a whole type.
+    """
+    override = getattr(exc, "retryable", None)
+    if isinstance(override, bool):
+        return override
+    return isinstance(exc, tuple(_RETRYABLE_TYPES))
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded, seeded exponential backoff applied per campaign point.
+
+    ``max_attempts`` counts total executions of one point (first try
+    included); the delay before retry ``k`` (1-based) is::
+
+        min(max_delay_s, base_delay_s * backoff_factor ** (k - 1)) * (1 + jitter * u)
+
+    where ``u`` is drawn uniformly from ``[0, 1)`` on a child stream of the
+    shared RNG tree keyed by ``(seed, point key, k)`` — deterministic for a
+    given seed, decorrelated across points so a burst of transient failures
+    does not retry in lockstep.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise CampaignError("RetryPolicy.max_attempts must be >= 1")
+        if self.base_delay_s < 0:
+            raise CampaignError("RetryPolicy.base_delay_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise CampaignError("RetryPolicy.backoff_factor must be >= 1")
+        if self.max_delay_s < self.base_delay_s:
+            raise CampaignError("RetryPolicy.max_delay_s must be >= base_delay_s")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise CampaignError("RetryPolicy.jitter must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+
+    def delay_s(self, retry: int, key: str = "") -> float:
+        """Backoff before the ``retry``-th re-execution (1-based) of ``key``."""
+        if retry < 1:
+            raise CampaignError("retry number is 1-based")
+        base = min(self.max_delay_s, self.base_delay_s * self.backoff_factor ** (retry - 1))
+        if self.jitter and base > 0.0:
+            rng = child_rng(self.seed, "faults", "retry-jitter", str(key), retry)
+            base *= 1.0 + self.jitter * float(rng.random())
+        return base
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """True when a point that failed on (0-based) ``attempt`` gets another."""
+        return attempt + 1 < self.max_attempts and is_retryable(exc)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (recorded in campaign metadata)."""
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay_s": self.base_delay_s,
+            "backoff_factor": self.backoff_factor,
+            "max_delay_s": self.max_delay_s,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RetryPolicy":
+        known = {f: payload[f] for f in cls.__dataclass_fields__ if f in payload}
+        unknown = set(payload) - set(known)
+        if unknown:
+            raise CampaignError(f"unknown RetryPolicy fields: {sorted(unknown)}")
+        return cls(**known)

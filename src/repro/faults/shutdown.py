@@ -1,0 +1,97 @@
+"""Graceful shutdown: turn SIGINT/SIGTERM into a drained, resumable stop.
+
+Without this, Ctrl-C during a pooled campaign raises
+:class:`KeyboardInterrupt` at an arbitrary bytecode boundary: in-flight
+bookkeeping is lost, the heartbeat file stays frozen at ``running``, and no
+ledger record is written.  :func:`graceful_shutdown` converts the *first*
+SIGINT/SIGTERM into a cooperative flag the campaign runner polls between
+records and inside its pool wait loop — completed results are harvested and
+cached, the pool is torn down, and :class:`~repro.errors.CampaignInterrupted`
+propagates to the CLI, which flushes the heartbeat with status
+``interrupted``, records the run in the obs ledger, and exits 130.
+
+A *second* signal restores the previous handler and re-raises immediately,
+so a wedged drain can always be cut short the classic way.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+#: Signals converted into a cooperative stop (SIGTERM absent on some platforms).
+SHUTDOWN_SIGNALS = tuple(
+    sig for sig in (getattr(signal, "SIGINT", None), getattr(signal, "SIGTERM", None)) if sig
+)
+
+
+class ShutdownFlag:
+    """Cooperative stop request shared between the handler and the runner."""
+
+    def __init__(self) -> None:
+        self.requested = False
+        self.signum: Optional[int] = None
+
+    def request(self, signum: int) -> None:
+        self.requested = True
+        self.signum = signum
+
+    @property
+    def signal_name(self) -> str:
+        if self.signum is None:
+            return "signal"
+        try:
+            return signal.Signals(self.signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            return f"signal {self.signum}"
+
+
+@contextmanager
+def graceful_shutdown() -> Iterator[ShutdownFlag]:
+    """Install first-signal-drains / second-signal-kills handlers for a scope.
+
+    Signal handlers can only be installed from the main thread; anywhere else
+    (e.g. a campaign run inside a worker thread) the scope degrades to an
+    inert flag and the default signal behaviour is untouched.
+    """
+    flag = ShutdownFlag()
+    if threading.current_thread() is not threading.main_thread():
+        yield flag
+        return
+    previous: Dict[int, object] = {}
+    owner_pid = os.getpid()
+
+    def _handler(signum: int, frame: object) -> None:
+        if os.getpid() != owner_pid:
+            # A child forked while this handler was installed (e.g. a pool
+            # worker between fork and its initializer) inherited it; the
+            # cooperative flag means nothing there, and swallowing the
+            # signal would make the worker unkillable by pool teardown.
+            # Restore the default disposition and re-deliver.
+            signal.signal(signum, signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+            return
+        if flag.requested:
+            # Second signal: give up on draining, restore the old behaviour
+            # and deliver the signal through it.
+            handler = previous.get(signum, signal.SIG_DFL)
+            signal.signal(signum, handler)
+            raise KeyboardInterrupt
+        flag.request(signum)
+
+    for sig in SHUTDOWN_SIGNALS:
+        try:
+            previous[sig] = signal.signal(sig, _handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic embedding
+            continue
+    try:
+        yield flag
+    finally:
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                continue

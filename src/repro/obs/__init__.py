@@ -66,6 +66,7 @@ from .store import (
     new_run_id,
     render_diff,
     render_runs_table,
+    resilience_counts,
 )
 from .spans import (
     SpanAggregate,
@@ -147,6 +148,7 @@ __all__ = [
     "render_report",
     "render_runs_table",
     "render_span_table",
+    "resilience_counts",
     "spans_from_snapshot",
     "telemetry_capture",
     "telemetry_enabled",

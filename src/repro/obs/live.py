@@ -33,7 +33,7 @@ from typing import Any, Dict, Iterator, Optional, Union
 
 #: Progress fields readers understand; anything else passed to ``update`` is
 #: carried through verbatim.
-TERMINAL_STATUSES = ("done", "failed")
+TERMINAL_STATUSES = ("done", "failed", "interrupted")
 
 
 class NullHeartbeat:
@@ -240,6 +240,9 @@ def render_heartbeat(state: Dict[str, Any]) -> str:
     for key, fmt in (
         ("cached", "cached={}"),
         ("failed", "failed={}"),
+        ("retried", "retried={}"),
+        ("crashed", "crashed={}"),
+        ("quarantined", "quarantined={}"),
         ("samples", "samples={}"),
         ("batches", "batches={}"),
         ("arrays_done", "arrays={}"),

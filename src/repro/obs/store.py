@@ -69,7 +69,7 @@ class RunEntry:
     command: str
     label: str = ""
     spec_name: Optional[str] = None
-    status: str = "ok"  # "ok" | "error"
+    status: str = "ok"  # "ok" | "error" | "interrupted"
     started_unix_s: float = 0.0
     duration_s: float = 0.0
     counters: Dict[str, float] = field(default_factory=dict)
@@ -379,6 +379,28 @@ def render_diff(diff: Dict[str, Any], run_a: str = "A", run_b: str = "B") -> str
                 f"{_fmt_pct(row['exclusive_pct'])}  {row['calls_a']}->{row['calls_b']}"
             )
     return "\n".join(lines)
+
+
+def resilience_counts(snapshot: Dict[str, Any]) -> Dict[str, int]:
+    """Fault-tolerance counters of one run's telemetry snapshot.
+
+    Collects the campaign resilience counters (retries, worker crashes,
+    quarantined points, pool restarts), the cache-corruption quarantines, and
+    the total number of injected chaos faults — zero for each when the run
+    never touched that path, so callers can test ``any(...)`` to decide
+    whether the run had a resilience story worth printing.
+    """
+    counters = snapshot.get("counters") or {}
+    return {
+        "retried": int(counters.get("campaign.retries", 0)),
+        "crashed": int(counters.get("campaign.crashes", 0)),
+        "quarantined": int(counters.get("campaign.quarantined", 0)),
+        "pool_restarts": int(counters.get("campaign.pool_restarts", 0)),
+        "cache_corrupt": int(counters.get("cache.corrupt_entries", 0)),
+        "faults_injected": int(
+            sum(value for name, value in counters.items() if name.startswith("faults.injected."))
+        ),
+    }
 
 
 def render_runs_table(entries: List[RunEntry], limit: Optional[int] = None) -> str:

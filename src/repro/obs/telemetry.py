@@ -158,6 +158,9 @@ class NullTelemetry:
     def count(self, name: str, n: float = 1.0) -> None:
         return None
 
+    def counter_value(self, name: str, default: float = 0.0) -> float:
+        return default
+
     def gauge(self, name: str, value: float) -> None:
         return None
 
@@ -238,6 +241,10 @@ class Telemetry:
     def count(self, name: str, n: float = 1.0) -> None:
         """Add ``n`` to the named monotonic counter."""
         self.counters[name] = self.counters.get(name, 0.0) + n
+
+    def counter_value(self, name: str, default: float = 0.0) -> float:
+        """Current value of one counter (``default`` when never counted)."""
+        return self.counters.get(name, default)
 
     def gauge(self, name: str, value: float) -> None:
         """Set the named gauge (last value wins; min/max/n are tracked)."""

@@ -25,6 +25,18 @@ def _obs_dir_in_tmp(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "repro-obs"))
 
 
+@pytest.fixture(autouse=True)
+def _no_inherited_faults(monkeypatch):
+    """Strip any ambient fault-injection plan (see :mod:`repro.faults`).
+
+    A ``REPRO_FAULTS`` value leaking in from the environment (e.g. a chaos
+    run in the same shell) would make unrelated campaign tests raise, hang
+    or kill their workers.  Tests that *want* injection set the variable
+    themselves via ``monkeypatch.setenv``.
+    """
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+
+
 @pytest.fixture(scope="session")
 def jart_model() -> JartVcmModel:
     """The default JART-style VCM model (stateless, safe to share)."""

@@ -187,12 +187,20 @@ class TestResultCache:
         assert cache.get(key) == {"status": "ok", "result": {"pulses": 5}}
         assert key in cache and len(cache) == 1 and cache.keys() == [key]
 
-    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+    def test_corrupt_entry_degrades_to_miss_and_quarantines(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = "cd" * 32
         cache.put(key, {"status": "ok"})
         cache.path_for(key).write_text("{not json", encoding="utf-8")
         assert cache.get(key) is None
+        # The bad file is renamed aside, not left to poison the next run.
+        assert not cache.path_for(key).exists()
+        assert cache.path_for(key).with_suffix(".corrupt").exists()
+        assert key not in cache
+        assert cache.stats()["corrupt"] == 1
+        # A recompute can re-populate the same key.
+        cache.put(key, {"status": "ok", "result": {"pulses": 9}})
+        assert cache.get(key) == {"status": "ok", "result": {"pulses": 9}}
 
     def test_invalid_key_rejected(self, tmp_path):
         cache = ResultCache(tmp_path)

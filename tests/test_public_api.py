@@ -23,11 +23,12 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.utils",
     "repro.obs",
+    "repro.faults",
 ]
 
 
 def test_version_is_exposed():
-    assert repro.__version__ == "1.6.0"
+    assert repro.__version__ == "1.7.0"
 
 
 def test_top_level_exports_resolve():
