@@ -74,7 +74,15 @@ from .config import (
     WireParameters,
 )
 from .devices import DeviceState, JartVcmModel, JartVcmParameters
-from .errors import CampaignError, CampaignInterrupted, FaultInjectionError, MonteCarloError, ReproError
+from .errors import (
+    CampaignError,
+    CampaignInterrupted,
+    FaultInjectionError,
+    MonteCarloError,
+    ReproError,
+    StoreError,
+    StoreUnavailableError,
+)
 from .faults import FaultPlan, RetryPolicy, graceful_shutdown, is_retryable, register_retryable
 from .montecarlo import (
     AdaptiveConfig,
@@ -97,6 +105,7 @@ from .obs import (
     get_telemetry,
     telemetry_capture,
 )
+from .store import LeaseManager, ResultStore, migrate_legacy_cache
 from .thermal import (
     AnalyticCouplingModel,
     HeatSolver,
@@ -105,7 +114,7 @@ from .thermal import (
     make_crosstalk_operator,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",
@@ -132,6 +141,8 @@ __all__ = [
     "CampaignInterrupted",
     "FaultInjectionError",
     "MonteCarloError",
+    "StoreError",
+    "StoreUnavailableError",
     "FaultPlan",
     "RetryPolicy",
     "graceful_shutdown",
@@ -142,6 +153,9 @@ __all__ = [
     "CampaignRunner",
     "CampaignReport",
     "ResultCache",
+    "ResultStore",
+    "LeaseManager",
+    "migrate_legacy_cache",
     "MonteCarloConfig",
     "MonteCarloEngine",
     "MonteCarloResult",

@@ -4,10 +4,14 @@ Subcommands::
 
     repro run-fig {2a,3a,3b,3c,3d} [--save DIR] [--chart] [--workers N] [--cache DIR]
     repro campaign run SPEC.json [--workers N] [--cache DIR] [--no-cache]
+                                 [--store] [--lease-ttl S]
                                  [--timeout S] [--chunksize N] [--shard-size N]
                                  [--retries N] [--retry-delay S] [--max-crashes N]
                                  [--inject-faults SPEC] [--save DIR] [--json]
     repro campaign status SPEC.json [--cache DIR]
+    repro store verify [ROOT] [--repair] [--json]
+    repro store gc [ROOT] [--json]
+    repro store migrate [ROOT] [--lease-ttl S] [--json]
     repro mc run SPEC.json [--samples N] [--seed N] [--mode anchored|full_array]
                            [--scalar] [--rows N] [--export-cells OUT.npz]
                            [--show-distributions] [--save DIR] [--json]
@@ -35,7 +39,18 @@ retried with seeded backoff (``--retries``/``--retry-delay``), a point that
 keeps killing its worker is quarantined after ``--max-crashes`` crashes, the
 first SIGINT/SIGTERM drains bookkeeping and exits 130 with every finished
 point cached, and ``--inject-faults`` arms the deterministic chaos harness
-(:mod:`repro.faults.inject`) used to test all of the above.  ``mc run`` evaluates one Monte-Carlo cell population from a
+(:mod:`repro.faults.inject`) used to test all of the above.
+
+``campaign run --store`` promotes the cache to the concurrent-safe shared
+result store (:mod:`repro.store`): a crash-consistent sqlite index over
+checksummed payloads plus advisory point leases, so N simultaneous runs of
+one spec partition the sweep instead of duplicating it (store directories
+are auto-detected afterwards, no flag needed).  The ``repro store`` group
+operates on such a directory: ``verify`` re-hashes every entry (``--repair``
+quarantines damage), ``gc`` sweeps orphan payloads / temp files / stale
+leases, and ``migrate`` converts a legacy per-file cache in place.
+
+``mc run`` evaluates one Monte-Carlo cell population from a
 ``kind="montecarlo"`` spec (``--export-cells`` dumps the per-cell sampled
 parameters and outcomes as npz for offline analysis; ``--show-distributions``
 prints the provenance of the spec's variability sigmas instead of running);
@@ -151,6 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=0, help="worker processes (0 = serial)")
     run.add_argument("--cache", metavar="DIR", default=None, help=f"cache directory (default {DEFAULT_CACHE_DIR})")
     run.add_argument("--no-cache", action="store_true", help="disable the result cache entirely")
+    run.add_argument(
+        "--store", action="store_true",
+        help="use the concurrent-safe shared result store at the cache directory "
+        "(sqlite index + point leases; store directories are auto-detected afterwards)",
+    )
+    run.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="S",
+        help="point-lease lifetime before other processes may steal it (store backend; default 600)",
+    )
     run.add_argument("--timeout", type=float, default=None, metavar="S", help="per-job timeout in seconds")
     run.add_argument(
         "--chunksize", type=int, default=1,
@@ -347,6 +371,50 @@ def build_parser() -> argparse.ArgumentParser:
     obs_check.add_argument("--json", action="store_true", help="print the check report as JSON")
     obs_check.set_defaults(handler=_cmd_obs_check_bench)
 
+    store = subparsers.add_parser(
+        "store",
+        help="operate on a concurrent-safe shared result store directory",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_verify = store_sub.add_parser(
+        "verify", help="re-hash every entry against its indexed checksum"
+    )
+    store_verify.add_argument(
+        "root", nargs="?", default=DEFAULT_CACHE_DIR,
+        help=f"store directory (default {DEFAULT_CACHE_DIR})",
+    )
+    store_verify.add_argument(
+        "--repair", action="store_true",
+        help="quarantine damaged entries instead of only reporting them",
+    )
+    store_verify.add_argument("--json", action="store_true", help="print the report as JSON")
+    store_verify.set_defaults(handler=_cmd_store_verify)
+
+    store_gc = store_sub.add_parser(
+        "gc", help="sweep orphan payloads, temp files, and stale leases"
+    )
+    store_gc.add_argument(
+        "root", nargs="?", default=DEFAULT_CACHE_DIR,
+        help=f"store directory (default {DEFAULT_CACHE_DIR})",
+    )
+    store_gc.add_argument("--json", action="store_true", help="print the sweep counts as JSON")
+    store_gc.set_defaults(handler=_cmd_store_gc)
+
+    store_migrate = store_sub.add_parser(
+        "migrate", help="convert a legacy per-file result cache in place"
+    )
+    store_migrate.add_argument(
+        "root", nargs="?", default=DEFAULT_CACHE_DIR,
+        help=f"cache directory to convert (default {DEFAULT_CACHE_DIR})",
+    )
+    store_migrate.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="S",
+        help="point-lease lifetime of the migrated store (default 600)",
+    )
+    store_migrate.add_argument("--json", action="store_true", help="print the report as JSON")
+    store_migrate.set_defaults(handler=_cmd_store_migrate)
+
     version = subparsers.add_parser("version", help="print the library version")
     version.set_defaults(handler=_cmd_version)
     return parser
@@ -389,10 +457,19 @@ def _load_spec(path: str) -> CampaignSpec:
         raise ReproError(f"campaign spec {path!r} is not a valid spec: {exc}") from exc
 
 
-def _open_cache(cache_dir: Optional[str], disabled: bool = False) -> Optional[ResultCache]:
+def _open_cache(
+    cache_dir: Optional[str],
+    disabled: bool = False,
+    backend: str = "auto",
+    lease_ttl_s: Optional[float] = None,
+) -> Optional[ResultCache]:
     if disabled:
         return None
-    return ResultCache(cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR)
+    return ResultCache(
+        cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR,
+        backend=backend,
+        lease_ttl_s=lease_ttl_s,
+    )
 
 
 def _command_label(args: argparse.Namespace) -> str:
@@ -570,7 +647,14 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     )
     if args.inject_faults:
         FaultPlan.parse(args.inject_faults)  # reject a bad spec before any work runs
-    cache = _open_cache(args.cache, disabled=args.no_cache)
+    if args.lease_ttl is not None and args.lease_ttl <= 0:
+        raise ReproError("--lease-ttl must be positive")
+    cache = _open_cache(
+        args.cache,
+        disabled=args.no_cache,
+        backend="store" if args.store else "auto",
+        lease_ttl_s=args.lease_ttl,
+    )
     runner = CampaignRunner(
         spec,
         cache=cache,
@@ -1094,6 +1178,85 @@ def _cmd_obs_check_bench(args: argparse.Namespace) -> int:
         print()
         print("bench gate: PASS" if passed else "bench gate: FAIL")
     return 0 if passed else 1
+
+
+# ----------------------------------------------------------------------
+# store subcommands
+# ----------------------------------------------------------------------
+
+
+def _open_store(root: str):
+    from ..store import ResultStore, is_store_dir
+
+    root_path = Path(root)
+    if not is_store_dir(root_path):
+        raise ReproError(
+            f"{root} is not a shared result store (no index.sqlite); "
+            "convert a legacy cache with `repro store migrate`"
+        )
+    return ResultStore(root_path)
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    store = _open_store(args.root)
+    try:
+        report = store.verify(repair=args.repair)
+    finally:
+        store.close()
+    if args.json:
+        print(json.dumps(report, indent=2, default=str))
+    else:
+        print(
+            f"store {report['root']}: {report['ok']}/{report['entries']} entries verified, "
+            f"{report['checksum_failures']} checksum failure(s), "
+            f"{report['missing_payloads']} missing payload(s), "
+            f"{report['orphan_payloads']} orphan payload(s), "
+            f"{report['quarantined']} quarantined"
+        )
+        leases = report["leases"]
+        if leases["active"] or leases["stale"]:
+            print(f"  leases: {leases['active']} active, {leases['stale']} stale")
+        for key in report["bad_keys"][:10]:
+            print(f"  damaged: {key}" + (" (quarantined)" if args.repair else ""))
+        if len(report["bad_keys"]) > 10:
+            print(f"  ... and {len(report['bad_keys']) - 10} more")
+        print("store verify: CLEAN" if report["clean"] else "store verify: DAMAGED")
+    return 0 if report["clean"] else 1
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    store = _open_store(args.root)
+    try:
+        swept = store.gc()
+    finally:
+        store.close()
+    if args.json:
+        print(json.dumps({"root": args.root, **swept}, indent=2))
+    else:
+        print(
+            f"store {args.root}: swept {swept['orphan_payloads']} orphan payload(s), "
+            f"{swept['tmp_files']} temp file(s), {swept['stale_leases']} stale lease(s)"
+        )
+    return 0
+
+
+def _cmd_store_migrate(args: argparse.Namespace) -> int:
+    from ..store import DEFAULT_LEASE_TTL_S, migrate_legacy_cache
+
+    if args.lease_ttl is not None and args.lease_ttl <= 0:
+        raise ReproError("--lease-ttl must be positive")
+    report = migrate_legacy_cache(
+        args.root,
+        lease_ttl_s=args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL_S,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, default=str))
+    else:
+        print(
+            f"migrated {report['root']}: {report['migrated']} legacy entries converted, "
+            f"{report['quarantined']} quarantined, {report['entries']} entries in the store"
+        )
+    return 0
 
 
 def _cmd_version(args: argparse.Namespace) -> int:

@@ -25,6 +25,7 @@ tolerant (see :mod:`repro.faults`):
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import time
@@ -34,16 +35,20 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 from ..attack.neurohammer import AttackResult, NeuroHammer
 from ..circuit.crossbar import CrossbarArray
 from ..config import AttackConfig, SimulationConfig
-from ..errors import CampaignError, CampaignInterrupted
+from ..errors import CampaignError, CampaignInterrupted, StoreError
 from ..faults import (
     RetryPolicy,
     ShutdownFlag,
     corrupt_cache_entry,
     fire_point_faults,
     graceful_shutdown,
+    hold_store_lock,
     is_retryable,
     set_current_attempt,
     should_corrupt_cache,
+    should_hold_lock,
+    should_tear_write,
+    tear_payload,
 )
 from ..obs import Telemetry, get_heartbeat, get_telemetry, telemetry_capture, telemetry_enabled
 from ..utils.logging import get_logger
@@ -56,8 +61,18 @@ JobPayload = Tuple[int, str, Dict[str, Any], Dict[str, Any]]
 #: Poll interval of the pool wait loop (sentinels, results, deadlines, pids).
 _POOL_POLL_S = 0.02
 
+#: Poll interval while waiting on points another process holds a lease on.
+_LEASE_POLL_S = 0.05
+
 #: Fresh resilience-counter template for one runner execution.
-_ZERO_RESILIENCE = {"retried": 0, "crashed": 0, "quarantined": 0, "pool_restarts": 0}
+_ZERO_RESILIENCE = {
+    "retried": 0,
+    "crashed": 0,
+    "quarantined": 0,
+    "pool_restarts": 0,
+    "lease_steals": 0,
+    "claim_conflicts": 0,
+}
 
 #: How long the parent waits for results that crossed the pipe before a
 #: worker died to be delivered, before attributing the crash.
@@ -377,6 +392,15 @@ class CampaignRunner:
     ``chunksize`` is accepted for backward compatibility but jobs are now
     dispatched individually so each one has its own start sentinel, deadline
     and crash attribution.
+
+    With a *store-backed* cache (see :mod:`repro.store`), pending points are
+    claimed through advisory leases before computing: N concurrent runs of
+    one spec partition the sweep instead of duplicating it.  Points another
+    process holds are deferred — this run polls for their published result,
+    reclaims the lease if the holder releases without publishing, and steals
+    it if the holder goes stale (dead pid or lapsed deadline).  Steals and
+    claim conflicts are counted in :attr:`resilience`; legacy caches skip
+    leasing entirely.
     """
 
     def __init__(
@@ -412,6 +436,8 @@ class CampaignRunner:
         self.resilience: Dict[str, int] = dict(_ZERO_RESILIENCE)
         self._shutdown: Optional[ShutdownFlag] = None
         self._used_pool = False
+        #: Active lease manager (store-backed caches only); set per run.
+        self._leases: Optional[Any] = None
 
     # ------------------------------------------------------------------
 
@@ -436,10 +462,38 @@ class CampaignRunner:
         used_pool = self.workers >= 2 or self.timeout_s is not None
         self._used_pool = used_pool
         self.resilience = dict(_ZERO_RESILIENCE)
+        self._leases = self.cache.lease_manager() if self.cache is not None else None
         records: Dict[int, JobRecord] = {}
         cache_hits = failed = 0
         if hb.enabled:
             hb.update(spec_name=self.spec.name, total=self.spec.point_count(), workers=self.workers)
+
+        def consume(record: JobRecord) -> None:
+            """Fold one finished record into the run: cache, lease, counters."""
+            nonlocal failed
+            records[record.index] = record
+            self._store(record)
+            # Publish-then-release: the lease drops only once the result is
+            # on disk (or the point finished non-ok and will be retried by a
+            # later run — releasing lets another live process claim it now).
+            self._release_point(record.key)
+            if not record.ok:
+                failed += 1
+            if hb.enabled:
+                hb.advance(1, failed=failed)
+            if tel.enabled and record.telemetry is not None:
+                # Pool jobs ran concurrently with the parent span, so their
+                # time must not be subtracted from its exclusive accounting;
+                # serial jobs consumed it.
+                tel.merge_snapshot(record.telemetry, remote=used_pool)
+            logger.debug(
+                "campaign %r: point %d finished with status %r in %.3fs",
+                self.spec.name,
+                record.index,
+                record.status,
+                record.duration_s,
+            )
+
         with graceful_shutdown() as shutdown:
             self._shutdown = shutdown
             try:
@@ -461,44 +515,41 @@ class CampaignRunner:
                             hb.advance(len(shard) - len(pending), cached=cache_hits)
                         self._check_interrupted(records)
 
-                        if pending:
+                        claimed, deferred, raced = self._claim_shard(pending)
+                        for record in raced:
+                            # Published by another process between our cache
+                            # miss and the lease claim: a hit after all.
+                            records[record.index] = record
+                            cache_hits += 1
+                            if hb.enabled:
+                                hb.advance(1, cached=cache_hits)
+                        if claimed or deferred:
                             logger.debug(
-                                "campaign %r: executing %d pending point(s) (%s)",
+                                "campaign %r: executing %d claimed point(s), "
+                                "%d deferred to other holders (%s)",
                                 self.spec.name,
-                                len(pending),
+                                len(claimed),
+                                len(deferred),
                                 "pool" if used_pool else "serial",
                             )
-                            payloads = [(p.index, p.key, p.job, p.overrides) for p in pending]
-                            # A timeout can only be enforced on a job running in a separate
-                            # process, so timeout_s forces the pool path even at workers<=1.
-                            if used_pool:
-                                computed = self._iter_parallel(payloads)
-                            else:
-                                computed = self._iter_serial(payloads)
+                        if claimed:
                             # Records are cached as they complete, so an interrupted
                             # campaign keeps every finished point and resumes from there.
-                            for record in computed:
-                                records[record.index] = record
-                                self._store(record)
-                                if not record.ok:
-                                    failed += 1
-                                if hb.enabled:
-                                    hb.advance(1, failed=failed)
-                                if tel.enabled and record.telemetry is not None:
-                                    # Pool jobs ran concurrently with the parent span,
-                                    # so their time must not be subtracted from its
-                                    # exclusive accounting; serial jobs consumed it.
-                                    tel.merge_snapshot(record.telemetry, remote=used_pool)
-                                logger.debug(
-                                    "campaign %r: point %d finished with status %r in %.3fs",
-                                    self.spec.name,
-                                    record.index,
-                                    record.status,
-                                    record.duration_s,
-                                )
+                            for record in self._execute_points(claimed):
+                                consume(record)
                             self._check_interrupted(records)
+                        if deferred:
+                            for record in self._await_deferred(deferred):
+                                consume(record)
+                        self._check_interrupted(records)
             finally:
                 self._shutdown = None
+                if self._leases is not None:
+                    # Normal completion released per point; this catches the
+                    # interrupt/error paths so other processes are not stuck
+                    # waiting on leases a dead campaign still "holds".
+                    self._leases.release_all()
+                    self._leases = None
 
         wall = time.perf_counter() - start
         report = CampaignReport(
@@ -579,9 +630,127 @@ class CampaignRunner:
             f"{len(records)} point(s) finished and cached; rerun the same spec to resume"
         )
 
+    def _execute_points(self, points: Sequence[CampaignPoint]) -> Iterator[JobRecord]:
+        """Run points through the pool or serial path, whichever is active."""
+        payloads = [(p.index, p.key, p.job, p.overrides) for p in points]
+        # A timeout can only be enforced on a job running in a separate
+        # process, so timeout_s forces the pool path even at workers<=1.
+        if self._used_pool:
+            return self._iter_parallel(payloads)
+        return self._iter_serial(payloads)
+
+    # ------------------------------------------------------------------
+    # point leasing (store-backed caches)
+    # ------------------------------------------------------------------
+
+    def _claim_shard(
+        self, pending: Sequence[CampaignPoint]
+    ) -> Tuple[List[CampaignPoint], List[CampaignPoint], List[JobRecord]]:
+        """Partition pending points into claimed / deferred / raced-cached.
+
+        *Claimed* points are ours to compute (lease acquired, or a stale one
+        stolen).  *Deferred* points are validly held by another live process
+        — each one counts a claim conflict and is resolved later by
+        :meth:`_await_deferred`.  *Raced* records cover the window between
+        our cache miss and the claim: the holder published in the meantime,
+        so the point is a cache hit after all and the fresh lease is dropped.
+        Without leases (legacy cache, no cache) everything is claimed.
+        """
+        if self._leases is None:
+            return list(pending), [], []
+        claimed: List[CampaignPoint] = []
+        deferred: List[CampaignPoint] = []
+        raced: List[JobRecord] = []
+        for point in pending:
+            if self._leases.acquire(point.key) or self._try_steal(point):
+                hit = self._lookup(point)
+                if hit is not None:
+                    self._release_point(point.key)
+                    raced.append(hit)
+                else:
+                    claimed.append(point)
+            else:
+                self._note_claim_conflict(point.index)
+                deferred.append(point)
+        hb = get_heartbeat()
+        if hb.enabled:
+            hb.update(leases_held=len(self._leases.held))
+        return claimed, deferred, raced
+
+    def _try_steal(self, point: CampaignPoint) -> bool:
+        """Steal the lease on one point iff its current holder is stale."""
+        assert self._leases is not None
+        state = self._leases.read(point.key)
+        if state is None:
+            # Released (or torn) between our failed acquire and this probe.
+            return self._leases.acquire(point.key)
+        if not self._leases.is_stale(state):
+            return False
+        if self._leases.steal(point.key):
+            self._note_lease_steal(point.index, state)
+            return True
+        return False
+
+    def _await_deferred(self, deferred: Sequence[CampaignPoint]) -> Iterator[JobRecord]:
+        """Resolve points another process held when this shard was claimed.
+
+        Each outstanding point settles one of three ways: the holder
+        publishes (cache hit), the holder releases without publishing
+        (reclaim and compute here), or the holder goes stale — dead pid or
+        lapsed deadline — and its lease is stolen.  Liveness is guaranteed
+        by the stale probe: a holder that stops refreshing loses the lease
+        after at most one TTL, so this loop cannot wait forever.
+        """
+        outstanding: Dict[int, CampaignPoint] = {point.index: point for point in deferred}
+        while outstanding:
+            progressed = False
+            claimed_now: List[CampaignPoint] = []
+            for index in sorted(outstanding):
+                point = outstanding[index]
+                hit = self._lookup(point)
+                if hit is not None:
+                    del outstanding[index]
+                    progressed = True
+                    yield hit
+                    continue
+                assert self._leases is not None
+                if self._leases.acquire(point.key) or self._try_steal(point):
+                    del outstanding[index]
+                    progressed = True
+                    claimed_now.append(point)
+            if claimed_now:
+                for record in self._execute_points(claimed_now):
+                    yield record
+            if self._stop_requested():
+                return
+            if not progressed:
+                self._refresh_leases()
+                time.sleep(_LEASE_POLL_S)
+
+    def _release_point(self, key: str) -> None:
+        """Drop the lease on one key if this run holds it (best effort)."""
+        if self._leases is not None and self._leases.holds(key):
+            with contextlib.suppress(StoreError):
+                self._leases.release(key)
+
+    def _refresh_leases(self) -> None:
+        """Opportunistically extend held leases past half-life (wait loops)."""
+        if self._leases is None:
+            return
+        try:
+            refreshed = self._leases.refresh_due()
+        except StoreError as exc:
+            logger.warning("campaign %r: lease refresh failed: %s", self.spec.name, exc)
+            return
+        if refreshed:
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.count("store.lease_refreshes", refreshed)
+
     def _iter_serial(self, payloads: Sequence[JobPayload]) -> Iterator[JobRecord]:
         """Serial fallback — same job function, same records, same bits."""
         for payload in payloads:
+            self._refresh_leases()
             attempt = 0
             while True:
                 record = _dispatch_job(self.job_fn, payload, attempt)
@@ -643,6 +812,7 @@ class CampaignRunner:
         outcome: Optional[str] = None
         try:
             while waiting or handles:
+                self._refresh_leases()
                 now = time.monotonic()
                 for index in [i for i in waiting if not_before[i] <= now]:
                     handles[index] = pool.apply_async(
@@ -921,6 +1091,36 @@ class CampaignRunner:
             tel.count("campaign.pool_restarts")
         logger.warning("campaign %r: worker pool restarted (%s)", self.spec.name, reason)
 
+    def _note_lease_steal(self, index: int, state: Any) -> None:
+        self.resilience["lease_steals"] += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("store.lease_steals")
+        hb = get_heartbeat()
+        if hb.enabled:
+            hb.update(lease_steals=self.resilience["lease_steals"])
+        logger.warning(
+            "campaign %r: stole stale lease on point %d (holder pid %d on %s)",
+            self.spec.name,
+            index,
+            state.pid,
+            state.host or "?",
+        )
+
+    def _note_claim_conflict(self, index: int) -> None:
+        self.resilience["claim_conflicts"] += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("store.claim_conflicts")
+        hb = get_heartbeat()
+        if hb.enabled:
+            hb.update(claim_conflicts=self.resilience["claim_conflicts"])
+        logger.debug(
+            "campaign %r: point %d is leased by another process; deferring",
+            self.spec.name,
+            index,
+        )
+
     # ------------------------------------------------------------------
     # cache glue
     # ------------------------------------------------------------------
@@ -948,21 +1148,44 @@ class CampaignRunner:
 
     def _store(self, record: JobRecord) -> None:
         # Only successes are cached: errors and timeouts should be retried
-        # by the next run instead of being replayed from disk.
-        if self.cache is None or not record.ok:
+        # by the next run instead of being replayed from disk.  Cached
+        # records came *from* the store; re-publishing them is pure churn.
+        if self.cache is None or not record.ok or record.cached:
             return
-        path = self.cache.put(
-            record.key,
-            {
-                "status": record.status,
-                "result": record.result,
-                "overrides": record.overrides,
-                "duration_s": record.duration_s,
-                "spec_name": self.spec.name,
-                "experiment": self.spec.experiment,
-            },
-        )
-        # Chaos harness hook: damage the freshly written entry so the next
-        # run exercises the cache-quarantine path.  Inert without $REPRO_FAULTS.
+        # Chaos harness hook: stall the store's index write lock right
+        # before this point publishes, so concurrent writers exercise the
+        # seeded "database is locked" retries.  Inert without $REPRO_FAULTS.
+        if should_hold_lock(record.index):
+            hold_store_lock(self.cache)
+        try:
+            path = self.cache.put(
+                record.key,
+                {
+                    "status": record.status,
+                    "result": record.result,
+                    "overrides": record.overrides,
+                    "duration_s": record.duration_s,
+                    "spec_name": self.spec.name,
+                    "experiment": self.spec.experiment,
+                },
+            )
+        except StoreError as exc:
+            # Publishing is best-effort: a store that went read-only or
+            # locked-out mid-run costs the cache entry, never the computed
+            # record or the campaign.
+            logger.warning(
+                "campaign %r: could not publish point %d to the result store: %s",
+                self.spec.name,
+                record.index,
+                exc,
+            )
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.count("store.publish_failures")
+            return
+        # Chaos harness hooks: damage the freshly written entry so the next
+        # reader exercises the quarantine paths.  Inert without $REPRO_FAULTS.
         if should_corrupt_cache(record.index):
             corrupt_cache_entry(path)
+        if should_tear_write(record.index):
+            tear_payload(path)

@@ -53,6 +53,17 @@ class CampaignInterrupted(CampaignError):
     """
 
 
+class StoreError(CampaignError):
+    """The shared result store was used inconsistently or is damaged."""
+
+
+class StoreUnavailableError(StoreError):
+    """The shared result store cannot be opened (read-only root, locked-out
+    index, unusable sqlite).  Callers holding a legacy fallback — notably the
+    :class:`~repro.campaign.cache.ResultCache` facade — degrade to the
+    per-file path with a warning instead of failing the campaign."""
+
+
 class FaultInjectionError(ReproError):
     """A fault-injection spec (``REPRO_FAULTS`` / ``--inject-faults``) is invalid."""
 

@@ -27,6 +27,7 @@ tests can assert exact retry/crash/quarantine counts across runs.
 from ..errors import CampaignInterrupted, FaultInjectionError
 from .inject import (
     DEFAULT_HANG_S,
+    DEFAULT_LOCK_HOLD_S,
     FAULT_ACTIONS,
     FAULTS_ENV,
     FaultPlan,
@@ -37,14 +38,19 @@ from .inject import (
     corrupt_cache_entry,
     current_attempt,
     fire_point_faults,
+    hold_store_lock,
     set_current_attempt,
     should_corrupt_cache,
+    should_hold_lock,
+    should_tear_write,
+    tear_payload,
 )
 from .retry import RetryPolicy, is_retryable, register_retryable, retryable_types
 from .shutdown import SHUTDOWN_SIGNALS, ShutdownFlag, graceful_shutdown
 
 __all__ = [
     "DEFAULT_HANG_S",
+    "DEFAULT_LOCK_HOLD_S",
     "FAULT_ACTIONS",
     "FAULTS_ENV",
     "SHUTDOWN_SIGNALS",
@@ -61,9 +67,13 @@ __all__ = [
     "current_attempt",
     "fire_point_faults",
     "graceful_shutdown",
+    "hold_store_lock",
     "is_retryable",
     "register_retryable",
     "retryable_types",
     "set_current_attempt",
     "should_corrupt_cache",
+    "should_hold_lock",
+    "should_tear_write",
+    "tear_payload",
 ]

@@ -31,6 +31,14 @@ it effectively permanent).  Actions:
 ``corrupt-cache``
     Truncate the point's cache entry right after it is written; exercises
     the cache-quarantine path on the next run.
+``torn-write``
+    Tear the point's just-published payload file in half (the index row and
+    its checksum stay intact); exercises the shared store's checksum
+    detection and quarantine path in a concurrent reader.
+``lock-hold``
+    Hold the shared store's index write lock for ``lock=S`` seconds (default
+    0.25) right before the point publishes; exercises the seeded
+    ``database is locked`` contention retries of concurrent writers.
 
 Rate-based rules draw a Bernoulli decision from a child stream of the shared
 RNG tree keyed by ``(seed, action, point index, attempt)`` — the decision
@@ -45,7 +53,7 @@ import signal
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Any, Optional, Tuple, Union
 
 from ..errors import FaultInjectionError
 from ..obs import get_telemetry
@@ -56,10 +64,14 @@ from .retry import register_retryable
 FAULTS_ENV = "REPRO_FAULTS"
 
 #: Actions understood by the spec grammar.
-FAULT_ACTIONS = ("raise", "fatal", "hang", "kill", "corrupt-cache")
+FAULT_ACTIONS = ("raise", "fatal", "hang", "kill", "corrupt-cache", "torn-write", "lock-hold")
 
 #: Default sleep of the "hang" action — far past any sane job timeout.
 DEFAULT_HANG_S = 3600.0
+
+#: Default duration of the "lock-hold" action — long enough that concurrent
+#: writers reliably collide, short enough that their seeded retries absorb it.
+DEFAULT_LOCK_HOLD_S = 0.25
 
 
 @register_retryable
@@ -117,6 +129,7 @@ class FaultPlan:
     rules: Tuple[FaultRule, ...] = ()
     seed: int = 0
     hang_s: float = DEFAULT_HANG_S
+    lock_s: float = DEFAULT_LOCK_HOLD_S
 
     @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
@@ -124,6 +137,7 @@ class FaultPlan:
         rules = []
         seed = 0
         hang_s = DEFAULT_HANG_S
+        lock_s = DEFAULT_LOCK_HOLD_S
         for token in (part.strip() for part in spec.split(";")):
             if not token:
                 continue
@@ -133,8 +147,11 @@ class FaultPlan:
             if token.startswith("hang="):
                 hang_s = _parse_float(token[5:], f"hang duration in {token!r}")
                 continue
+            if token.startswith("lock="):
+                lock_s = _parse_float(token[5:], f"lock-hold duration in {token!r}")
+                continue
             rules.append(_parse_rule(token))
-        return cls(rules=tuple(rules), seed=seed, hang_s=hang_s)
+        return cls(rules=tuple(rules), seed=seed, hang_s=hang_s, lock_s=lock_s)
 
     def to_spec(self) -> str:
         """Round-trippable spec string (what the CLI exports to workers)."""
@@ -143,6 +160,8 @@ class FaultPlan:
             parts.append(f"seed={self.seed}")
         if self.hang_s != DEFAULT_HANG_S:
             parts.append(f"hang={self.hang_s:g}")
+        if self.lock_s != DEFAULT_LOCK_HOLD_S:
+            parts.append(f"lock={self.lock_s:g}")
         return ";".join(parts)
 
     def should(self, action: str, index: int, attempt: int = 0) -> bool:
@@ -278,3 +297,42 @@ def corrupt_cache_entry(path: Union[str, Path]) -> None:
     """Overwrite a just-written cache entry with a truncated payload."""
     _count("corrupt-cache")
     Path(path).write_text('{"status": "ok", "result": {"truncated', encoding="utf-8")
+
+
+def should_tear_write(index: int) -> bool:
+    """Whether the ``torn-write`` action fires for this point's payload."""
+    plan = active_plan()
+    return plan is not None and plan.should("torn-write", index)
+
+
+def tear_payload(path: Union[str, Path]) -> None:
+    """Truncate a just-published payload file to half its bytes.
+
+    Against the shared store this leaves an index row whose checksum no
+    longer matches the payload — the torn write a crash mid-``write()``
+    could produce on a non-atomic filesystem — so the next reader must
+    *detect* (not merely fail-to-parse) and quarantine it.
+    """
+    _count("torn-write")
+    path = Path(path)
+    data = path.read_bytes()
+    with open(path, "wb") as handle:
+        handle.write(data[: max(1, len(data) // 2)])
+
+
+def should_hold_lock(index: int) -> bool:
+    """Whether the ``lock-hold`` action fires before this point publishes."""
+    plan = active_plan()
+    return plan is not None and plan.should("lock-hold", index)
+
+
+def hold_store_lock(store: Any) -> None:
+    """Perform the ``lock-hold`` action against one shared result store.
+
+    Holds the store's index write lock for the plan's ``lock=S`` duration so
+    every concurrent writer hits ``database is locked`` and must ride it out
+    through the seeded retry schedule.
+    """
+    _count("lock-hold")
+    plan = active_plan()
+    store.hold_write_lock(plan.lock_s if plan is not None else DEFAULT_LOCK_HOLD_S)

@@ -1,0 +1,278 @@
+"""Advisory point leases: cooperative sweep partitioning across processes.
+
+A lease is a claim on one pending campaign point: *"I am computing this key;
+don't duplicate the work."*  It is advisory — nothing stops a process from
+computing an unleased point — but the campaign runner honours it, so N
+concurrent ``campaign run`` invocations of the same spec partition the sweep
+instead of each computing every point.
+
+One lease is one JSON file (``leases/<key>.lease`` under the store root)
+holding the owner's pid, hostname, and an expiry deadline.  The protocol:
+
+* **acquire** — ``O_CREAT | O_EXCL``: exactly one process wins creation.
+* **probe** — a lease is *stale* when its deadline passed, or when its owner
+  pid is provably dead (same host, ``kill -0`` raises ``ProcessLookupError``).
+  A live owner refreshes its deadline while computing, so a deadline that
+  lapsed means the owner stopped making progress.
+* **steal** — the stale file is first renamed to a per-stealer tombstone
+  (``os.rename`` succeeds for exactly one stealer; losers get
+  ``FileNotFoundError``), then the winner re-acquires through the normal
+  ``O_EXCL`` path.  Renaming before unlinking closes the classic race where
+  two stealers both unlink and the second unlink removes the *winner's*
+  fresh lease.
+* **release** — the owner unlinks its own file after publishing the result
+  (or after giving up on the point).
+
+Leases deliberately live beside — not inside — the sqlite index: a
+SIGKILLed owner must never leave the *index* needing recovery, and lock
+files make the ownership probe (pid liveness) possible at all.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import StoreError
+
+#: Default lease lifetime; owners refresh at half-life while computing, so
+#: this only has to outlive one *refresh interval*, not one job.
+DEFAULT_LEASE_TTL_S = 600.0
+
+_LEASE_SUFFIX = ".lease"
+
+
+@dataclass(frozen=True)
+class LeaseState:
+    """Decoded contents of one lease file."""
+
+    key: str
+    pid: int
+    host: str
+    created_s: float
+    deadline_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "pid": self.pid,
+            "host": self.host,
+            "created_s": self.created_s,
+            "deadline_s": self.deadline_s,
+        }
+
+
+def _pid_alive(pid: int) -> bool:
+    """Probe pid liveness on this host; unknown errors count as alive."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return True  # can't tell; err on the safe side
+    return True
+
+
+class LeaseManager:
+    """Acquire/probe/steal/release point leases under one directory."""
+
+    def __init__(self, root: Union[str, Path], ttl_s: float = DEFAULT_LEASE_TTL_S):
+        if ttl_s <= 0:
+            raise StoreError("lease ttl_s must be positive")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.ttl_s = float(ttl_s)
+        self.host = socket.gethostname()
+        #: Keys this manager currently holds -> deadline (unix seconds).
+        self._held: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # paths and state
+    # ------------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}{_LEASE_SUFFIX}"
+
+    def read(self, key: str) -> Optional[LeaseState]:
+        """The current lease on ``key``, or None (missing/unreadable)."""
+        try:
+            payload = json.loads(self.path_for(key).read_text(encoding="utf-8"))
+            return LeaseState(
+                key=key,
+                pid=int(payload["pid"]),
+                host=str(payload.get("host", "")),
+                created_s=float(payload.get("created_s", 0.0)),
+                deadline_s=float(payload["deadline_s"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            # Mid-write or torn lease files read as "no usable lease"; the
+            # O_EXCL acquire below still serialises any racing claimants.
+            return None
+
+    def is_stale(self, state: LeaseState, now: Optional[float] = None) -> bool:
+        """Past-deadline, or provably dead owner on this host."""
+        if now is None:
+            now = time.time()
+        if now >= state.deadline_s:
+            return True
+        if state.host == self.host and not _pid_alive(state.pid):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+
+    def _payload(self, key: str, now: float) -> bytes:
+        state = LeaseState(
+            key=key, pid=os.getpid(), host=self.host, created_s=now, deadline_s=now + self.ttl_s
+        )
+        return (json.dumps(state.to_dict(), sort_keys=True) + "\n").encode("utf-8")
+
+    def acquire(self, key: str) -> bool:
+        """Try to claim ``key``; True iff this process now holds the lease."""
+        now = time.time()
+        path = self.path_for(key)
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666)
+        except FileExistsError:
+            return False
+        except OSError as exc:
+            raise StoreError(f"cannot create lease {path}: {exc}") from exc
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(self._payload(key, now))
+        except OSError:
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+            raise
+        self._held[key] = now + self.ttl_s
+        return True
+
+    def steal(self, key: str) -> bool:
+        """Take over a *stale* lease; True iff this process now holds it.
+
+        Re-probes before acting (the owner may have refreshed since the
+        caller looked), tombstones the stale file so exactly one stealer
+        proceeds, then re-acquires through the normal exclusive path.
+        """
+        state = self.read(key)
+        if state is None:
+            # Lease vanished (released or already stolen): just try to claim.
+            return self.acquire(key)
+        if not self.is_stale(state):
+            return False
+        path = self.path_for(key)
+        tombstone = path.with_name(f"{path.name}.stale.{os.getpid()}")
+        try:
+            os.rename(path, tombstone)
+        except FileNotFoundError:
+            return self.acquire(key)  # someone else got there first
+        except OSError as exc:
+            raise StoreError(f"cannot tombstone stale lease {path}: {exc}") from exc
+        with contextlib.suppress(OSError):
+            os.unlink(tombstone)
+        return self.acquire(key)
+
+    def release(self, key: str) -> bool:
+        """Give up a lease this process holds; True if a file was removed."""
+        self._held.pop(key, None)
+        try:
+            os.unlink(self.path_for(key))
+        except FileNotFoundError:
+            return False
+        except OSError as exc:
+            raise StoreError(f"cannot release lease for {key}: {exc}") from exc
+        return True
+
+    def release_all(self) -> int:
+        """Release every lease this process still holds (shutdown path)."""
+        released = 0
+        for key in list(self._held):
+            with contextlib.suppress(StoreError):
+                if self.release(key):
+                    released += 1
+        return released
+
+    def refresh(self, key: str) -> None:
+        """Extend a held lease's deadline (atomic replace of the file)."""
+        if key not in self._held:
+            raise StoreError(f"refresh of lease {key!r} this process does not hold")
+        now = time.time()
+        path = self.path_for(key)
+        tmp = path.with_name(f"{path.name}.refresh.{os.getpid()}")
+        try:
+            tmp.write_bytes(self._payload(key, now))
+            os.replace(tmp, path)
+        except OSError as exc:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise StoreError(f"cannot refresh lease for {key}: {exc}") from exc
+        self._held[key] = now + self.ttl_s
+
+    def refresh_due(self, fraction: float = 0.5) -> int:
+        """Refresh every held lease past ``fraction`` of its lifetime.
+
+        Called opportunistically from runner wait loops; cheap when nothing
+        is due (one clock read plus a dict scan).
+        """
+        now = time.time()
+        refreshed = 0
+        for key, deadline in list(self._held.items()):
+            if now >= deadline - self.ttl_s * (1.0 - fraction):
+                self.refresh(key)
+                refreshed += 1
+        return refreshed
+
+    # ------------------------------------------------------------------
+    # introspection / gc
+    # ------------------------------------------------------------------
+
+    @property
+    def held(self) -> List[str]:
+        """Keys this process currently holds (sorted)."""
+        return sorted(self._held)
+
+    def holds(self, key: str) -> bool:
+        return key in self._held
+
+    def active(self) -> List[LeaseState]:
+        """All readable lease files, stale or not."""
+        states = []
+        for path in sorted(self.root.glob(f"*{_LEASE_SUFFIX}")):
+            state = self.read(path.name[: -len(_LEASE_SUFFIX)])
+            if state is not None:
+                states.append(state)
+        return states
+
+    def sweep(self) -> int:
+        """Remove stale lease files and orphaned steal/refresh temp files."""
+        removed = 0
+        now = time.time()
+        for path in list(self.root.glob(f"*{_LEASE_SUFFIX}")):
+            key = path.name[: -len(_LEASE_SUFFIX)]
+            state = self.read(key)
+            if state is not None and not self.is_stale(state, now):
+                continue
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+                removed += 1
+        for pattern in (f"*{_LEASE_SUFFIX}.stale.*", f"*{_LEASE_SUFFIX}.refresh.*"):
+            for path in list(self.root.glob(pattern)):
+                with contextlib.suppress(OSError):
+                    os.unlink(path)
+                    removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"LeaseManager({str(self.root)!r}, ttl_s={self.ttl_s}, held={len(self._held)})"

@@ -362,6 +362,8 @@ class TestWorkerCrashRecovery:
             "crashed": 2,
             "quarantined": 1,
             "pool_restarts": 2,
+            "lease_steals": 0,
+            "claim_conflicts": 0,
         }
         # No point lost, none duplicated.
         assert sorted(r.index for r in report.records) == [0, 1, 2, 3, 4]
