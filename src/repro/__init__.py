@@ -98,11 +98,15 @@ from .montecarlo import (
     refine_flip_probability_map,
 )
 from .obs import (
+    AuditTrail,
+    NumericsWatchdog,
     Telemetry,
+    audit_capture,
     build_manifest,
     enable_telemetry,
     disable_telemetry,
     get_telemetry,
+    numerics_capture,
     telemetry_capture,
 )
 from .store import LeaseManager, ResultStore, migrate_legacy_cache
@@ -114,7 +118,7 @@ from .thermal import (
     make_crosstalk_operator,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "__version__",
@@ -176,4 +180,8 @@ __all__ = [
     "disable_telemetry",
     "telemetry_capture",
     "build_manifest",
+    "AuditTrail",
+    "audit_capture",
+    "NumericsWatchdog",
+    "numerics_capture",
 ]

@@ -19,9 +19,11 @@ Subcommands::
                            [--adaptive] [--target-ci H] [--budget N]
                            [--threshold P] [--batch-size N] [--point-max N]
     repro profile [--output OUT.json] [--top N] [--sort total|excl] CMD...
-    repro obs runs [--limit N] [--json]
+    repro obs runs [--limit N] [--status STATUS] [--json]
     repro obs show RUN [--json]
     repro obs diff RUN_A RUN_B [--json]
+    repro obs audit RUN_A [RUN_B] [--check GOLDEN.jsonl] [--export OUT.jsonl]
+                    [--cache-a DIR] [--cache-b DIR] [--json]
     repro obs top RUN [--once] [--poll S] [--timeout S]
     repro obs export RUN [--output OUT.prom]
     repro obs check-bench [--bench-dir DIR] [--baselines FILE] [--json]
@@ -73,11 +75,20 @@ group reads that ledger: ``runs`` lists recorded invocations, ``show``
 renders one snapshot, ``diff`` reports counter/gauge/span deltas between two
 runs, ``top`` tails a running job, ``export`` emits OpenMetrics text, and
 ``check-bench`` gates the benchmark trajectory against committed baselines.
+
+Recorded commands additionally accept ``--audit``: the run then collects a
+determinism fingerprint stream (SHA-256 of the numerical payloads at stage
+boundaries, keyed by point/batch/spawn identity — see :mod:`repro.obs.audit`)
+next to the ledger entry.  ``repro obs audit RUN_A RUN_B`` diffs two streams
+and pinpoints the first divergent stage; ``--check GOLDEN.jsonl`` compares a
+run against a committed golden stream as a CI determinism gate, and
+``--export`` writes a stream out to become that golden file.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -91,10 +102,13 @@ from ..obs import (
     BASELINES_FILENAME,
     DEFAULT_OBS_DIR,
     OBS_DIR_ENV,
+    AuditTrail,
     HeartbeatWriter,
     RunLedger,
     Telemetry,
+    audit_capture,
     build_manifest,
+    diff_audit_streams,
     check_bench,
     diff_snapshots,
     follow_heartbeat,
@@ -103,7 +117,10 @@ from ..obs import (
     load_baselines,
     load_bench_records,
     new_run_id,
+    payload_max_abs_diff,
+    read_audit_stream,
     read_heartbeat,
+    render_audit_diff,
     render_check_report,
     render_diff,
     render_heartbeat,
@@ -111,7 +128,9 @@ from ..obs import (
     render_report,
     render_runs_table,
     resilience_counts,
+    strip_volatile,
     telemetry_capture,
+    write_audit_stream,
     write_snapshot,
 )
 from ..utils.logging import get_logger
@@ -321,6 +340,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     obs_runs = obs_sub.add_parser("runs", help="list the recorded runs in the ledger")
     obs_runs.add_argument("--limit", type=int, default=20, metavar="N", help="show the N most recent runs (default 20)")
+    obs_runs.add_argument(
+        "--status", choices=("ok", "error", "interrupted"), default=None,
+        help="only list runs with this recorded status",
+    )
     obs_runs.add_argument("--json", action="store_true", help="print the index entries as JSON")
     _add_obs_dir_flag(obs_runs)
     obs_runs.set_defaults(handler=_cmd_obs_runs)
@@ -337,6 +360,35 @@ def build_parser() -> argparse.ArgumentParser:
     obs_diff.add_argument("--json", action="store_true", help="print the structured diff as JSON")
     _add_obs_dir_flag(obs_diff)
     obs_diff.set_defaults(handler=_cmd_obs_diff)
+
+    obs_audit = obs_sub.add_parser(
+        "audit", help="diff the determinism fingerprint streams of two recorded runs"
+    )
+    obs_audit.add_argument("run_a", help="run id, unique prefix, or `latest`/`latest~N`")
+    obs_audit.add_argument(
+        "run_b", nargs="?", default=None,
+        help="second run to compare against (omit with --check or --export)",
+    )
+    obs_audit.add_argument(
+        "--check", metavar="GOLDEN.jsonl", default=None,
+        help="compare RUN_A's stream against a committed golden stream file (CI determinism gate)",
+    )
+    obs_audit.add_argument(
+        "--export", metavar="OUT.jsonl", default=None,
+        help="write RUN_A's stream to a file (e.g. to commit as the golden stream)",
+    )
+    obs_audit.add_argument(
+        "--cache-a", metavar="DIR", default=None,
+        help="result cache/store RUN_A computed into; with --cache-b, a divergent "
+        "campaign point also reports the max-abs-diff between the cached payloads",
+    )
+    obs_audit.add_argument(
+        "--cache-b", metavar="DIR", default=None,
+        help="result cache/store the second stream's run computed into (see --cache-a)",
+    )
+    obs_audit.add_argument("--json", action="store_true", help="print the diff report as JSON")
+    _add_obs_dir_flag(obs_audit)
+    obs_audit.set_defaults(handler=_cmd_obs_audit)
 
     obs_top = obs_sub.add_parser("top", help="tail the live heartbeat of a running job")
     obs_top.add_argument("run", help="run id, unique prefix, or `latest`")
@@ -440,6 +492,11 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
         "--no-obs", action="store_true",
         help="skip run-ledger recording and the live heartbeat for this invocation",
     )
+    subparser.add_argument(
+        "--audit", action="store_true",
+        help="record a determinism fingerprint stream for this run next to the ledger "
+        "(compare runs with `repro obs audit`)",
+    )
 
 
 _FIGURE_IDS = ("2a", "3a", "3b", "3c", "3d")
@@ -514,11 +571,20 @@ def _run_recorded(
     logging, never to breaking the command.  Errors are recorded too: the
     handler's exception propagates, but the ledger keeps the partial snapshot
     with status ``error`` and the heartbeat terminates as ``failed``.
+
+    ``--audit`` additionally runs the dispatch under a live
+    :class:`~repro.obs.AuditTrail`; the fingerprint stream is persisted under
+    ``<obs dir>/audit/<run id>.jsonl`` even when the run errors or is
+    interrupted, so a divergence can be localized post-mortem.
     """
     ledger: Optional[RunLedger] = None
     heartbeat: Optional[HeartbeatWriter] = None
     run_id = new_run_id()
     spec_name = _peek_spec_name(spec_path)
+    trail: Optional[AuditTrail] = AuditTrail() if getattr(args, "audit", False) else None
+    if trail is not None and getattr(args, "no_obs", False):
+        print("note: --audit streams into the run ledger; ignored with --no-obs")
+        trail = None
     if not getattr(args, "no_obs", False):
         try:
             ledger = RunLedger(getattr(args, "obs_dir", None))
@@ -536,13 +602,14 @@ def _run_recorded(
     code: Optional[int] = None
     interrupted = False
     try:
-        with telemetry_capture(telemetry):
-            with telemetry.span(f"cli.{label}"):
-                if heartbeat is not None:
-                    with heartbeat_scope(heartbeat):
-                        code = dispatch()
-                else:
-                    code = dispatch()
+        with contextlib.ExitStack() as scopes:
+            scopes.enter_context(telemetry_capture(telemetry))
+            scopes.enter_context(telemetry.span(f"cli.{label}"))
+            if trail is not None:
+                scopes.enter_context(audit_capture(trail))
+            if heartbeat is not None:
+                scopes.enter_context(heartbeat_scope(heartbeat))
+            code = dispatch()
     except CampaignInterrupted:
         # A drained SIGINT/SIGTERM stop: completed work is cached, the run is
         # resumable — record that distinctly from a genuine failure.
@@ -559,6 +626,14 @@ def _run_recorded(
                 heartbeat.finish("interrupted")
             else:
                 heartbeat.finish("done" if status == "ok" else "failed")
+        if trail is not None and ledger is not None:
+            try:
+                path = write_audit_stream(
+                    ledger.audit_path(run_id), trail.records(), run_id=run_id, label=label
+                )
+                print(f"wrote audit stream ({len(trail.records())} records) to {path}")
+            except OSError as exc:
+                logger.debug("audit stream recording failed: %s", exc)
         if ledger is not None:
             try:
                 entry = ledger.record(
@@ -1075,6 +1150,8 @@ def _open_ledger(args: argparse.Namespace) -> RunLedger:
 def _cmd_obs_runs(args: argparse.Namespace) -> int:
     ledger = _open_ledger(args)
     entries = ledger.entries()
+    if args.status:
+        entries = [entry for entry in entries if entry.status == args.status]
     if args.json:
         shown = entries[-args.limit:] if args.limit and args.limit > 0 else entries
         print(json.dumps([entry.to_dict() for entry in shown], indent=2, default=str))
@@ -1115,6 +1192,87 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
     else:
         print(render_diff(diff, run_a=entry_a.run_id, run_b=entry_b.run_id))
     return 0
+
+
+def _read_run_audit(ledger: RunLedger, ref: str) -> Tuple[str, List[Dict[str, Any]]]:
+    """Resolve one run reference and read its persisted fingerprint stream."""
+    entry = ledger.resolve(ref)
+    path = ledger.audit_path(entry.run_id)
+    if not path.exists():
+        raise ReproError(
+            f"run {entry.run_id} has no audit stream under {ledger.audit_dir} "
+            "(rerun the command with --audit to record one)"
+        )
+    _header, records = read_audit_stream(path)
+    return entry.run_id, records
+
+
+def _audit_divergence_context(
+    report: Dict[str, Any], cache_a: Optional[str], cache_b: Optional[str]
+) -> None:
+    """Attach max-abs-diff context to a divergent ``campaign.point`` record.
+
+    Only possible when both runs' cached payloads are still recoverable: the
+    divergent record's ``meta.key`` is the campaign cache key, so the two
+    payloads are loaded from their respective caches and walked for the
+    largest numeric difference.  Best-effort — any missing piece just leaves
+    the report without context.
+    """
+    first = report.get("first_divergence")
+    if not first or first.get("reason") != "fingerprint" or not (cache_a and cache_b):
+        return
+    if first.get("stage") != "campaign.point":
+        return
+    key = ((first.get("a") or {}).get("meta") or {}).get("key")
+    if not key:
+        return
+    try:
+        payload_a = ResultCache(cache_a).get(key)
+        payload_b = ResultCache(cache_b).get(key)
+    except ReproError:
+        return
+    if payload_a is None or payload_b is None:
+        return
+    context = payload_max_abs_diff(strip_volatile(payload_a), strip_volatile(payload_b))
+    if context is not None:
+        report["context"] = {"max_abs_diff": context[0], "path": context[1]}
+
+
+def _cmd_obs_audit(args: argparse.Namespace) -> int:
+    ledger = _open_ledger(args)
+    run_a, records_a = _read_run_audit(ledger, args.run_a)
+    if args.export:
+        path = write_audit_stream(args.export, records_a, run_id=run_a)
+        print(f"exported audit stream of {run_a} ({len(records_a)} records) to {path}")
+        if not args.run_b and not args.check:
+            return 0
+    if args.run_b and args.check:
+        raise ReproError("give either RUN_B or --check GOLDEN.jsonl, not both")
+    if args.check:
+        name_b = args.check
+        _header, records_b = read_audit_stream(args.check)
+    elif args.run_b:
+        name_b, records_b = _read_run_audit(ledger, args.run_b)
+    else:
+        # Single-run mode: summarise the stream per stage.
+        stages: Dict[str, int] = {}
+        for record in records_a:
+            stages[record.get("stage", "?")] = stages.get(record.get("stage", "?"), 0) + 1
+        if args.json:
+            print(json.dumps({"run": run_a, "records": len(records_a), "stages": stages},
+                             indent=2, default=str))
+        else:
+            print(f"run {run_a}: {len(records_a)} audit records")
+            for stage in sorted(stages):
+                print(f"  {stage:<24} {stages[stage]:>6}")
+        return 0
+    report = diff_audit_streams(records_a, records_b)
+    _audit_divergence_context(report, args.cache_a, args.cache_b)
+    if args.json:
+        print(json.dumps({"run_a": run_a, "run_b": name_b, **report}, indent=2, default=str))
+    else:
+        print(render_audit_diff(report, a_name=run_a, b_name=name_b))
+    return 0 if report["identical"] else 1
 
 
 def _cmd_obs_top(args: argparse.Namespace) -> int:

@@ -44,13 +44,25 @@ from ..faults import (
     graceful_shutdown,
     hold_store_lock,
     is_retryable,
+    perturb_result,
     set_current_attempt,
     should_corrupt_cache,
     should_hold_lock,
+    should_perturb_result,
     should_tear_write,
     tear_payload,
 )
-from ..obs import Telemetry, get_heartbeat, get_telemetry, telemetry_capture, telemetry_enabled
+from ..obs import (
+    NULL_AUDIT,
+    Telemetry,
+    audit_capture,
+    audit_enabled,
+    get_audit,
+    get_heartbeat,
+    get_telemetry,
+    telemetry_capture,
+    telemetry_enabled,
+)
 from ..utils.logging import get_logger
 from .cache import ResultCache
 from .spec import CampaignPoint, CampaignSpec
@@ -258,7 +270,21 @@ def run_campaign_job(payload: JobPayload) -> JobRecord:
     :class:`~repro.obs.Telemetry` whose snapshot rides back on the record —
     uniformly for the serial and pool paths, so per-job span trees cross the
     multiprocessing boundary as plain dicts and the parent merges them.
+
+    With an ambient audit trail active in the *parent*, the job itself is
+    audited with :data:`~repro.obs.NULL_AUDIT`: stage records from a serial
+    in-process job would otherwise leak into the parent's stream, which pool
+    jobs (separate processes) could never mirror, breaking the serial-vs-pool
+    stream identity.  The campaign's own fingerprints are emitted parent-side
+    per point, ordered by index (see :meth:`CampaignRunner.run`).
     """
+    if audit_enabled():
+        with audit_capture(NULL_AUDIT):
+            return _run_campaign_job_observed(payload)
+    return _run_campaign_job_observed(payload)
+
+
+def _run_campaign_job_observed(payload: JobPayload) -> JobRecord:
     if telemetry_enabled():
         with telemetry_capture(Telemetry()) as tel:
             with tel.span("campaign.job", index=payload[0]):
@@ -276,6 +302,12 @@ def _execute_campaign_job(payload: JobPayload) -> JobRecord:
         # faults land in the except-clause like any real point failure.
         fire_point_faults(index)
         result = execute_point(job)
+        # Chaos harness hook: nudge one numeric leaf of the freshly computed
+        # result *before* publication, so cache, report and audit fingerprint
+        # all agree with each other yet diverge from a clean run — the
+        # scenario `repro obs audit` must localize.  Inert without faults.
+        if should_perturb_result(index):
+            result = perturb_result(result)
     except Exception as exc:  # noqa: BLE001 — one bad point must not kill the sweep
         return JobRecord(
             index=index,
@@ -558,6 +590,7 @@ class CampaignRunner:
             records=[records[index] for index in sorted(records)],
             duration_s=wall,
         )
+        self._audit_report(report)
         utilization: Optional[float] = None
         if used_pool and wall > 0.0:
             busy = sum(r.duration_s for r in report.records if not r.cached)
@@ -573,6 +606,34 @@ class CampaignRunner:
                 hb.update()
         logger.debug("%s", report.summary())
         return report
+
+    def _audit_report(self, report: CampaignReport) -> None:
+        """Emit one ``campaign.point`` fingerprint per record, sorted by index.
+
+        Runs parent-side after the sweep, over the same deterministic payload
+        shape :meth:`_store` publishes (volatile wall-clock keys are stripped
+        by the fingerprinter).  Because the records are keyed and ordered by
+        point index — never by completion order — serial, pool and
+        multi-process shared-store executions of one seeded spec produce
+        byte-identical streams, and a cached replay matches the run that
+        computed it.
+        """
+        audit = get_audit()
+        if not audit.enabled:
+            return
+        for record in report.records:  # already sorted by index
+            audit.record(
+                "campaign.point",
+                key=record.index,
+                payload={
+                    "status": record.status,
+                    "result": record.result,
+                    "overrides": record.overrides,
+                    "spec_name": report.spec_name,
+                    "experiment": report.experiment,
+                },
+                meta={"key": record.key, "status": record.status, "cached": record.cached},
+            )
 
     def status(self) -> Dict[str, Any]:
         """Cache coverage of the spec without executing anything.

@@ -52,7 +52,7 @@ from ..devices.base import (
 )
 from ..errors import ConfigurationError, ConvergenceError
 from ..faults import register_retryable
-from ..obs import get_telemetry
+from ..obs import get_audit, get_telemetry, get_watchdog
 from .drivers import BiasPattern
 from .netlist import GROUND_NODE, CrossbarNetlist
 
@@ -324,10 +324,14 @@ class CrossbarSolver:
         prev_step = np.inf
         converged = False
         residual = np.inf
+        watchdog = get_watchdog()
+        residual_trajectory = [] if watchdog.enabled else None
         for solve_count in range(self.max_iterations + 1):
             branch_v = voltages[dev_w] - voltages[dev_b]
             currents = self._batched.current(branch_v, x_arr, t_arr)
             residual = self._kcl_residual(voltages, extra_g, driver_currents, currents)
+            if residual_trajectory is not None:
+                residual_trajectory.append(residual)
             if prev_step < self.voltage_tolerance_v and residual < self.residual_tolerance_a:
                 converged = True
                 break
@@ -358,6 +362,12 @@ class CrossbarSolver:
             tel.observe("solver.residual_a", residual)
             tel.observe("solver.iterations_per_solve", iterations)
 
+        if watchdog.enabled:
+            watchdog.check_array("solver.solve", "node_voltages_v", voltages)
+            watchdog.check_array("solver.solve", "device_currents_a", currents)
+            watchdog.check_iterations("solver.solve", iterations, self.max_iterations)
+            watchdog.check_residuals("solver.solve", residual_trajectory)
+
         if not converged:
             if tel.enabled:
                 tel.count("solver.failures")
@@ -367,6 +377,17 @@ class CrossbarSolver:
             )
 
         self._last_solution = voltages.copy()
+        audit = get_audit()
+        if audit.enabled:
+            audit.record(
+                "solver.operating_point",
+                arrays={
+                    "node_voltages_v": voltages,
+                    "device_voltages_v": branch_v,
+                    "device_currents_a": currents,
+                },
+                meta={"iterations": iterations, "residual_a": residual},
+            )
         return self._operating_point(voltages, branch_v, currents, iterations, residual)
 
     # -- helpers ---------------------------------------------------------------
@@ -400,6 +421,12 @@ class CrossbarSolver:
         else:  # pragma: no cover
             np.subtract.at(rhs, self._dev_w, equivalent)
             np.add.at(rhs, self._dev_b, equivalent)
+
+        watchdog = get_watchdog()
+        if watchdog.enabled:
+            # Stamp-magnitude spread of the assembled Jacobian data: a cheap
+            # conditioning proxy that drifts with the true condition number.
+            watchdog.gauge_condition("solver.jacobian", data)
 
         if self._use_sparse:
             self.last_backend = "sparse"

@@ -24,7 +24,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..obs import get_telemetry
+from ..obs import get_audit, get_telemetry, get_watchdog
 from .crossbar import CrossbarArray
 from .drivers import BiasPattern, idle_bias
 from .pulses import StimulusSchedule, StimulusSegment
@@ -232,7 +232,9 @@ class TransientSimulator:
         steps = 0
         stop = False
 
-        for segment in schedule:
+        audit = get_audit()
+        watchdog = get_watchdog()
+        for segment_index, segment in enumerate(schedule):
             if stop:
                 break
             bias = self._segment_bias(segment)
@@ -276,6 +278,27 @@ class TransientSimulator:
                         voltages,
                         segment.label,
                     )
+            if watchdog.enabled:
+                watchdog.check_array("transient.segment", "state_x", state.x)
+                watchdog.check_array("transient.segment", "temperature_k", state.temperature_k)
+            if audit.enabled:
+                # Segment boundary: the trace contribution of one stimulus
+                # segment is fully determined here (device states, filament
+                # temperatures, accumulated flips).
+                audit.record(
+                    "transient.segment",
+                    key=segment_index,
+                    arrays={
+                        "state_x": state.x,
+                        "temperature_k": state.temperature_k,
+                    },
+                    meta={
+                        "label": segment.label,
+                        "steps": steps,
+                        "flips": len(flips),
+                        "time_s": time_s,
+                    },
+                )
             crossbar.reset_temperatures()
 
         if tel.enabled:

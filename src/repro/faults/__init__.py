@@ -30,6 +30,7 @@ from .inject import (
     DEFAULT_LOCK_HOLD_S,
     FAULT_ACTIONS,
     FAULTS_ENV,
+    PERTURB_RELATIVE,
     FaultPlan,
     FaultRule,
     InjectedFatalFault,
@@ -39,9 +40,11 @@ from .inject import (
     current_attempt,
     fire_point_faults,
     hold_store_lock,
+    perturb_result,
     set_current_attempt,
     should_corrupt_cache,
     should_hold_lock,
+    should_perturb_result,
     should_tear_write,
     tear_payload,
 )
@@ -53,6 +56,7 @@ __all__ = [
     "DEFAULT_LOCK_HOLD_S",
     "FAULT_ACTIONS",
     "FAULTS_ENV",
+    "PERTURB_RELATIVE",
     "SHUTDOWN_SIGNALS",
     "CampaignInterrupted",
     "FaultInjectionError",
@@ -69,11 +73,13 @@ __all__ = [
     "graceful_shutdown",
     "hold_store_lock",
     "is_retryable",
+    "perturb_result",
     "register_retryable",
     "retryable_types",
     "set_current_attempt",
     "should_corrupt_cache",
     "should_hold_lock",
+    "should_perturb_result",
     "should_tear_write",
     "tear_payload",
 ]

@@ -39,6 +39,12 @@ it effectively permanent).  Actions:
     Hold the shared store's index write lock for ``lock=S`` seconds (default
     0.25) right before the point publishes; exercises the seeded
     ``database is locked`` contention retries of concurrent writers.
+``perturb``
+    Nudge the first numeric leaf of the point's freshly computed result by
+    one part in 2**40 *before* it is published — the payload stays fully
+    self-consistent (caches, checksums and reports all agree on the
+    perturbed value), but a determinism-audit fingerprint of the point must
+    diverge; exercises ``repro obs audit``'s divergence localization.
 
 Rate-based rules draw a Bernoulli decision from a child stream of the shared
 RNG tree keyed by ``(seed, action, point index, attempt)`` — the decision
@@ -64,7 +70,20 @@ from .retry import register_retryable
 FAULTS_ENV = "REPRO_FAULTS"
 
 #: Actions understood by the spec grammar.
-FAULT_ACTIONS = ("raise", "fatal", "hang", "kill", "corrupt-cache", "torn-write", "lock-hold")
+FAULT_ACTIONS = (
+    "raise",
+    "fatal",
+    "hang",
+    "kill",
+    "corrupt-cache",
+    "torn-write",
+    "lock-hold",
+    "perturb",
+)
+
+#: Relative bump applied by the "perturb" action: one ulp-scale nudge, far
+#: below any physical tolerance but fatal to a bitwise fingerprint.
+PERTURB_RELATIVE = 2.0**-40
 
 #: Default sleep of the "hang" action — far past any sane job timeout.
 DEFAULT_HANG_S = 3600.0
@@ -318,6 +337,50 @@ def tear_payload(path: Union[str, Path]) -> None:
     data = path.read_bytes()
     with open(path, "wb") as handle:
         handle.write(data[: max(1, len(data) // 2)])
+
+
+def should_perturb_result(index: int) -> bool:
+    """Whether the ``perturb`` action fires for this point's result."""
+    plan = active_plan()
+    return plan is not None and plan.should("perturb", index, _current_attempt)
+
+
+def perturb_result(result: Any) -> Any:
+    """Perform the ``perturb`` action: nudge the first numeric leaf in place.
+
+    Walks dicts (sorted keys) and lists depth-first and multiplies the first
+    finite float found by ``1 + PERTURB_RELATIVE`` (or adds the epsilon when
+    the value is zero).  The walk is deterministic, so two perturbed runs of
+    the same point diverge *identically* — the differ localizes the point,
+    not the noise.
+    """
+    _count("perturb")
+
+    def nudge(value: float) -> float:
+        return value * (1.0 + PERTURB_RELATIVE) if value else PERTURB_RELATIVE
+
+    def walk(node: Any) -> bool:
+        if isinstance(node, dict):
+            for key in sorted(node):
+                value = node[key]
+                if isinstance(value, float):
+                    node[key] = nudge(value)
+                    return True
+                if walk(value):
+                    return True
+            return False
+        if isinstance(node, list):
+            for position, value in enumerate(node):
+                if isinstance(value, float):
+                    node[position] = nudge(value)
+                    return True
+                if walk(value):
+                    return True
+            return False
+        return False
+
+    walk(result)
+    return result
 
 
 def should_hold_lock(index: int) -> bool:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -38,7 +38,7 @@ from ..devices.kinetics import pulses_to_switch
 from ..devices.thermal import solve_operating_point
 from ..errors import ConvergenceError, DeviceModelError, MonteCarloError
 from ..circuit.drivers import write_bias
-from ..obs import build_manifest, get_heartbeat, get_telemetry
+from ..obs import build_manifest, get_audit, get_heartbeat, get_telemetry, get_watchdog, spawn_digest
 from ..utils.logging import get_logger
 from .adaptive import AdaptiveConfig, AdaptiveOutcome, AdaptiveSampler
 from .estimators import (
@@ -664,11 +664,45 @@ class MonteCarloEngine:
                     "full_array mode runs through the batched solver kernel only; "
                     "it has no scalar reference path"
                 )
-            return self._run_full_array(n, conditions, spawn=spawn)
-        draw = self.sample(n, spawn=spawn)
-        if vectorized:
-            return self._run_vectorized(n, draw, conditions)
-        return self._run_scalar(n, draw, conditions)
+            result = self._run_full_array(n, conditions, spawn=spawn)
+        else:
+            draw = self.sample(n, spawn=spawn)
+            if vectorized:
+                result = self._run_vectorized(n, draw, conditions)
+            else:
+                result = self._run_scalar(n, draw, conditions)
+        self._observe_batch(result, spawn)
+        return result
+
+    def _observe_batch(self, result: MonteCarloResult, spawn: Sequence) -> None:
+        """Audit/watchdog hook at one batch boundary (fixed runs included)."""
+        watchdog = get_watchdog()
+        if watchdog.enabled:
+            watchdog.check_array("mc.batch", "final_x", result.final_x)
+            watchdog.check_array(
+                "mc.batch", "victim_temperature_k", result.victim_temperature_k
+            )
+        audit = get_audit()
+        if audit.enabled:
+            # Keyed by the batch's RNG spawn path, so the record's identity
+            # is execution-invariant (batch i is batch i whatever drew it).
+            audit.record(
+                "mc.batch_result",
+                key=spawn_digest(self.montecarlo.seed, "montecarlo", *spawn),
+                arrays={
+                    "flipped": result.flipped,
+                    "pulses": result.pulses,
+                    "valid": result.valid,
+                    "final_x": result.final_x,
+                    "stress_time_s": result.stress_time_s,
+                },
+                meta={
+                    "n_samples": int(result.n_samples),
+                    "engine": result.engine,
+                    "spawn": [str(s) for s in spawn],
+                    "flipped_count": int(result.flipped_count),
+                },
+            )
 
     # -- adaptive (sequential) path ----------------------------------------
 

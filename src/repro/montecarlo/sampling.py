@@ -42,6 +42,7 @@ import numpy as np
 from ..config import JsonConfig
 from ..devices.jart_vcm import JartVcmParameters
 from ..errors import MonteCarloError
+from ..obs import get_audit, get_watchdog, spawn_digest
 from ..utils.rng import child_rng
 
 #: Distribution families understood by the sampler.
@@ -476,6 +477,18 @@ class PopulationSampler:
                 values = values * float(nominals[dist.path])
             draw.values[dist.path] = np.asarray(values, dtype=np.float64)
         draw.log_weights = log_weights
+        watchdog = get_watchdog()
+        if watchdog.enabled:
+            for path, values in draw.values.items():
+                watchdog.check_array("mc.population_draw", path, values)
+        audit = get_audit()
+        if audit.enabled:
+            audit.record(
+                "mc.population_draw",
+                key=spawn_digest(self.seed, "montecarlo", *spawn),
+                arrays=draw.values,
+                meta={"n_samples": n_samples, "spawn": [str(s) for s in spawn]},
+            )
         return draw
 
     def sample_cells(
@@ -515,4 +528,16 @@ class PopulationSampler:
                     )
                 values = values * float(nominals[dist.path])
             draw.values[dist.path] = np.asarray(values, dtype=np.float64)
+        audit = get_audit()
+        if audit.enabled:
+            audit.record(
+                "mc.population_draw",
+                key=spawn_digest(self.seed, "montecarlo", *spawn, "full-array"),
+                arrays=draw.values,
+                meta={
+                    "n_arrays": n_arrays,
+                    "cells": cells,
+                    "spawn": [str(s) for s in spawn],
+                },
+            )
         return draw

@@ -31,6 +31,26 @@ OpenMetrics export (:mod:`repro.obs.metrics_export`) and the benchmark
 regression gate (:mod:`repro.obs.regress` — ``repro obs check-bench``).
 """
 
+from .audit import (
+    NULL_AUDIT,
+    VOLATILE_KEYS,
+    AuditTrail,
+    NullAuditTrail,
+    audit_capture,
+    audit_enabled,
+    canonical_array_bytes,
+    diff_audit_streams,
+    disable_audit,
+    enable_audit,
+    fingerprint,
+    get_audit,
+    payload_max_abs_diff,
+    read_audit_stream,
+    render_audit_diff,
+    spawn_digest,
+    strip_volatile,
+    write_audit_stream,
+)
 from .live import (
     NULL_HEARTBEAT,
     HeartbeatWriter,
@@ -83,6 +103,16 @@ from .export import (
     render_span_table,
     write_snapshot,
 )
+from .numerics import (
+    NULL_WATCHDOG,
+    NullNumericsWatchdog,
+    NumericsWatchdog,
+    disable_numerics,
+    enable_numerics,
+    get_watchdog,
+    numerics_capture,
+    watchdog_enabled,
+)
 from .telemetry import (
     BINS_PER_DECADE,
     MAX_EVENTS_PER_NAME,
@@ -104,14 +134,21 @@ __all__ = [
     "HISTORY_FILENAME",
     "MANIFEST_SCHEMA_VERSION",
     "MAX_EVENTS_PER_NAME",
+    "NULL_AUDIT",
     "NULL_HEARTBEAT",
     "NULL_TELEMETRY",
+    "NULL_WATCHDOG",
     "OBS_DIR_ENV",
+    "VOLATILE_KEYS",
+    "AuditTrail",
     "CheckResult",
     "HeartbeatWriter",
     "LogHistogram",
+    "NullAuditTrail",
     "NullHeartbeat",
+    "NullNumericsWatchdog",
     "NullTelemetry",
+    "NumericsWatchdog",
     "RunEntry",
     "RunLedger",
     "SpanAggregate",
@@ -119,13 +156,32 @@ __all__ = [
     "Telemetry",
     "aggregate_spans",
     "append_history",
+    "audit_capture",
+    "audit_enabled",
+    "canonical_array_bytes",
     "build_manifest",
     "check_bench",
     "default_obs_dir",
+    "diff_audit_streams",
     "diff_snapshots",
+    "disable_audit",
+    "disable_numerics",
     "disable_telemetry",
+    "enable_audit",
+    "enable_numerics",
     "enable_telemetry",
     "find_heartbeats",
+    "fingerprint",
+    "get_audit",
+    "get_watchdog",
+    "numerics_capture",
+    "payload_max_abs_diff",
+    "read_audit_stream",
+    "render_audit_diff",
+    "spawn_digest",
+    "strip_volatile",
+    "watchdog_enabled",
+    "write_audit_stream",
     "find_span",
     "follow_heartbeat",
     "gate_passed",

@@ -169,6 +169,12 @@ class HeartbeatWriter:
         done = self._state.get("done")
         if not total or not done or done <= 0:
             return None
+        # No observed rate yet: a resume that served every point from the
+        # cache reports done=total with ~zero elapsed — extrapolating a rate
+        # from that (or from a first write landing at elapsed=0) is
+        # meaningless, so report "no estimate" instead of 0 or inf.
+        if elapsed_s <= 0.0:
+            return None
         remaining = max(0, int(total) - int(done))
         return elapsed_s / int(done) * remaining
 

@@ -1,0 +1,203 @@
+"""Numerics-health watchdog: NaN/Inf/underflow guards and anomaly detectors.
+
+A silent numerical pathology — a NaN leaking out of a solve, a residual
+that stalls instead of contracting, a Newton loop grinding at its iteration
+ceiling, a Jacobian drifting toward singularity — corrupts results long
+before anything crashes.  The watchdog turns those conditions into
+structured ``numerics.*`` counters, gauges and events through the existing
+:class:`~repro.obs.telemetry.Telemetry` registry, so they ride the same
+snapshots, ledger records and OpenMetrics export as every other signal.
+
+Opt-in with the same null-object idiom as telemetry: disabled call sites
+pay one attribute check (:data:`NULL_WATCHDOG`).  The watchdog itself holds
+no results — it only *emits*; enable telemetry alongside it to collect.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Sequence
+
+import numpy as np
+
+from .telemetry import get_telemetry
+
+#: Fraction of the iteration budget at which a solve counts as "pressured".
+ITERATION_PRESSURE_FRACTION = 0.9
+
+#: Growth factor between consecutive residuals that flags a blowup step.
+RESIDUAL_BLOWUP_FACTOR = 1e3
+
+
+class NullNumericsWatchdog:
+    """Disabled watchdog: every check is one attribute check."""
+
+    __slots__ = ()
+    enabled = False
+
+    def check_array(self, stage, name, values):
+        return True
+
+    def check_residuals(self, stage, residuals):
+        return True
+
+    def check_iterations(self, stage, iterations, limit):
+        return True
+
+    def gauge_condition(self, stage, values):
+        return None
+
+
+NULL_WATCHDOG = NullNumericsWatchdog()
+
+
+class NumericsWatchdog:
+    """Emits ``numerics.*`` health signals through the active telemetry."""
+
+    __slots__ = ()
+    enabled = True
+
+    def check_array(self, stage: str, name: str, values: Any) -> bool:
+        """Guard one array against NaN/Inf/subnormal underflow.
+
+        Returns False (and emits a ``numerics.nonfinite`` event plus
+        counters) when any element is non-finite; subnormal values emit
+        only the ``numerics.underflow`` counter — they are legal but are
+        the canary for a collapsing scale.
+        """
+        array = np.asarray(values)
+        if array.dtype.kind not in "fc":
+            return True
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("numerics.checks")
+        finite = np.isfinite(array)
+        if finite.all():
+            if array.dtype.kind == "f" and array.size:
+                tiny = np.finfo(array.dtype).tiny
+                subnormal = int(np.count_nonzero((np.abs(array) < tiny) & (array != 0)))
+                if subnormal and tel.enabled:
+                    tel.count("numerics.underflow", subnormal)
+            return True
+        nan_count = int(np.count_nonzero(np.isnan(array)))
+        inf_count = int(array.size - np.count_nonzero(finite)) - nan_count
+        if tel.enabled:
+            tel.count("numerics.nonfinite")
+            tel.event(
+                "numerics.nonfinite",
+                stage=stage,
+                array=name,
+                nan=nan_count,
+                inf=inf_count,
+                size=int(array.size),
+            )
+        return False
+
+    def check_residuals(self, stage: str, residuals: Sequence[float]) -> bool:
+        """Detect a non-contracting or blowing-up residual trajectory.
+
+        A healthy damped-Newton trajectory ends below where it started and
+        never jumps by more than :data:`RESIDUAL_BLOWUP_FACTOR` in one
+        step.  Violations emit a ``numerics.residual_anomaly`` event with
+        the offending step.
+        """
+        trajectory = [float(r) for r in residuals]
+        if len(trajectory) < 2:
+            return True
+        tel = get_telemetry()
+        blowup_step = None
+        for index in range(1, len(trajectory)):
+            previous, current = trajectory[index - 1], trajectory[index]
+            if previous > 0.0 and current > previous * RESIDUAL_BLOWUP_FACTOR:
+                blowup_step = index
+                break
+        stalled = trajectory[-1] >= trajectory[0] and trajectory[0] > 0.0
+        if blowup_step is None and not stalled:
+            return True
+        if tel.enabled:
+            tel.count("numerics.residual_anomalies")
+            tel.event(
+                "numerics.residual_anomaly",
+                stage=stage,
+                kind="blowup" if blowup_step is not None else "stall",
+                step=blowup_step,
+                first=trajectory[0],
+                last=trajectory[-1],
+                steps=len(trajectory),
+            )
+        return False
+
+    def check_iterations(self, stage: str, iterations: int, limit: int) -> bool:
+        """Flag a solve that consumed most of its iteration budget."""
+        if limit <= 0 or iterations < ITERATION_PRESSURE_FRACTION * limit:
+            return True
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("numerics.iteration_pressure")
+            tel.event(
+                "numerics.iteration_pressure",
+                stage=stage,
+                iterations=int(iterations),
+                limit=int(limit),
+            )
+        return False
+
+    def gauge_condition(self, stage: str, values: Any) -> Optional[float]:
+        """Cheap conditioning proxy: max/min magnitude of the given entries.
+
+        Applied to a Jacobian's nonzero data this is the spread of stamp
+        magnitudes — not a true condition number, but it moves with one and
+        costs one pass.  Recorded as the ``numerics.condition_proxy.<stage>``
+        gauge.
+        """
+        array = np.abs(np.asarray(values, dtype=np.float64)).ravel()
+        array = array[array > 0.0]
+        if not array.size:
+            return None
+        proxy = float(array.max() / array.min())
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.gauge(f"numerics.condition_proxy.{stage}", proxy)
+        return proxy
+
+
+# ----------------------------------------------------------------------
+# the process-wide active instance
+# ----------------------------------------------------------------------
+
+_active: Any = NULL_WATCHDOG
+
+
+def get_watchdog() -> Any:
+    """The process-wide active watchdog (a no-op singleton when off)."""
+    return _active
+
+
+def watchdog_enabled() -> bool:
+    """True when a live (non-null) watchdog is active."""
+    return _active.enabled
+
+
+def enable_numerics(watchdog: Optional[NumericsWatchdog] = None) -> NumericsWatchdog:
+    """Install (and return) a live watchdog as the process-wide instance."""
+    global _active
+    _active = watchdog if watchdog is not None else NumericsWatchdog()
+    return _active
+
+
+def disable_numerics() -> None:
+    """Restore the disabled no-op singleton."""
+    global _active
+    _active = NULL_WATCHDOG
+
+
+@contextmanager
+def numerics_capture(watchdog: Optional[NumericsWatchdog] = None) -> Iterator[Any]:
+    """Activate a watchdog for the duration of the block (restores on exit)."""
+    global _active
+    previous = _active
+    _active = watchdog if watchdog is not None else NumericsWatchdog()
+    try:
+        yield _active
+    finally:
+        _active = previous

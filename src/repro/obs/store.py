@@ -111,9 +111,10 @@ class RunLedger:
 
     Layout::
 
-        <root>/ledger.jsonl        # one index line per recorded run
-        <root>/runs/<run_id>.json  # full snapshot + manifest per run
-        <root>/live/<run_id>.json  # heartbeat files (see repro.obs.live)
+        <root>/ledger.jsonl         # one index line per recorded run
+        <root>/runs/<run_id>.json   # full snapshot + manifest per run
+        <root>/live/<run_id>.json   # heartbeat files (see repro.obs.live)
+        <root>/audit/<run_id>.jsonl # fingerprint streams (see repro.obs.audit)
     """
 
     def __init__(self, root: Union[str, Path, None] = None):
@@ -132,6 +133,14 @@ class RunLedger:
     @property
     def live_dir(self) -> Path:
         return self.root / "live"
+
+    @property
+    def audit_dir(self) -> Path:
+        return self.root / "audit"
+
+    def audit_path(self, run_id: str) -> Path:
+        """Where one run's determinism fingerprint stream lives (if recorded)."""
+        return self.audit_dir / f"{run_id}.jsonl"
 
     # ------------------------------------------------------------------
     # recording

@@ -275,7 +275,10 @@ class ResultStore:
 
         Returns a report with ``entries``, ``ok``, ``checksum_failures``,
         ``missing_payloads``, ``orphan_payloads``, ``quarantined`` and lease
-        counts.  With ``repair=True`` damaged entries are quarantined (same
+        counts, plus the headline aliases ``checked`` (entries examined),
+        ``corrupt`` (checksum failures + missing payloads) and ``orphaned``
+        (orphan payload files) that ``repro store verify --json`` consumers
+        key on.  With ``repair=True`` damaged entries are quarantined (same
         path a concurrent reader would take) instead of merely reported.
         """
         report: Dict[str, Any] = {
@@ -316,9 +319,10 @@ class ResultStore:
         for state in self.leases.active():
             bucket = "stale" if self.leases.is_stale(state, now) else "active"
             report["leases"][bucket] += 1
-        report["clean"] = (
-            report["checksum_failures"] == 0 and report["missing_payloads"] == 0
-        )
+        report["checked"] = report["entries"]
+        report["corrupt"] = report["checksum_failures"] + report["missing_payloads"]
+        report["orphaned"] = report["orphan_payloads"]
+        report["clean"] = report["corrupt"] == 0
         return report
 
     def gc(self) -> Dict[str, int]:

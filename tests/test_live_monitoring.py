@@ -111,6 +111,17 @@ class TestHeartbeatWriter:
         # Half done: ETA ~ elapsed.
         assert state["eta_s"] == pytest.approx(state["elapsed_s"], rel=1e-6)
 
+    def test_eta_with_zero_observed_rate_is_none(self, tmp_path):
+        """An all-cached resume reports done>0 at ~zero elapsed; the ETA
+        must be "no estimate", not a division blowup or a bogus 0."""
+        writer = HeartbeatWriter(tmp_path / "hb.json", total=4, min_interval_s=0.0)
+        writer.advance(2)
+        assert writer._eta(0.0) is None
+        assert writer._eta(-1.0) is None
+        # A positive elapsed with progress still extrapolates normally.
+        assert writer._eta(1.0) == pytest.approx(1.0)
+        writer.finish()
+
     def test_no_tmp_files_left_behind(self, tmp_path):
         writer = HeartbeatWriter(tmp_path / "hb.json", min_interval_s=0.0)
         for _ in range(5):
